@@ -1,0 +1,59 @@
+// Command trbench regenerates the paper's evaluation artifacts (Figs. 3,
+// 5, 8c, 15-19 and Tables I-IV) on the synthetic substrate and prints the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	trbench                 # run everything
+//	trbench -exp fig15      # one artifact
+//	trbench -exp fig19,tab4 # several
+//	trbench -quick          # smaller datasets / fewer epochs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "comma-separated experiments to run (fig3 fig5 fig8c fig15 fig16 fig17 fig18 fig19 tab1 tab2 tab3 tab4 ablations); empty = all")
+	quick := flag.Bool("quick", false, "use reduced dataset and training sizes")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
+	flag.Parse()
+
+	if *quick {
+		experiments.SetScale(experiments.Scale{
+			DigitsTrain: 600, DigitsTest: 250,
+			ImagesTrain: 320, ImagesTest: 160,
+			CNNEpochs:     3,
+			LMTrainTokens: 5000, LMValid: 1000,
+			LMEpochs: 1,
+		})
+	}
+	var names []string
+	if *exp != "" {
+		for _, n := range strings.Split(*exp, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if *jsonOut {
+		if len(names) > 0 {
+			fmt.Fprintln(os.Stderr, "trbench: -json always emits the full report; -exp is ignored")
+		}
+		if err := experiments.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := experiments.RunAll(os.Stdout, names); err != nil {
+		fmt.Fprintln(os.Stderr, "trbench:", err)
+		os.Exit(1)
+	}
+}

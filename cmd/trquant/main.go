@@ -1,0 +1,196 @@
+// Command trquant quantizes a weight matrix and reports what Term
+// Revealing does to it: term statistics per encoding, the revealed
+// values, and the term-pair bounds.
+//
+// Input is JSON on stdin (or -in file): either a flat array of numbers or
+// an object {"rows": [[...],[...]]}. Example:
+//
+//	echo '[0.52, -0.13, 0.07, 0.91, -0.44, 0.02, 0.3, -0.6]' | \
+//	    trquant -bits 8 -g 4 -k 8 -s 3
+//
+// Alternatively, analyze a layer of a model saved by trtrain:
+//
+//	trquant -model resnet.gob -layer stem
+//	trquant -model resnet.gob -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/qsim"
+	"repro/internal/quant"
+	"repro/internal/term"
+)
+
+type input struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+func main() {
+	bits := flag.Int("bits", 8, "uniform quantization bit width")
+	g := flag.Int("g", 8, "TR group size")
+	k := flag.Int("k", 12, "TR group budget")
+	s := flag.Int("s", 3, "data terms kept per value (for the bound report)")
+	enc := flag.String("enc", "hese", "term encoding: binary, booth, hese")
+	inPath := flag.String("in", "", "input JSON file (default stdin)")
+	modelPath := flag.String("model", "", "saved model (gob) to read weights from")
+	layer := flag.String("layer", "", "layer name inside -model")
+	list := flag.Bool("list", false, "list the weight layers of -model and exit")
+	maxRows := flag.Int("maxrows", 4, "max weight rows to report from -model")
+	flag.Parse()
+
+	encoding, err := parseEncoding(*enc)
+	if err != nil {
+		fatal(err)
+	}
+	var rows [][]float64
+	if *modelPath != "" {
+		m, err := models.LoadFile(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		if *list {
+			for _, n := range qsim.WeightLayerNames(m) {
+				fmt.Println(n)
+			}
+			return
+		}
+		rows, err = layerRows(m, *layer, *maxRows)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		r := io.Reader(os.Stdin)
+		if *inPath != "" {
+			f, err := os.Open(*inPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		rows, err = readRows(r)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := core.Config{GroupSize: *g, GroupBudget: *k, DataTerms: *s,
+		WeightEncoding: encoding, DataEncoding: encoding}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	for ri, row := range rows {
+		flat := make([]float32, len(row))
+		for i, v := range row {
+			flat[i] = float32(v)
+		}
+		p := quant.SearchParams(flat, *bits)
+		codes := p.QuantizeSlice(flat)
+		exps, revealed := core.RevealValues(codes, encoding, *g, *k)
+
+		origTerms, keptTerms := 0, 0
+		for i, c := range codes {
+			origTerms += term.CountTerms(c, encoding)
+			keptTerms += len(exps[i])
+		}
+		fmt.Printf("row %d: %d values, scale %.6g, %s\n", ri, len(row), p.Scale, cfg)
+		fmt.Printf("  terms: %d before TR, %d after (budget allows %d per group of %d)\n",
+			origTerms, keptTerms, *k, *g)
+		fmt.Printf("  pair bound per group: %d (TR)  vs  %d (QT %d-bit)\n",
+			cfg.MaxTermPairsPerGroup(), core.BaselineTermPairsPerGroup(*bits, *g), *bits)
+		_, rel := core.GroupError(codes, revealed)
+		fmt.Printf("  value-level relative error from TR: %.4f\n", rel)
+		fmt.Printf("  codes (before -> after):")
+		for i, c := range codes {
+			if i%8 == 0 {
+				fmt.Printf("\n   ")
+			}
+			fmt.Printf(" %4d->%-4d", c, revealed[i])
+		}
+		fmt.Println()
+	}
+}
+
+// layerRows extracts up to maxRows weight rows (dot-product vectors) of
+// the named layer.
+func layerRows(m *models.ImageModel, layer string, maxRows int) ([][]float64, error) {
+	if layer == "" {
+		return nil, fmt.Errorf("-model requires -layer (use -list to see names)")
+	}
+	var rows [][]float64
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if l.Name() != layer || rows != nil {
+			return
+		}
+		var w []float32
+		var k int
+		switch v := l.(type) {
+		case *nn.Linear:
+			w, k = v.Weight.W.Data, v.In
+		case *nn.Conv2D:
+			g := v.Geom
+			k = (g.InC / g.Groups) * g.KH * g.KW
+			w = v.Weight.W.Data
+		default:
+			return
+		}
+		n := len(w) / k
+		if n > maxRows {
+			n = maxRows
+		}
+		for r := 0; r < n; r++ {
+			row := make([]float64, k)
+			for i := 0; i < k; i++ {
+				row[i] = float64(w[r*k+i])
+			}
+			rows = append(rows, row)
+		}
+	})
+	if rows == nil {
+		return nil, fmt.Errorf("layer %q not found or has no weights", layer)
+	}
+	return rows, nil
+}
+
+func parseEncoding(name string) (term.Encoding, error) {
+	switch name {
+	case "binary":
+		return term.Binary, nil
+	case "booth":
+		return term.Booth, nil
+	case "hese":
+		return term.HESE, nil
+	}
+	return 0, fmt.Errorf("unknown encoding %q", name)
+}
+
+func readRows(r io.Reader) ([][]float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var flat []float64
+	if err := json.Unmarshal(data, &flat); err == nil {
+		return [][]float64{flat}, nil
+	}
+	var obj input
+	if err := json.Unmarshal(data, &obj); err == nil && len(obj.Rows) > 0 {
+		return obj.Rows, nil
+	}
+	return nil, fmt.Errorf("input must be a JSON array or {\"rows\": [[...]]}")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trquant:", err)
+	os.Exit(1)
+}

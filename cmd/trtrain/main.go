@@ -1,0 +1,96 @@
+// Command trtrain trains one of the evaluation models on its synthetic
+// dataset, reports float / 8-bit QT / TR accuracy, and optionally saves
+// the trained model for later analysis:
+//
+//	trtrain -arch resnet -out resnet.gob
+//	trtrain -arch mlp -epochs 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/models"
+	"repro/internal/qsim"
+)
+
+func main() {
+	arch := flag.String("arch", "resnet", "model: mlp, vgg, resnet, mobilenet, effnet")
+	out := flag.String("out", "", "path to save the trained model (gob)")
+	epochs := flag.Int("epochs", 6, "training epochs")
+	nTrain := flag.Int("train", 560, "training samples")
+	nTest := flag.Int("test", 240, "test samples")
+	seed := flag.Int64("seed", 1, "seed for data and initialization")
+	sep := flag.Float64("sep", 0.25, "class separation of the synthetic image task")
+	noise := flag.Float64("noise", 0.5, "noise level of the synthetic task")
+	g := flag.Int("g", 8, "TR group size for the report")
+	k := flag.Int("k", 12, "TR group budget for the report")
+	s := flag.Int("s", 3, "TR data terms for the report")
+	fold := flag.Bool("fold", false, "fold batch norms before evaluation/saving")
+	flag.Parse()
+
+	var m *models.ImageModel
+	var train, test *datasets.ImageDataset
+	hidden := 0
+	switch *arch {
+	case "mlp":
+		hidden = 256
+		train = datasets.DigitsNoisy(*nTrain, 0.3, *seed)
+		test = datasets.DigitsNoisy(*nTest, 0.3, *seed+1)
+		m = models.NewMLP(hidden, *seed+2)
+	case "vgg", "resnet", "mobilenet", "effnet":
+		geom := models.DefaultCNNGeom
+		all := datasets.ImageClassesHard(*nTrain+*nTest, geom.Classes,
+			geom.InC, geom.InH, geom.InW, *sep, *noise, *seed)
+		train, test = all.Split(*nTrain)
+		builders := map[string]func(models.CNNGeom, int64) *models.ImageModel{
+			"vgg": models.NewVGGStyle, "resnet": models.NewResNetStyle,
+			"mobilenet": models.NewMobileNetStyle, "effnet": models.NewEffNetStyle,
+		}
+		m = builders[*arch](geom, *seed+2)
+	default:
+		fatal(fmt.Errorf("unknown architecture %q", *arch))
+	}
+
+	cfg := models.DefaultTrain
+	cfg.Epochs = *epochs
+	cfg.Verbose = true
+	cfg.Seed = *seed + 3
+	models.Train(m, train, cfg)
+
+	if *fold {
+		n := qsim.FoldBatchNorm(m)
+		fmt.Printf("folded %d batch norm layers\n", n)
+	}
+
+	report := func(label string, spec *qsim.Spec) {
+		if spec == nil {
+			fmt.Printf("%-24s accuracy %.4f\n", label, models.Evaluate(m, test, 32))
+			return
+		}
+		e := qsim.Attach(m, *spec)
+		defer e.Detach()
+		acc := models.Evaluate(m, test, 32)
+		fmt.Printf("%-24s accuracy %.4f  bound pairs/sample %.0f\n",
+			label, acc, float64(e.BoundPairs())/float64(test.Len()))
+	}
+	report("float", nil)
+	qt := qsim.QT(8, 8)
+	report("QT 8-bit", &qt)
+	tr := qsim.TR(*g, *k, *s)
+	report(tr.String(), &tr)
+
+	if *out != "" {
+		if err := models.SaveFile(m, hidden, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved model to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trtrain:", err)
+	os.Exit(1)
+}

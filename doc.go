@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Term Quantization:
+// Furthering Quantization at Run Time" (Kung, McDanel, Zhang; SC 2020),
+// also circulated as "Term Revealing: Furthering Quantization at Run Time
+// on Quantized DNNs".
+//
+// The library lives under internal/: package core implements Term
+// Revealing itself; term implements binary/Booth/HESE encodings; quant
+// the uniform-quantization first step; nn/models/datasets a complete
+// training and inference substrate; qsim quantized-inference emulation
+// with term-pair accounting; hw/... the tMAC, systolic-array, bit-serial
+// stream, control-register, memory and cost models of the paper's FPGA
+// system; and experiments one function per table and figure of the
+// paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. Runnable entry
+// points: cmd/trbench, cmd/trquant, cmd/trsim and the examples/ programs.
+package repro

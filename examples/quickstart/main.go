@@ -1,0 +1,58 @@
+// Quickstart: quantize a small weight/data vector pair, HESE-encode it,
+// apply Term Revealing, and compute the dot product with term-pair
+// multiplications — the paper's entire pipeline in ~60 lines.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/quant"
+	"repro/internal/term"
+)
+
+func main() {
+	weights := []float32{0.52, -0.13, 0.07, 0.91, -0.44, 0.02, 0.30, -0.60}
+	data := []float32{0.10, 0.85, 0.33, 0.02, 0.48, 0.77, 0.05, 0.21}
+
+	// Step 1: conventional 8-bit uniform quantization (QT).
+	wp := quant.SearchParams(weights, 8)
+	xp := quant.MaxAbsParams(data, 8)
+	wCodes := wp.QuantizeSlice(weights)
+	xCodes := xp.QuantizeSlice(data)
+	fmt.Println("weight codes:", wCodes)
+	fmt.Println("data codes:  ", xCodes)
+
+	// Step 2: HESE encoding — minimum-length signed digit representations.
+	for _, c := range wCodes[:3] {
+		fmt.Printf("HESE(%4d) = %v (%d terms vs %d binary)\n",
+			c, term.EncodeHESE(c), term.CountTerms(c, term.HESE),
+			term.CountTerms(c, term.Binary))
+	}
+
+	// Step 3: Term Revealing — keep the top k terms per group of g.
+	cfg := core.Config{GroupSize: 4, GroupBudget: 8, DataTerms: 3,
+		WeightEncoding: term.HESE, DataEncoding: term.HESE}
+	wExp, wRevealed := core.RevealValues(wCodes, cfg.WeightEncoding,
+		cfg.GroupSize, cfg.GroupBudget)
+	xExp, _ := core.TruncateData(xCodes, cfg.DataEncoding, cfg.DataTerms)
+	fmt.Println("revealed weight codes:", wRevealed)
+
+	// Step 4: the dot product via term-pair multiplications, exactly as
+	// the tMAC hardware computes it.
+	dot, pairs := core.DotTermPairs(wExp, xExp)
+	var exact int64
+	for i := range wCodes {
+		exact += int64(wCodes[i]) * int64(xCodes[i])
+	}
+	result := float64(dot) * float64(wp.Scale) * float64(xp.Scale)
+	var floatDot float64
+	for i := range weights {
+		floatDot += float64(weights[i]) * float64(data[i])
+	}
+	fmt.Printf("term pairs used: %d (QT worst case: %d)\n",
+		pairs, core.BaselineTermPairsPerGroup(8, len(weights)))
+	fmt.Printf("TR bound per group: %d pairs (k·s)\n", cfg.MaxTermPairsPerGroup())
+	fmt.Printf("dot product: TR %.5f, exact-quantized %.5f, float %.5f\n",
+		result, float64(exact)*float64(wp.Scale)*float64(xp.Scale), floatDot)
+}

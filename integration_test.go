@@ -1,0 +1,186 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/hw/stream"
+	"repro/internal/hw/systolic"
+	"repro/internal/hw/tmac"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/qsim"
+	"repro/internal/quant"
+	"repro/internal/term"
+)
+
+// TestEndToEndMLPOnSystolicArray runs a trained MLP's inference entirely
+// in the integer domain through the tMAC systolic-array simulator —
+// quantize, TR the weights, HESE-truncate the data, matmul on the array,
+// integer ReLU, second layer, argmax — and checks the predictions agree
+// with the qsim software emulation on the vast majority of samples.
+func TestEndToEndMLPOnSystolicArray(t *testing.T) {
+	train := datasets.DigitsNoisy(600, 0.2, 41)
+	test := datasets.DigitsNoisy(64, 0.2, 42)
+	m := models.NewMLP(64, 43)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 3
+	models.Train(m, train, cfg)
+
+	const g, k, s = 8, 12, 3
+	// Software path: qsim predictions under the same TR setting.
+	e := qsim.Attach(m, qsim.TR(g, k, s))
+	logits := m.Forward(test.Images, false)
+	swPred := make([]int, test.Len())
+	for i := 0; i < test.Len(); i++ {
+		best, bestV := 0, logits.Data[i*10]
+		for c := 1; c < 10; c++ {
+			if v := logits.Data[i*10+c]; v > bestV {
+				best, bestV = c, v
+			}
+		}
+		swPred[i] = best
+	}
+	e.Detach()
+
+	// Hardware path: integer-domain inference on the systolic simulator.
+	var fc1, fc2 *nn.Linear
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if lin, ok := l.(*nn.Linear); ok {
+			if lin.Name() == "fc1" {
+				fc1 = lin
+			} else {
+				fc2 = lin
+			}
+		}
+	})
+	if fc1 == nil || fc2 == nil {
+		t.Fatal("MLP layers not found")
+	}
+	arrCfg := systolic.Config{Rows: 16, Cols: 8, Mode: systolic.TMAC,
+		GroupSize: g, GroupBudget: k, DataTerms: s,
+		WeightEnc: term.HESE, DataEnc: term.HESE}
+
+	quantizeWeights := func(l *nn.Linear) ([][]int32, quant.Params, []float32) {
+		p := quant.MaxAbsParams(l.Weight.W.Data, 8)
+		w := make([][]int32, l.Out)
+		for o := 0; o < l.Out; o++ {
+			w[o] = p.QuantizeSlice(l.Weight.W.Data[o*l.In : (o+1)*l.In])
+		}
+		return w, p, l.Bias.W.Data
+	}
+	w1, p1, b1 := quantizeWeights(fc1)
+	w2, p2, b2 := quantizeWeights(fc2)
+
+	hwPred := make([]int, test.Len())
+	for i, img := range test.Images {
+		// Layer 1: dynamic data quantization, array matmul, dequantize,
+		// bias, ReLU — exactly the hardware dataflow.
+		xp := quant.MaxAbsParams(img, 8)
+		x := make([][]int32, len(img))
+		for j, v := range img {
+			x[j] = []int32{xp.Quantize(v)}
+		}
+		res1, err := systolic.MatMul(arrCfg, w1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hidden := make([]float32, fc1.Out)
+		for o := range hidden {
+			v := float32(res1.Y[o][0])*p1.Scale*xp.Scale + b1[o]
+			if v < 0 {
+				v = 0
+			}
+			hidden[o] = v
+		}
+		// Layer 2.
+		hp := quant.MaxAbsParams(hidden, 8)
+		h := make([][]int32, len(hidden))
+		for j, v := range hidden {
+			h[j] = []int32{hp.Quantize(v)}
+		}
+		res2, err := systolic.MatMul(arrCfg, w2, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, bestV := 0, float32(res2.Y[0][0])*p2.Scale*hp.Scale+b2[0]
+		for c := 1; c < 10; c++ {
+			v := float32(res2.Y[c][0])*p2.Scale*hp.Scale + b2[c]
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		hwPred[i] = best
+	}
+
+	agree := 0
+	for i := range swPred {
+		if swPred[i] == hwPred[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(swPred)); frac < 0.9 {
+		t.Errorf("hardware and software predictions agree on only %.0f%% of samples", 100*frac)
+	}
+	// And the hardware path itself classifies well above chance.
+	correct := 0
+	for i, p := range hwPred {
+		if p == test.Labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(hwPred)); acc < 0.6 {
+		t.Errorf("systolic-array inference accuracy %.2f too low", acc)
+	}
+}
+
+// TestFrontToBackTermPipeline drives a single dot product through every
+// hardware stage — TR'd weights in a tMAC, coefficient vector, binary
+// stream converter, ReLU, HESE encoder, term comparator — and confirms
+// each stage agrees with its functional model.
+func TestFrontToBackTermPipeline(t *testing.T) {
+	w := []int32{37, -85, 102, 14, -7, 63, -120, 5}
+	x := []int32{9, 17, 33, 2, 81, 44, 6, 127}
+	wExp, _ := core.RevealValues(w, term.HESE, 8, 12)
+	xExp, _ := core.TruncateData(x, term.HESE, 3)
+
+	cell := tmac.NewTMAC(wExp)
+	work, err := cell.ProcessGroup(xExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if work.Cycles > 12*3 {
+		t.Errorf("cycles %d exceed the k·s bound 36", work.Cycles)
+	}
+	var want int64
+	for i := range w {
+		want += int64(wExp[i].Value()) * int64(xExp[i].Value())
+	}
+	if cell.Result() != want {
+		t.Fatalf("tMAC result %d, want %d", cell.Result(), want)
+	}
+
+	bits := stream.ConvertCoeffVector(&cell.CV)
+	if stream.FromBits(bits) != want {
+		t.Fatal("binary stream converter disagrees")
+	}
+	relued := stream.ReLUWord(bits)
+	wantReLU := want
+	if wantReLU < 0 {
+		wantReLU = 0
+	}
+	if stream.FromBits(relued) != wantReLU {
+		t.Fatal("bit-serial ReLU disagrees")
+	}
+	if wantReLU > 0 {
+		enc, err := stream.EncodeHESEHW(wantReLU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := term.EncodeHESE(int32(wantReLU))
+		if len(enc) != len(sw) {
+			t.Fatalf("hardware HESE %v vs software %v", enc, sw)
+		}
+	}
+}

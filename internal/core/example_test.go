@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/term"
+)
+
+// ExampleReveal walks the paper's Fig. 6 scenario: a group of three
+// weights, a budget of four terms, and the receding-water selection.
+func ExampleReveal() {
+	group := []term.Expansion{
+		term.EncodeBinary(12), // 2^3 + 2^2
+		term.EncodeBinary(40), // 2^5 + 2^3
+		term.EncodeBinary(81), // 2^6 + 2^4 + 2^0
+	}
+	revealed := core.Reveal(group, 4)
+	for i, e := range revealed {
+		fmt.Printf("w%d: %d -> %d\n", i+1, group[i].Value(), e.Value())
+	}
+	// Output:
+	// w1: 12 -> 8
+	// w2: 40 -> 32
+	// w3: 81 -> 80
+}
+
+// ExampleDotTermPairs computes a dot product exactly as the tMAC
+// hardware does — one term pair at a time.
+func ExampleDotTermPairs() {
+	w := []term.Expansion{term.EncodeHESE(12), term.EncodeHESE(-3)}
+	x := []term.Expansion{term.EncodeHESE(2), term.EncodeHESE(5)}
+	dot, pairs := core.DotTermPairs(w, x)
+	fmt.Printf("dot=%d pairs=%d\n", dot, pairs)
+	// Output:
+	// dot=9 pairs=6
+}
+
+// ExampleConfig_MaxTermPairsPerGroup shows the synchronization bound TR
+// buys: k·s pairs per group instead of 7·7·g.
+func ExampleConfig_MaxTermPairsPerGroup() {
+	cfg := core.Config{GroupSize: 8, GroupBudget: 12, DataTerms: 3}
+	fmt.Printf("TR bound: %d, 8-bit QT bound: %d\n",
+		cfg.MaxTermPairsPerGroup(), core.BaselineTermPairsPerGroup(8, 8))
+	// Output:
+	// TR bound: 36, 8-bit QT bound: 392
+}

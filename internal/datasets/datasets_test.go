@@ -1,0 +1,181 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestDigitsDeterministic(t *testing.T) {
+	a := Digits(50, 7)
+	b := Digits(50, 7)
+	if a.Len() != 50 || b.Len() != 50 {
+		t.Fatal("wrong sample count")
+	}
+	for i := range a.Images {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a.Images[i] {
+			if a.Images[i][j] != b.Images[i][j] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+	c := Digits(50, 8)
+	same := true
+	for i := range a.Images[0] {
+		if a.Images[0][i] != c.Images[0][i] {
+			same = false
+			break
+		}
+	}
+	if same && a.Labels[0] == c.Labels[0] {
+		t.Error("different seeds produced identical first sample")
+	}
+}
+
+func TestDigitsShapeAndClasses(t *testing.T) {
+	d := Digits(200, 1)
+	if d.C != 1 || d.H != 12 || d.W != 12 || d.Classes != 10 {
+		t.Fatalf("unexpected geometry %+v", d)
+	}
+	seen := map[int]bool{}
+	for i, img := range d.Images {
+		if len(img) != 144 {
+			t.Fatal("wrong image size")
+		}
+		if d.Labels[i] < 0 || d.Labels[i] > 9 {
+			t.Fatal("label out of range")
+		}
+		seen[d.Labels[i]] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("only %d classes present in 200 samples", len(seen))
+	}
+}
+
+func TestDigitsClassesAreDistinguishable(t *testing.T) {
+	// A trivial nearest-template rule over noise-free means should get
+	// most digits right, confirming the classes carry signal.
+	train := Digits(500, 2)
+	means := make([][]float32, 10)
+	counts := make([]int, 10)
+	for i := range means {
+		means[i] = make([]float32, 144)
+	}
+	for i, img := range train.Images {
+		l := train.Labels[i]
+		counts[l]++
+		for j, v := range img {
+			means[l][j] += v
+		}
+	}
+	for l := range means {
+		for j := range means[l] {
+			means[l][j] /= float32(counts[l])
+		}
+	}
+	test := Digits(200, 3)
+	correct := 0
+	for i, img := range test.Images {
+		best, bestD := -1, float32(0)
+		for l := range means {
+			var d float32
+			for j := range img {
+				diff := img[j] - means[l][j]
+				d += diff * diff
+			}
+			if best == -1 || d < bestD {
+				best, bestD = l, d
+			}
+		}
+		if best == test.Labels[i] {
+			correct++
+		}
+	}
+	// Nearest-mean is a weak classifier under pixel jitter; well above the
+	// 10% chance level is all we require here (the MLP reaches >95%).
+	if acc := float64(correct) / 200; acc < 0.35 {
+		t.Errorf("nearest-mean accuracy %v too low; classes not separable", acc)
+	}
+}
+
+func TestImageClasses(t *testing.T) {
+	d := ImageClasses(100, 8, 3, 16, 16, 4)
+	if d.Len() != 100 || d.C != 3 || d.H != 16 || d.W != 16 || d.Classes != 8 {
+		t.Fatalf("unexpected dataset %+v", d)
+	}
+	for i, img := range d.Images {
+		if len(img) != 3*16*16 {
+			t.Fatal("wrong image length")
+		}
+		if d.Labels[i] < 0 || d.Labels[i] >= 8 {
+			t.Fatal("label out of range")
+		}
+	}
+	// Same-class samples should correlate more than cross-class ones.
+	var sameSim, crossSim float64
+	var sameN, crossN int
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			var dot, ni, nj float64
+			for p := range d.Images[i] {
+				dot += float64(d.Images[i][p]) * float64(d.Images[j][p])
+				ni += float64(d.Images[i][p]) * float64(d.Images[i][p])
+				nj += float64(d.Images[j][p]) * float64(d.Images[j][p])
+			}
+			sim := dot / (1e-9 + (ni*nj)*0.5)
+			if d.Labels[i] == d.Labels[j] {
+				sameSim += sim
+				sameN++
+			} else {
+				crossSim += sim
+				crossN++
+			}
+		}
+	}
+	if sameN == 0 || crossN == 0 {
+		t.Skip("degenerate label split")
+	}
+	if sameSim/float64(sameN) <= crossSim/float64(crossN) {
+		t.Error("same-class similarity not above cross-class similarity")
+	}
+}
+
+func TestMarkovText(t *testing.T) {
+	c := MarkovText(5000, 1000, 100, 5)
+	if len(c.Train) != 5000 || len(c.Valid) != 1000 || c.Vocab != 100 {
+		t.Fatalf("unexpected corpus sizes")
+	}
+	counts := make([]int, 100)
+	for _, tok := range c.Train {
+		if tok < 0 || tok >= 100 {
+			t.Fatal("token out of vocabulary")
+		}
+		counts[tok]++
+	}
+	// Zipf flavour: the most frequent token should dominate the median one.
+	maxC := 0
+	for _, n := range counts {
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if maxC < 200 {
+		t.Errorf("head token count %d too flat for a Zipfian stream", maxC)
+	}
+	// Structure: bigram repetition far above uniform chance.
+	big := map[[2]int]int{}
+	for i := 1; i < len(c.Train); i++ {
+		big[[2]int{c.Train[i-1], c.Train[i]}]++
+	}
+	if len(big) > 3000 {
+		t.Errorf("%d distinct bigrams: stream looks unstructured", len(big))
+	}
+	// Determinism.
+	c2 := MarkovText(5000, 1000, 100, 5)
+	for i := range c.Train {
+		if c.Train[i] != c2.Train[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/qsim"
+	"repro/internal/quant"
+	"repro/internal/stats"
+	"repro/internal/term"
+)
+
+// Fig3Result reproduces Fig. 3: the distributions of quantized weight and
+// data values of a mid-network conv layer, and of their binary term
+// counts.
+type Fig3Result struct {
+	Layer           string
+	WeightValues    *stats.Histogram    // dequantized weight distribution
+	DataValues      *stats.Histogram    // dequantized activation distribution
+	WeightTerms     *stats.IntHistogram // binary terms per weight
+	DataTerms       *stats.IntHistogram // binary terms per activation
+	FracWeightsLE3  float64             // paper: 79% of weights in <= 3 terms
+	FracDataLE3     float64             // paper: 84% of data in <= 3 terms
+	MeanWeightTerms float64             // paper: 2.46
+	WeightNormality float64             // normal-likeness of float weights
+}
+
+// Fig3 measures a middle conv layer of the trained ResNet-style CNN
+// (paper: 7th conv layer of ResNet-18).
+func Fig3() (*Fig3Result, error) {
+	m, test, err := TrainedCNN("resnet")
+	if err != nil {
+		return nil, err
+	}
+	snaps := qsim.SnapshotWeights(m, 8)
+	// Pick a mid-network conv layer, as the paper does.
+	snap := snaps[len(snaps)/2]
+	caps := qsim.CaptureActivations(m, test.Images[:min(64, len(test.Images))], 8)
+	names := qsim.SortedLayerNames(caps)
+	actName := names[len(names)/2]
+	acts := caps[actName]
+
+	res := &Fig3Result{
+		Layer:        fmt.Sprintf("weights %s / data %s", snap.Name, actName),
+		WeightValues: stats.NewHistogram(-1, 1, 40),
+		DataValues:   stats.NewHistogram(0, 1, 40),
+		WeightTerms:  stats.NewIntHistogram(7),
+		DataTerms:    stats.NewIntHistogram(7),
+	}
+	maxW := float64(127) * float64(snap.Params.Scale)
+	for _, code := range snap.Codes {
+		res.WeightValues.Add(float64(snap.Params.Dequantize(code)) / maxW)
+		res.WeightTerms.Add(term.CountTerms(code, term.Binary))
+	}
+	for _, code := range acts {
+		res.DataValues.Add(float64(code) / 127)
+		res.DataTerms.Add(term.CountTerms(code, term.Binary))
+	}
+	res.FracWeightsLE3 = res.WeightTerms.CumulativeFraction(3)
+	res.FracDataLE3 = res.DataTerms.CumulativeFraction(3)
+	res.MeanWeightTerms = res.WeightTerms.Mean()
+	res.WeightNormality = stats.NormalityScore(snap.Float)
+	return res, nil
+}
+
+// Fig5Result reproduces Fig. 5: the histogram of term-pair multiplication
+// counts for partial dot products over groups of 16 values.
+type Fig5Result struct {
+	GroupSize      int
+	Hist           *stats.IntHistogram
+	P99            int
+	Mean           float64
+	TheoreticalMax int // 16 x 7 x 7 = 784
+}
+
+// Fig5 pairs a mid-layer's quantized weights with captured activations in
+// groups of 16 and counts term pairs per group.
+func Fig5() (*Fig5Result, error) {
+	m, test, err := TrainedCNN("resnet")
+	if err != nil {
+		return nil, err
+	}
+	const g = 16
+	snaps := qsim.SnapshotWeights(m, 8)
+	snap := snaps[len(snaps)/2]
+	caps := qsim.CaptureActivations(m, test.Images[:min(64, len(test.Images))], 8)
+	names := qsim.SortedLayerNames(caps)
+	acts := caps[names[len(names)/2]]
+
+	res := &Fig5Result{GroupSize: g, Hist: stats.NewIntHistogram(784),
+		TheoreticalMax: g * 7 * 7}
+	n := min(len(snap.Codes), len(acts))
+	for start := 0; start+g <= n; start += g {
+		pairs := 0
+		for i := start; i < start+g; i++ {
+			pairs += term.CountTerms(snap.Codes[i], term.Binary) *
+				term.CountTerms(acts[i], term.Binary)
+		}
+		res.Hist.Add(pairs)
+	}
+	res.P99 = res.Hist.Percentile(0.99)
+	res.Mean = res.Hist.Mean()
+	return res, nil
+}
+
+// Fig8cResult reproduces Fig. 8(c): cumulative distributions of the
+// number of terms per value under binary, Booth radix-4 and HESE, over
+// real activation data and over a uniform distribution.
+type Fig8cResult struct {
+	// CDF[encoding][source] where source is "data" or "unif".
+	CDF map[string]map[string]*stats.IntHistogram
+	// FracDataLE3HESE: the paper reports 99% of data values within 3
+	// HESE terms.
+	FracDataLE3HESE float64
+}
+
+// Fig8c measures activation codes of the trained CNN against uniform
+// codes over the same range.
+func Fig8c() (*Fig8cResult, error) {
+	m, test, err := TrainedCNN("resnet")
+	if err != nil {
+		return nil, err
+	}
+	caps := qsim.CaptureActivations(m, test.Images[:min(64, len(test.Images))], 8)
+	names := qsim.SortedLayerNames(caps)
+	acts := caps[names[len(names)/2]]
+
+	encodings := map[string]term.Encoding{
+		"binary": term.Binary, "booth": term.Booth, "hese": term.HESE,
+	}
+	res := &Fig8cResult{CDF: make(map[string]map[string]*stats.IntHistogram)}
+	for name, enc := range encodings {
+		res.CDF[name] = map[string]*stats.IntHistogram{
+			"data": stats.NewIntHistogram(9),
+			"unif": stats.NewIntHistogram(9),
+		}
+		for _, code := range acts {
+			res.CDF[name]["data"].Add(term.CountTerms(code, enc))
+		}
+		// Uniform codes over the same 8-bit range, deterministic sweep.
+		for v := int32(0); v <= 127; v++ {
+			res.CDF[name]["unif"].Add(term.CountTerms(v, enc))
+		}
+	}
+	res.FracDataLE3HESE = res.CDF["hese"]["data"].CumulativeFraction(3)
+	return res, nil
+}
+
+// Fig18Row is one layer's entry in Fig. 18: average relative weight
+// quantization error under three QT settings and one TR setting.
+type Fig18Row struct {
+	Layer   string
+	QT8     float64
+	QT7     float64
+	QT6     float64
+	TRg8k14 float64
+}
+
+// Fig18 measures per-layer weight quantization error on the ResNet-style
+// CNN: QT at 8/7/6 bits versus TR (g=8, k=14) applied on top of 8-bit QT.
+func Fig18() ([]Fig18Row, error) {
+	m, _, err := TrainedCNN("resnet")
+	if err != nil {
+		return nil, err
+	}
+	snaps := qsim.SnapshotWeights(m, 8)
+	rows := make([]Fig18Row, 0, len(snaps))
+	for _, snap := range snaps {
+		row := Fig18Row{Layer: snap.Name}
+		// QT at each bit width: round-trip error against float weights.
+		for _, bits := range []int{8, 7, 6} {
+			p := qsimSearch(snap.Float, bits)
+			rt := p.RoundTrip(snap.Float)
+			e := relErr(snap.Float, rt)
+			switch bits {
+			case 8:
+				row.QT8 = e
+			case 7:
+				row.QT7 = e
+			case 6:
+				row.QT6 = e
+			}
+		}
+		// TR on top of 8-bit QT: reveal the codes in groups of 8, k=14.
+		_, revealed := core.RevealValues(snap.Codes, term.HESE, 8, 14)
+		trFloat := make([]float32, len(revealed))
+		for i, c := range revealed {
+			trFloat[i] = snap.Params.Dequantize(c)
+		}
+		row.TRg8k14 = relErr(snap.Float, trFloat)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// qsimSearch wraps the layerwise scale search used before TR.
+func qsimSearch(w []float32, bits int) quant.Params {
+	return quant.SearchParams(w, bits)
+}
+
+// relErr is the Fig. 18 metric: mean relative error against the original
+// float weights.
+func relErr(orig, quantized []float32) float64 {
+	return quant.RelativeError(orig, quantized)
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RunAll executes every experiment and writes a textual report; it is the
+// engine behind cmd/trbench and the EXPERIMENTS.md numbers. The names
+// argument filters which artifacts run (nil or empty = all).
+func RunAll(w io.Writer, names []string) error {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	run := func(name string) bool {
+		return len(want) == 0 || want[name]
+	}
+	type step struct {
+		name string
+		fn   func(io.Writer) error
+	}
+	steps := []step{
+		{"fig3", RenderFig3}, {"fig5", RenderFig5}, {"fig8c", RenderFig8c},
+		{"fig15", RenderFig15}, {"fig16", RenderFig16}, {"fig17", RenderFig17},
+		{"fig18", RenderFig18}, {"fig19", RenderFig19},
+		{"tab1", RenderTableI}, {"tab2", RenderTableII},
+		{"tab3", RenderTableIII}, {"tab4", RenderTableIV},
+		{"ablations", RenderAblations},
+	}
+	known := map[string]bool{}
+	for _, s := range steps {
+		known[s.name] = true
+	}
+	for n := range want {
+		if !known[n] {
+			return fmt.Errorf("experiments: unknown experiment %q", n)
+		}
+	}
+	for _, s := range steps {
+		if !run(s.name) {
+			continue
+		}
+		fmt.Fprintf(w, "==== %s ====\n", s.name)
+		if err := s.fn(w); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RenderFig3 prints the Fig. 3 distributions.
+func RenderFig3(w io.Writer) error {
+	r, err := Fig3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig 3: weight/data value and term distributions (%s)\n", r.Layer)
+	fmt.Fprintf(w, "weights in <=3 binary terms: %.1f%% (paper: 79%%)\n", 100*r.FracWeightsLE3)
+	fmt.Fprintf(w, "data    in <=3 binary terms: %.1f%% (paper: 84%%)\n", 100*r.FracDataLE3)
+	fmt.Fprintf(w, "mean terms per weight: %.2f (paper: 2.46)\n", r.MeanWeightTerms)
+	fmt.Fprintf(w, "weight normality score: %.2f\n", r.WeightNormality)
+	fmt.Fprintln(w, "terms-per-weight histogram:")
+	for v := 0; v <= 7; v++ {
+		fmt.Fprintf(w, "  %d terms: %5.1f%% weights, %5.1f%% data\n",
+			v, 100*r.WeightTerms.Fraction(v), 100*r.DataTerms.Fraction(v))
+	}
+	return nil
+}
+
+// RenderFig5 prints the Fig. 5 term-pair histogram summary.
+func RenderFig5(w io.Writer) error {
+	r, err := Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig 5: term pairs per partial dot product (group of %d)\n", r.GroupSize)
+	fmt.Fprintf(w, "groups measured: %d\n", r.Hist.Total())
+	fmt.Fprintf(w, "mean %.1f, P99 %d, theoretical max %d (paper: 99%% under 110 of 784)\n",
+		r.Mean, r.P99, r.TheoreticalMax)
+	return nil
+}
+
+// RenderFig8c prints the encoding CDF comparison.
+func RenderFig8c(w io.Writer) error {
+	r, err := Fig8c()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig 8c: cumulative fraction of values within N terms")
+	encs := []string{"binary", "booth", "hese"}
+	for _, src := range []string{"data", "unif"} {
+		fmt.Fprintf(w, "%s:\n", src)
+		fmt.Fprintf(w, "  terms:  ")
+		for v := 1; v <= 6; v++ {
+			fmt.Fprintf(w, "%7d", v)
+		}
+		fmt.Fprintln(w)
+		for _, e := range encs {
+			fmt.Fprintf(w, "  %-7s ", e)
+			for v := 1; v <= 6; v++ {
+				fmt.Fprintf(w, "%6.1f%%", 100*r.CDF[e][src].CumulativeFraction(v))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "HESE data <=3 terms: %.1f%% (paper: 99%%)\n", 100*r.FracDataLE3HESE)
+	return nil
+}
+
+func renderFig15Panel(w io.Writer, title string, qt, tr []Fig15Point) {
+	fmt.Fprintf(w, "%s:\n", title)
+	fmt.Fprintf(w, "  %-28s %14s %14s %10s\n", "setting", "bound pairs", "actual pairs", "metric")
+	for _, p := range append(append([]Fig15Point(nil), qt...), tr...) {
+		fmt.Fprintf(w, "  %-28s %14.0f %14.0f %10.4f\n",
+			p.Setting, p.PairsPerSample, p.ActualPairs, p.Metric)
+	}
+}
+
+// RenderFig15 prints the three trade-off panels.
+func RenderFig15(w io.Writer) error {
+	fmt.Fprintln(w, "Fig 15: model performance vs term-pair multiplications per sample")
+	qt, tr := Fig15MLP()
+	renderFig15Panel(w, "MLP on synthetic MNIST (accuracy)", qt, tr)
+	for _, name := range CNNNames {
+		cq, ct, err := Fig15CNN(name)
+		if err != nil {
+			return err
+		}
+		renderFig15Panel(w, name+" on synthetic ImageNet (accuracy)", cq, ct)
+	}
+	lq, lt := Fig15LSTM()
+	renderFig15Panel(w, "LSTM on synthetic Wikitext (perplexity, lower better)", lq, lt)
+	rows, err := Reductions(0.02, 0.15)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "headline reductions at matched performance (paper: 3-10x):")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	return nil
+}
+
+// RenderFig16 prints the group-size sweep.
+func RenderFig16(w io.Writer) error {
+	pts, err := Fig16()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig 16: ResNet-style accuracy vs α by group size")
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].GroupSize != pts[j].GroupSize {
+			return pts[i].GroupSize < pts[j].GroupSize
+		}
+		return pts[i].Alpha < pts[j].Alpha
+	})
+	for _, p := range pts {
+		fmt.Fprintf(w, "  g=%d α=%.1f (k=%2d): accuracy %.4f\n",
+			p.GroupSize, p.Alpha, p.Budget, p.Accuracy)
+	}
+	return nil
+}
+
+// RenderFig17 prints the isolation study.
+func RenderFig17(w io.Writer) error {
+	pts, err := Fig17()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig 17: isolating TR and HESE (ResNet-style accuracy)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-8s α=%.0f: accuracy %.4f\n", p.Method, p.Alpha, p.Accuracy)
+	}
+	return nil
+}
+
+// RenderFig18 prints per-layer quantization error.
+func RenderFig18(w io.Writer) error {
+	rows, err := Fig18()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig 18: per-layer mean relative weight quantization error")
+	fmt.Fprintf(w, "  %-22s %8s %8s %8s %10s\n", "layer", "QT8", "QT7", "QT6", "TR(g8,k14)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %8.4f %8.4f %8.4f %10.4f\n",
+			r.Layer, r.QT8, r.QT7, r.QT6, r.TRg8k14)
+	}
+	return nil
+}
+
+// RenderFig19 prints the system gains.
+func RenderFig19(w io.Writer) error {
+	fmt.Fprintln(w, "Fig 19: TR over QT on the FPGA system model (g=8)")
+	fmt.Fprintf(w, "  %-16s %3s %2s %12s %12s %12s %12s\n",
+		"model", "k", "s", "lat QT(ms)", "lat TR(ms)", "lat gain", "energy gain")
+	for _, r := range Fig19() {
+		fmt.Fprintf(w, "  %-16s %3d %2d %12.3f %12.3f %11.1fx %11.1fx\n",
+			r.Model, r.GroupBudget, r.DataTerms, r.LatencyQTms, r.LatencyTRms,
+			r.LatencyGain, r.EnergyGain)
+	}
+	lat, en := Fig19Averages()
+	fmt.Fprintf(w, "  average: %.1fx latency, %.1fx energy (paper: 7.8x, 4.3x)\n", lat, en)
+	return nil
+}
+
+// RenderTableI prints the control-register table.
+func RenderTableI(w io.Writer) error {
+	rows, err := TableI()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table I: control registers for QT and TR")
+	fmt.Fprintf(w, "  %-16s %4s %6s %6s\n", "register", "bits", "QT", "TR")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %4d %6s %6s\n", r.Register, r.Bits, r.QT, r.TR)
+	}
+	return nil
+}
+
+// RenderTableII prints MAC resources.
+func RenderTableII(w io.Writer) error {
+	fmt.Fprintln(w, "Table II: FPGA resources per MAC")
+	for _, r := range TableII() {
+		fmt.Fprintf(w, "  %-5s LUT %3d  FF %3d\n", r.MAC, r.LUT, r.FF)
+	}
+	return nil
+}
+
+// RenderTableIII prints the MAC comparison across CNNs.
+func RenderTableIII(w io.Writer) error {
+	rows, err := TableIII()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table III: pMAC vs tMAC across CNNs (accuracy, energy efficiency)")
+	fmt.Fprintf(w, "  %-10s %2s %3s %2s %10s %10s %10s\n",
+		"model", "s", "k", "g", "pMAC acc", "tMAC acc", "energy eff")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %2d %3d %2d %10.4f %10.4f %9.1fx\n",
+			r.Model, r.S, r.K, r.G, r.PMACAccuracy, r.TMACAccuracy, r.EnergyRatio)
+	}
+	return nil
+}
+
+// RenderTableIV prints the accelerator comparison.
+func RenderTableIV(w io.Writer) error {
+	rows, err := TableIV()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table IV: FPGA accelerator comparison (ours from the cost model)")
+	fmt.Fprintf(w, "  %-18s %-9s %7s %6s %8s %8s %5s %5s %9s %10s\n",
+		"system", "chip", "acc(%)", "MHz", "FF", "LUT", "DSP", "BRAM", "lat(ms)", "frames/J")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %-9s %7.2f %6.0f %8d %8d %5d %5d %9.2f %10.2f\n",
+			r.Name, r.Chip, r.AccuracyPct, r.FreqMHz, r.FF, r.LUT, r.DSP, r.BRAM,
+			r.LatencyMs, r.FramesPerJoule)
+	}
+	return nil
+}

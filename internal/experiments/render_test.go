@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunAllUnknownExperiment(t *testing.T) {
+	if err := RunAll(io.Discard, []string{"fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunAllSelection(t *testing.T) {
+	var sb strings.Builder
+	// tab1/tab2/fig19 need no model training: instant.
+	if err := RunAll(&sb, []string{"tab1", "tab2", "fig19"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"==== tab1 ====", "==== tab2 ====", "==== fig19 ====",
+		"HESE_ENCODER_ON", "pMAC", "average:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "==== fig15 ====") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+// Render every artifact once (models are cached by the other tests, so
+// this mostly exercises the formatting paths).
+func TestRenderAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full render")
+	}
+	var sb strings.Builder
+	if err := RunAll(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, section := range []string{"fig3", "fig5", "fig8c", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "tab1", "tab2", "tab3", "tab4", "ablations"} {
+		if !strings.Contains(out, "==== "+section+" ====") {
+			t.Errorf("missing section %s", section)
+		}
+	}
+	if len(out) < 4000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestStragglerAnalysisShape(t *testing.T) {
+	rows, err := StragglerAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 settings, got %d", len(rows))
+	}
+	noTR := rows[0]
+	// Paper Sec. II-B: the straggler runs 2-3x above the mean without TR.
+	if noTR.MaxOverMean < 1.5 {
+		t.Errorf("straggler spread %.2f without TR; paper motivates 2-3x", noTR.MaxOverMean)
+	}
+	// TR tightens the absolute worst case.
+	for _, r := range rows[1:] {
+		if r.MaxPairs > noTR.MaxPairs {
+			t.Errorf("%s: max pairs %d above no-TR %d", r.Setting, r.MaxPairs, noTR.MaxPairs)
+		}
+	}
+	// Tighter budget, lower mean.
+	if rows[2].MeanPairs > rows[1].MeanPairs {
+		t.Errorf("k=12 mean %.1f above k=16 mean %.1f", rows[2].MeanPairs, rows[1].MeanPairs)
+	}
+}
+
+func TestEncodingInsideTR(t *testing.T) {
+	rows, err := EncodingInsideTR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[string]float64{}
+	for _, r := range rows {
+		acc[r.Encoding] = r.Accuracy
+		if r.BoundRed <= 1 {
+			t.Errorf("%s: no bound reduction", r.Encoding)
+		}
+	}
+	// HESE must not lose to binary at the same budget (the Fig. 17
+	// argument applied inside TR).
+	if acc["hese"] < acc["binary"]-0.02 {
+		t.Errorf("HESE (%.3f) below binary (%.3f) inside TR", acc["hese"], acc["binary"])
+	}
+}
+
+func TestBudgetSweepMonotoneKnee(t *testing.T) {
+	pts, err := BudgetSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 5 {
+		t.Fatalf("sweep too short: %d", len(pts))
+	}
+	// Cost is strictly monotone in k; accuracy at the largest k is well
+	// above the smallest k (the knee exists).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Pairs <= pts[i-1].Pairs {
+			t.Error("pair counts not increasing in k")
+		}
+	}
+	if pts[len(pts)-1].Accuracy < pts[0].Accuracy+0.1 {
+		t.Errorf("no knee: k=%d acc %.3f vs k=%d acc %.3f",
+			pts[0].Budget, pts[0].Accuracy,
+			pts[len(pts)-1].Budget, pts[len(pts)-1].Accuracy)
+	}
+}
+
+func TestWriteJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full collection")
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := jsonUnmarshal(sb.String(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Fig3 == nil || back.Fig5 == nil {
+		t.Error("missing fig3/fig5 summaries")
+	}
+	if len(back.Fig15) != 6 {
+		t.Errorf("fig15 has %d panels, want 6", len(back.Fig15))
+	}
+	if len(back.Fig19) != 6 || len(back.TableIV) != 5 || len(back.Reductions) != 6 {
+		t.Error("missing sections in the JSON report")
+	}
+}
+
+func jsonUnmarshal(s string, v interface{}) error {
+	return json.Unmarshal([]byte(s), v)
+}
+
+func TestPerLayerSearchAblation(t *testing.T) {
+	res, err := PerLayerSearch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalBudget < 4 || res.GlobalBudget > 24 {
+		t.Errorf("global budget %d outside candidates", res.GlobalBudget)
+	}
+	if res.GlobalAcc < res.Baseline-0.02 || res.PerLayerAcc < res.Baseline-0.02 {
+		t.Errorf("search results violate the tolerance: %.3f / %.3f vs %.3f",
+			res.GlobalAcc, res.PerLayerAcc, res.Baseline)
+	}
+	// Per-layer budgets are at least as tight in aggregate.
+	if res.PerLayerBound > res.GlobalBound {
+		t.Errorf("per-layer bound %d above global bound %d", res.PerLayerBound, res.GlobalBound)
+	}
+}

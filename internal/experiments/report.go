@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/hw/cost"
+)
+
+// Report aggregates every experiment's structured results for
+// machine-readable output (cmd/trbench -json).
+type Report struct {
+	Fig3       *Fig3Summary          `json:"fig3,omitempty"`
+	Fig5       *Fig5Summary          `json:"fig5,omitempty"`
+	Fig15      map[string]Fig15Panel `json:"fig15,omitempty"`
+	Fig16      []Fig16Point          `json:"fig16,omitempty"`
+	Fig17      []Fig17Point          `json:"fig17,omitempty"`
+	Fig18      []Fig18Row            `json:"fig18,omitempty"`
+	Fig19      []Fig19Row            `json:"fig19,omitempty"`
+	TableI     []TableIRow           `json:"table1,omitempty"`
+	TableII    []TableIIRow          `json:"table2,omitempty"`
+	TableIII   []TableIIIRow         `json:"table3,omitempty"`
+	TableIV    []cost.AcceleratorRow `json:"table4,omitempty"`
+	Reductions []ReductionSummary    `json:"reductions,omitempty"`
+}
+
+// Fig3Summary is the JSON-friendly digest of Fig. 3.
+type Fig3Summary struct {
+	Layer           string  `json:"layer"`
+	FracWeightsLE3  float64 `json:"fracWeightsLE3"`
+	FracDataLE3     float64 `json:"fracDataLE3"`
+	MeanWeightTerms float64 `json:"meanWeightTerms"`
+	WeightNormality float64 `json:"weightNormality"`
+}
+
+// Fig5Summary is the JSON-friendly digest of Fig. 5.
+type Fig5Summary struct {
+	GroupSize      int     `json:"groupSize"`
+	Mean           float64 `json:"mean"`
+	P99            int     `json:"p99"`
+	TheoreticalMax int     `json:"theoreticalMax"`
+}
+
+// Fig15Panel is one model's sweep.
+type Fig15Panel struct {
+	QT []Fig15Point `json:"qt"`
+	TR []Fig15Point `json:"tr"`
+}
+
+// Collect runs every experiment and assembles the structured report.
+func Collect() (*Report, error) {
+	r := &Report{Fig15: make(map[string]Fig15Panel)}
+	f3, err := Fig3()
+	if err != nil {
+		return nil, err
+	}
+	r.Fig3 = &Fig3Summary{Layer: f3.Layer, FracWeightsLE3: f3.FracWeightsLE3,
+		FracDataLE3: f3.FracDataLE3, MeanWeightTerms: f3.MeanWeightTerms,
+		WeightNormality: f3.WeightNormality}
+	f5, err := Fig5()
+	if err != nil {
+		return nil, err
+	}
+	r.Fig5 = &Fig5Summary{GroupSize: f5.GroupSize, Mean: f5.Mean, P99: f5.P99,
+		TheoreticalMax: f5.TheoreticalMax}
+
+	qt, tr := Fig15MLP()
+	r.Fig15["mlp"] = Fig15Panel{QT: qt, TR: tr}
+	for _, name := range CNNNames {
+		cq, ct, err := Fig15CNN(name)
+		if err != nil {
+			return nil, err
+		}
+		r.Fig15[name] = Fig15Panel{QT: cq, TR: ct}
+	}
+	lq, lt := Fig15LSTM()
+	r.Fig15["lstm"] = Fig15Panel{QT: lq, TR: lt}
+
+	if r.Fig16, err = Fig16(); err != nil {
+		return nil, err
+	}
+	if r.Fig17, err = Fig17(); err != nil {
+		return nil, err
+	}
+	if r.Fig18, err = Fig18(); err != nil {
+		return nil, err
+	}
+	r.Fig19 = Fig19()
+	if r.TableI, err = TableI(); err != nil {
+		return nil, err
+	}
+	r.TableII = TableII()
+	if r.TableIII, err = TableIII(); err != nil {
+		return nil, err
+	}
+	if r.TableIV, err = TableIV(); err != nil {
+		return nil, err
+	}
+	if r.Reductions, err = Reductions(0.02, 0.15); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// WriteJSON collects everything and writes an indented JSON report.
+func WriteJSON(w io.Writer) error {
+	r, err := Collect()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/models"
+	"repro/internal/qsim"
+	"repro/internal/term"
+)
+
+// Fig15Point is one setting on a Fig. 15 trade-off curve: the provisioned
+// term-pair multiplications per inference sample against the model's
+// performance metric (accuracy for classifiers, perplexity for the LSTM).
+type Fig15Point struct {
+	Setting        string
+	PairsPerSample float64 // provisioned (synchronization-bound) pairs
+	ActualPairs    float64 // measured data-dependent pairs
+	Metric         float64
+}
+
+// qtSweep are the conventional-quantization weight bit widths of Fig. 15.
+var qtSweep = []int{8, 7, 6, 5, 4}
+
+// trSweep are (g, k, s) TR settings spanning the α range of Fig. 15.
+var trSweep = [][3]int{
+	{8, 24, 3}, {8, 16, 3}, {8, 12, 3}, {8, 8, 3}, {8, 8, 2}, {8, 6, 2},
+}
+
+func evalImage(m *models.ImageModel, test *datasets.ImageDataset, spec qsim.Spec) Fig15Point {
+	e := qsim.Attach(m, spec)
+	defer e.Detach()
+	acc := models.Evaluate(m, test, 32)
+	samples := float64(test.Len())
+	return Fig15Point{
+		Setting:        spec.String(),
+		PairsPerSample: float64(e.BoundPairs()) / samples,
+		ActualPairs:    float64(e.TermPairs()) / samples,
+		Metric:         acc,
+	}
+}
+
+// Fig15MLP sweeps QT and TR settings over the trained MLP (paper: MNIST,
+// left panel of Fig. 15).
+func Fig15MLP() (qt, tr []Fig15Point) {
+	m, test := TrainedMLP()
+	for _, bits := range qtSweep {
+		qt = append(qt, evalImage(m, test, qsim.QT(bits, 8)))
+	}
+	for _, s := range trSweep {
+		tr = append(tr, evalImage(m, test, qsim.TR(s[0], s[1], s[2])))
+	}
+	return qt, tr
+}
+
+// Fig15CNN sweeps QT and TR settings over one trained CNN family (paper:
+// ImageNet CNNs, center panel).
+func Fig15CNN(name string) (qt, tr []Fig15Point, err error) {
+	m, test, err := TrainedCNN(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, bits := range qtSweep {
+		qt = append(qt, evalImage(m, test, qsim.QT(bits, 8)))
+	}
+	for _, s := range trSweep {
+		tr = append(tr, evalImage(m, test, qsim.TR(s[0], s[1], s[2])))
+	}
+	return qt, tr, nil
+}
+
+// Fig15LSTM sweeps QT and TR settings over the language model (paper:
+// Wikitext-2, right panel; metric is perplexity, lower is better).
+func Fig15LSTM() (qt, tr []Fig15Point) {
+	m, corpus := TrainedLM()
+	run := func(spec qsim.Spec) Fig15Point {
+		e := qsim.AttachLM(m, spec)
+		defer e.Detach()
+		ppl := m.Perplexity(corpus.Valid)
+		tokens := float64(len(corpus.Valid))
+		return Fig15Point{
+			Setting:        spec.String(),
+			PairsPerSample: float64(e.BoundPairs()) / tokens,
+			ActualPairs:    float64(e.TermPairs()) / tokens,
+			Metric:         ppl,
+		}
+	}
+	for _, bits := range qtSweep {
+		qt = append(qt, run(qsim.QT(bits, 8)))
+	}
+	for _, s := range trSweep {
+		tr = append(tr, run(qsim.TR(s[0], s[1], s[2])))
+	}
+	return qt, tr
+}
+
+// Fig16Point is one (g, α) setting of Fig. 16.
+type Fig16Point struct {
+	GroupSize int
+	Alpha     float64
+	Budget    int
+	Accuracy  float64
+}
+
+// Fig16 sweeps α for group sizes 1, 2, 4, 8 on the ResNet-style CNN,
+// showing larger groups dominate at fixed α.
+func Fig16() ([]Fig16Point, error) {
+	m, test, err := TrainedCNN("resnet")
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig16Point
+	for _, g := range []int{1, 2, 4, 8} {
+		for _, alpha := range []float64{1, 1.5, 2, 2.5, 3} {
+			k := int(alpha * float64(g))
+			if k < 1 || float64(k) != alpha*float64(g) {
+				continue // skip non-integer budgets for this group size
+			}
+			spec := qsim.TR(g, k, 3)
+			p := evalImage(m, test, spec)
+			out = append(out, Fig16Point{GroupSize: g, Alpha: alpha, Budget: k,
+				Accuracy: p.Metric})
+		}
+	}
+	return out, nil
+}
+
+// Fig17Point is one setting of Fig. 17, isolating the contributions of
+// HESE and TR.
+type Fig17Point struct {
+	Method   string // "QT", "HESE", "QT+TR", "HESE+TR"
+	Alpha    float64
+	Accuracy float64
+}
+
+// Fig17 compares per-value truncation (group size 1) under binary (QT)
+// and HESE encodings against group-based TR (g=8) under both encodings,
+// at matched α, on the ResNet-style CNN.
+func Fig17() ([]Fig17Point, error) {
+	m, test, err := TrainedCNN("resnet")
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig17Point
+	alphas := []int{1, 2, 3}
+	for _, a := range alphas {
+		// Per-value truncation: group size 1, budget α.
+		qtSpec := qsim.Spec{WeightBits: 8, DataBits: 8,
+			WeightEncoding: term.Binary, DataEncoding: term.Binary,
+			GroupSize: 1, GroupBudget: a, DataTerms: 3}
+		heseSpec := qtSpec
+		heseSpec.WeightEncoding = term.HESE
+		heseSpec.DataEncoding = term.HESE
+		// Group-based TR: g=8, k=8α.
+		qtTR := qtSpec
+		qtTR.GroupSize = 8
+		qtTR.GroupBudget = 8 * a
+		heseTR := heseSpec
+		heseTR.GroupSize = 8
+		heseTR.GroupBudget = 8 * a
+
+		for _, c := range []struct {
+			name string
+			spec qsim.Spec
+		}{
+			{"QT", qtSpec}, {"HESE", heseSpec},
+			{"QT+TR", qtTR}, {"HESE+TR", heseTR},
+		} {
+			p := evalImage(m, test, c.spec)
+			out = append(out, Fig17Point{Method: c.name, Alpha: float64(a),
+				Accuracy: p.Metric})
+		}
+	}
+	return out, nil
+}
+
+// ReductionSummary quantifies the headline Fig. 15 claim for a model: the
+// provisioned term-pair reduction of the best TR setting that stays
+// within tolerance of the 8-bit QT metric.
+type ReductionSummary struct {
+	Model     string
+	QTMetric  float64
+	TRMetric  float64
+	TRSetting string
+	Reduction float64
+}
+
+// Reductions computes the Fig. 15 headline reductions for each model
+// family. For classifiers the tolerance is an accuracy drop of up to
+// tolAcc; for the LSTM a perplexity increase of up to tolPPL (paper: TR
+// settings chosen within 0.1% accuracy / 0.05 perplexity).
+func Reductions(tolAcc, tolPPL float64) ([]ReductionSummary, error) {
+	var out []ReductionSummary
+	pick := func(model string, qt, tr []Fig15Point, lowerBetter bool) {
+		base := qt[0] // 8-bit QT
+		best := ReductionSummary{Model: model, QTMetric: base.Metric, Reduction: 1}
+		for _, p := range tr {
+			ok := p.Metric >= base.Metric-tolAcc
+			if lowerBetter {
+				ok = p.Metric <= base.Metric+tolPPL
+			}
+			if !ok {
+				continue
+			}
+			red := base.PairsPerSample / p.PairsPerSample
+			if red > best.Reduction {
+				best.Reduction = red
+				best.TRMetric = p.Metric
+				best.TRSetting = p.Setting
+			}
+		}
+		out = append(out, best)
+	}
+	qt, tr := Fig15MLP()
+	pick("mlp", qt, tr, false)
+	for _, name := range CNNNames {
+		cq, ct, err := Fig15CNN(name)
+		if err != nil {
+			return nil, err
+		}
+		pick(name, cq, ct, false)
+	}
+	lq, lt := Fig15LSTM()
+	pick("lstm", lq, lt, true)
+	return out, nil
+}
+
+// String renders a reduction row.
+func (r ReductionSummary) String() string {
+	return fmt.Sprintf("%-10s QT=%.4f TR=%.4f (%s) reduction=%.1fx",
+		r.Model, r.QTMetric, r.TRMetric, r.TRSetting, r.Reduction)
+}

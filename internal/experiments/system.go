@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hw/config"
+	"repro/internal/hw/cost"
+	"repro/internal/models"
+	"repro/internal/qsim"
+)
+
+// Fig19Row is one model's bars in Fig. 19: the latency and energy
+// improvements of TR over QT on the FPGA system model.
+type Fig19Row struct {
+	Model       string
+	GroupBudget int
+	DataTerms   int
+	LatencyGain float64
+	EnergyGain  float64
+	LatencyTRms float64
+	LatencyQTms float64
+}
+
+// Fig19 evaluates the cost model over the paper's six workloads with the
+// per-model group budgets of the figure's caption.
+func Fig19() []Fig19Row {
+	rows := make([]Fig19Row, 0, len(cost.Fig19Workloads))
+	for _, w := range cost.Fig19Workloads {
+		lat, en := cost.VC707.Gains(w)
+		rows = append(rows, Fig19Row{
+			Model:       w.Name,
+			GroupBudget: w.GroupBudget,
+			DataTerms:   w.DataTerms,
+			LatencyGain: lat,
+			EnergyGain:  en,
+			LatencyTRms: cost.VC707.Latency(w, true) * 1e3,
+			LatencyQTms: cost.VC707.Latency(w, false) * 1e3,
+		})
+	}
+	return rows
+}
+
+// Fig19Averages returns the mean gains (paper: 7.8x latency, 4.3x energy).
+func Fig19Averages() (lat, en float64) {
+	rows := Fig19()
+	for _, r := range rows {
+		lat += r.LatencyGain
+		en += r.EnergyGain
+	}
+	n := float64(len(rows))
+	return lat / n, en / n
+}
+
+// TableIRow describes one control register in both modes.
+type TableIRow struct {
+	Register string
+	Bits     int
+	QT, TR   string
+}
+
+// TableI renders the control-register table and verifies both mode
+// presets validate.
+func TableI() ([]TableIRow, error) {
+	qt := config.QTMode(8)
+	tr := config.TRMode(8, 8, 16, 3)
+	if err := qt.Validate(); err != nil {
+		return nil, fmt.Errorf("QT preset: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("TR preset: %w", err)
+	}
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	return []TableIRow{
+		{"HESE_ENCODER_ON", config.BitsHESEEncoderOn, b(qt.HESEEncoderOn), b(tr.HESEEncoderOn)},
+		{"COMPARATOR_ON", config.BitsComparatorOn, b(qt.ComparatorOn), b(tr.ComparatorOn)},
+		{"QUANT_BITWIDTH", config.BitsQuantBitwidth,
+			fmt.Sprint(qt.QuantBitwidth), fmt.Sprint(tr.QuantBitwidth)},
+		{"DATA_TERMS", config.BitsDataTerms,
+			fmt.Sprint(qt.DataTerms), fmt.Sprint(tr.DataTerms)},
+		{"GROUP_SIZE", config.BitsGroupSize,
+			fmt.Sprint(qt.GroupSize), fmt.Sprint(tr.GroupSize)},
+		{"GROUP_BUDGET", config.BitsGroupBudget,
+			fmt.Sprint(qt.GroupBudget), fmt.Sprint(tr.GroupBudget)},
+	}, nil
+}
+
+// TableIIRow is one MAC design's resources.
+type TableIIRow struct {
+	MAC     string
+	LUT, FF int
+}
+
+// TableII returns the Table II resource comparison.
+func TableII() []TableIIRow {
+	return []TableIIRow{
+		{"pMAC", cost.PMACResources.LUT, cost.PMACResources.FF},
+		{"tMAC", cost.TMACResources.LUT, cost.TMACResources.FF},
+	}
+}
+
+// TableIIIRow compares pMAC and tMAC on one CNN: accuracy under QT and
+// TR (measured on our trained miniatures) and the MAC-level energy-
+// efficiency ratio (from the calibrated cost model).
+type TableIIIRow struct {
+	Model        string
+	S, K, G      int
+	PMACAccuracy float64
+	TMACAccuracy float64
+	EnergyRatio  float64
+}
+
+// tableIIISettings are the paper's per-CNN (s, k) with g = 8.
+var tableIIISettings = map[string][2]int{
+	"resnet":    {3, 12},
+	"vgg":       {2, 12},
+	"mobilenet": {3, 18},
+	"effnet":    {3, 16},
+}
+
+// TableIII measures accuracy deltas and energy ratios for the four CNNs.
+func TableIII() ([]TableIIIRow, error) {
+	var rows []TableIIIRow
+	for _, name := range CNNNames {
+		st := tableIIISettings[name]
+		s, k := st[0], st[1]
+		m, test, err := TrainedCNN(name)
+		if err != nil {
+			return nil, err
+		}
+		eQT := qsim.Attach(m, qsim.QT(8, 8))
+		pmacAcc := models.Evaluate(m, test, 32)
+		eQT.Detach()
+		eTR := qsim.Attach(m, qsim.TR(8, k, s))
+		tmacAcc := models.Evaluate(m, test, 32)
+		eTR.Detach()
+		w := cost.Workload{Name: name, MACs: 1, GroupSize: 8,
+			GroupBudget: k, DataTerms: s, WeightBits: 8}
+		rows = append(rows, TableIIIRow{
+			Model: name, S: s, K: k, G: 8,
+			PMACAccuracy: pmacAcc,
+			TMACAccuracy: tmacAcc,
+			EnergyRatio:  cost.MACEnergyRatio(w),
+		})
+	}
+	return rows, nil
+}
+
+// TableIV returns the full-system comparison: the published accelerator
+// rows plus ours computed from the cost model, with the accuracy of our
+// quantized ResNet-style model mapped onto the paper's reporting
+// convention (we report our measured TR accuracy).
+func TableIV() ([]cost.AcceleratorRow, error) {
+	m, test, err := TrainedCNN("resnet")
+	if err != nil {
+		return nil, err
+	}
+	e := qsim.Attach(m, qsim.TR(8, 16, 3))
+	acc := models.Evaluate(m, test, 32)
+	e.Detach()
+	rows := append([]cost.AcceleratorRow(nil), cost.PublishedAccelerators...)
+	rows = append(rows, cost.VC707.OurRow(acc*100))
+	return rows, nil
+}

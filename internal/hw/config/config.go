@@ -1,0 +1,119 @@
+// Package config models the control-register file of the paper's Table I,
+// through which the FPGA system switches between conventional
+// quantization (QT) and Term Revealing (TR) with a negligible delay
+// (several clock cycles, under 100 ns at 170 MHz).
+package config
+
+import "fmt"
+
+// Register bit widths from Table I.
+const (
+	BitsHESEEncoderOn = 1
+	BitsComparatorOn  = 1
+	BitsQuantBitwidth = 4
+	BitsDataTerms     = 4
+	BitsGroupSize     = 3
+	BitsGroupBudget   = 5
+)
+
+// SwitchCycles is the number of clock cycles a QT<->TR reconfiguration
+// takes ("several clock cycles, i.e. within 100ns for our FPGA
+// implementation" at 170 MHz => at most 17).
+const SwitchCycles = 8
+
+// Registers is the control-register file of Table I.
+type Registers struct {
+	HESEEncoderOn bool  // clock-gates the HESE encoders when false
+	ComparatorOn  bool  // clock-gates the term comparator when false
+	QuantBitwidth uint8 // 4 bits
+	DataTerms     uint8 // 4 bits: max power-of-two terms per data value (TR)
+	GroupSize     uint8 // 3 bits: 1 for QT, 2..8 for TR
+	GroupBudget   uint8 // 5 bits: up to 24 (= 8 groups x 3 terms)
+}
+
+// Validate checks every field against its register width and the Table I
+// constraints.
+func (r Registers) Validate() error {
+	if r.QuantBitwidth == 0 || r.QuantBitwidth >= 1<<BitsQuantBitwidth {
+		return fmt.Errorf("config: QUANT_BITWIDTH %d outside its 4-bit register", r.QuantBitwidth)
+	}
+	if r.DataTerms >= 1<<BitsDataTerms {
+		return fmt.Errorf("config: DATA_TERMS %d outside its 4-bit register", r.DataTerms)
+	}
+	if r.GroupSize == 0 || r.GroupSize > 8 {
+		return fmt.Errorf("config: GROUP_SIZE %d outside 1..8", r.GroupSize)
+	}
+	if r.GroupBudget == 0 || r.GroupBudget > 24 {
+		return fmt.Errorf("config: GROUP_BUDGET %d outside 1..24", r.GroupBudget)
+	}
+	if r.ComparatorOn && r.GroupSize < 2 {
+		return fmt.Errorf("config: TR mode requires GROUP_SIZE between 2 and 8, got %d", r.GroupSize)
+	}
+	return nil
+}
+
+// IsTR reports whether the register file selects TR mode.
+func (r Registers) IsTR() bool { return r.HESEEncoderOn && r.ComparatorOn }
+
+// QTMode returns the Table I register settings for conventional
+// quantization at the given bit width: encoder and comparator clock-gated
+// off, group size 1, budget equal to the bit width.
+func QTMode(bitwidth int) Registers {
+	return Registers{
+		HESEEncoderOn: false,
+		ComparatorOn:  false,
+		QuantBitwidth: uint8(bitwidth),
+		DataTerms:     uint8(bitwidth),
+		GroupSize:     1,
+		GroupBudget:   uint8(bitwidth),
+	}
+}
+
+// TRMode returns the Table I register settings for Term Revealing.
+func TRMode(bitwidth, groupSize, groupBudget, dataTerms int) Registers {
+	return Registers{
+		HESEEncoderOn: true,
+		ComparatorOn:  true,
+		QuantBitwidth: uint8(bitwidth),
+		DataTerms:     uint8(dataTerms),
+		GroupSize:     uint8(groupSize),
+		GroupBudget:   uint8(groupBudget),
+	}
+}
+
+// System tracks the live register file and accounts reconfiguration
+// cycles.
+type System struct {
+	Regs         Registers
+	ReconfCycles int64
+	ReconfCount  int64
+}
+
+// NewSystem boots the system in 8-bit QT mode.
+func NewSystem() *System {
+	return &System{Regs: QTMode(8)}
+}
+
+// Configure writes a new register file, charging SwitchCycles when the
+// mode (QT vs TR) or any register changes.
+func (s *System) Configure(r Registers) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if r != s.Regs {
+		s.ReconfCycles += SwitchCycles
+		s.ReconfCount++
+	}
+	s.Regs = r
+	return nil
+}
+
+// PairBoundPerGroup returns the per-group term-pair provisioning implied
+// by the current registers: k·s in TR mode, (b-1)² per value in QT mode.
+func (s *System) PairBoundPerGroup() int {
+	if s.Regs.IsTR() {
+		return int(s.Regs.GroupBudget) * int(s.Regs.DataTerms)
+	}
+	t := int(s.Regs.QuantBitwidth) - 1
+	return t * t * int(s.Regs.GroupSize)
+}

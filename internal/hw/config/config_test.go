@@ -1,0 +1,115 @@
+package config
+
+import "testing"
+
+func TestQTModeMatchesTableI(t *testing.T) {
+	r := QTMode(8)
+	if r.HESEEncoderOn || r.ComparatorOn {
+		t.Error("QT mode must clock-gate the HESE encoder and comparator")
+	}
+	if r.GroupSize != 1 {
+		t.Errorf("QT group size = %d, want 1", r.GroupSize)
+	}
+	if r.GroupBudget != 8 || r.DataTerms != 8 {
+		t.Error("QT budget and data terms must equal the bit width")
+	}
+	if r.IsTR() {
+		t.Error("QT registers report TR mode")
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("QT registers invalid: %v", err)
+	}
+}
+
+func TestTRModeMatchesTableI(t *testing.T) {
+	r := TRMode(8, 8, 16, 3)
+	if !r.HESEEncoderOn || !r.ComparatorOn {
+		t.Error("TR mode must enable the HESE encoder and comparator")
+	}
+	if !r.IsTR() {
+		t.Error("TR registers do not report TR mode")
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("TR registers invalid: %v", err)
+	}
+}
+
+func TestRegisterWidthLimits(t *testing.T) {
+	bad := []Registers{
+		{QuantBitwidth: 0, GroupSize: 1, GroupBudget: 8},
+		{QuantBitwidth: 16, GroupSize: 1, GroupBudget: 8}, // 4-bit register
+		{QuantBitwidth: 8, DataTerms: 16, GroupSize: 1, GroupBudget: 8},
+		{QuantBitwidth: 8, GroupSize: 0, GroupBudget: 8},
+		{QuantBitwidth: 8, GroupSize: 9, GroupBudget: 8}, // 3-bit, 2..8 for TR
+		{QuantBitwidth: 8, GroupSize: 8, GroupBudget: 0},
+		{QuantBitwidth: 8, GroupSize: 8, GroupBudget: 25}, // cap 8x3=24
+		{QuantBitwidth: 8, GroupSize: 1, GroupBudget: 8, ComparatorOn: true, HESEEncoderOn: true},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid registers %+v accepted", i, r)
+		}
+	}
+	// Max group budget 8x3 = 24 is valid (Table I).
+	ok := TRMode(8, 8, 24, 3)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("budget 24 rejected: %v", err)
+	}
+}
+
+func TestSystemReconfiguration(t *testing.T) {
+	s := NewSystem()
+	if s.Regs.IsTR() {
+		t.Error("system must boot in QT mode")
+	}
+	if err := s.Configure(TRMode(8, 8, 16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.ReconfCount != 1 || s.ReconfCycles != SwitchCycles {
+		t.Errorf("reconfiguration accounting %d/%d", s.ReconfCount, s.ReconfCycles)
+	}
+	// Re-writing the identical registers is free.
+	if err := s.Configure(TRMode(8, 8, 16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.ReconfCount != 1 {
+		t.Error("identical configure charged a switch")
+	}
+	// Switching back accumulates.
+	if err := s.Configure(QTMode(8)); err != nil {
+		t.Fatal(err)
+	}
+	if s.ReconfCount != 2 {
+		t.Error("switch back not counted")
+	}
+	// Invalid configurations are rejected and leave state untouched.
+	if err := s.Configure(Registers{}); err == nil {
+		t.Error("invalid registers accepted")
+	}
+	if s.Regs.IsTR() {
+		t.Error("state changed by rejected configure")
+	}
+}
+
+// Switching must complete within 100 ns at 170 MHz (= 17 cycles).
+func TestSwitchWithin100ns(t *testing.T) {
+	const freqMHz = 170
+	ns := float64(SwitchCycles) / freqMHz * 1e3
+	if ns >= 100 {
+		t.Errorf("switch takes %.1f ns, paper requires < 100 ns", ns)
+	}
+}
+
+func TestPairBoundPerGroup(t *testing.T) {
+	s := NewSystem()
+	// QT 8-bit: 7x7 per value, group size 1.
+	if got := s.PairBoundPerGroup(); got != 49 {
+		t.Errorf("QT pair bound = %d, want 49", got)
+	}
+	if err := s.Configure(TRMode(8, 8, 16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PairBoundPerGroup(); got != 48 {
+		t.Errorf("TR pair bound = %d, want k·s = 48", got)
+	}
+}

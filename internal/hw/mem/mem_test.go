@@ -1,0 +1,85 @@
+package mem
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	for _, c := range []Config{
+		{WeightBufBytes: 0, DataBufBytes: 1, DRAMBytesPerCycle: 1},
+		{WeightBufBytes: 1, DataBufBytes: 0, DRAMBytesPerCycle: 1},
+		{WeightBufBytes: 1, DataBufBytes: 1, DRAMBytesPerCycle: 0},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config %+v accepted", c)
+		}
+	}
+	if _, err := NewSimulator(Config{}); err == nil {
+		t.Error("NewSimulator accepted invalid config")
+	}
+}
+
+func TestDoubleBufferHidesFastFetches(t *testing.T) {
+	s, err := NewSimulator(Config{WeightBufBytes: 1 << 20, DataBufBytes: 1 << 20,
+		DRAMBytesPerCycle: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each tile: 10,000 bytes -> 101 fetch cycles, 10,000 compute cycles:
+	// fetch always hidden, so no stalls anywhere.
+	for i := 0; i < 10; i++ {
+		stall, err := s.ProcessTile(10_000, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stall != 0 {
+			t.Fatalf("tile %d stalled %d cycles despite fast DRAM", i, stall)
+		}
+	}
+	if s.TotalCycles() != 100_000 {
+		t.Errorf("TotalCycles = %d, want pure compute 100000", s.TotalCycles())
+	}
+}
+
+func TestDoubleBufferExposesSlowFetches(t *testing.T) {
+	s, _ := NewSimulator(Config{WeightBufBytes: 1 << 20, DataBufBytes: 1 << 20,
+		DRAMBytesPerCycle: 1})
+	// Tiles of 5000 bytes need 5001 fetch cycles but only 1000 compute
+	// cycles: from the second tile on, ~4001 stall cycles each.
+	if stall, _ := s.ProcessTile(5000, 1000); stall != 0 {
+		t.Error("first tile should not stall (prefetched before start)")
+	}
+	stall, err := s.ProcessTile(5000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall != 4001 {
+		t.Errorf("second tile stall = %d, want 4001", stall)
+	}
+	bytes, fetch, compute, totalStall := s.Totals()
+	if bytes != 10_000 || compute != 2000 {
+		t.Errorf("totals wrong: bytes %d compute %d", bytes, compute)
+	}
+	if fetch != 2*5001 {
+		t.Errorf("fetch cycles = %d", fetch)
+	}
+	if s.TotalCycles() != compute+totalStall {
+		t.Error("TotalCycles inconsistent")
+	}
+}
+
+func TestOversizedTileRejected(t *testing.T) {
+	s, _ := NewSimulator(Config{WeightBufBytes: 100, DataBufBytes: 100,
+		DRAMBytesPerCycle: 10})
+	if _, err := s.ProcessTile(101, 10); err == nil {
+		t.Error("tile larger than the buffer accepted")
+	}
+}
+
+func TestWeightTileBytes(t *testing.T) {
+	// 8-bit storage per weight: TR does not reduce storage (Sec. V-F).
+	if got := WeightTileBytes(128, 64); got != 8192 {
+		t.Errorf("WeightTileBytes = %d, want 8192", got)
+	}
+}

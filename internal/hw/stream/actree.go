@@ -1,0 +1,196 @@
+package stream
+
+import "fmt"
+
+// This file models the term comparator's internal structure (Figs. 13-14):
+// a binary tree of accumulate-and-compare (A&C) blocks. Each leaf block
+// counts the nonzero bits of one HESE stream; parent blocks merge their
+// children's counts. Reconfiguring for a different group size only moves
+// the level at which counts are compared against the budget — the tree
+// itself is untouched, which is the paper's argument for low
+// reconfiguration overhead and maximal hardware reuse.
+
+// ACBlock is one accumulate-and-compare node.
+type ACBlock struct {
+	Level    int // 0 = leaf
+	Count    int // nonzero bits seen so far in this subtree
+	Children [2]*ACBlock
+}
+
+// ACTree is a full binary tree over `lanes` leaf streams (lanes must be a
+// power of two, 8 in the paper's design).
+type ACTree struct {
+	Lanes  int
+	Leaves []*ACBlock
+	Root   *ACBlock
+	// compareLevel is the tree level whose blocks perform the budget
+	// comparison: level log2(groupSize). Blocks above it are pass-through
+	// (Fig. 14's reconfiguration).
+	compareLevel int
+	groupSize    int
+	budget       int
+}
+
+// NewACTree builds the tree for the given number of leaf lanes.
+func NewACTree(lanes int) (*ACTree, error) {
+	if lanes < 1 || lanes&(lanes-1) != 0 {
+		return nil, fmt.Errorf("stream: A&C tree lanes must be a power of two, got %d", lanes)
+	}
+	t := &ACTree{Lanes: lanes}
+	level := make([]*ACBlock, lanes)
+	for i := range level {
+		b := &ACBlock{Level: 0}
+		level[i] = b
+		t.Leaves = append(t.Leaves, b)
+	}
+	lvl := 0
+	for len(level) > 1 {
+		lvl++
+		next := make([]*ACBlock, len(level)/2)
+		for i := range next {
+			next[i] = &ACBlock{Level: lvl,
+				Children: [2]*ACBlock{level[2*i], level[2*i+1]}}
+		}
+		level = next
+	}
+	t.Root = level[0]
+	return t, nil
+}
+
+// Configure selects the group size (a power of two, at most Lanes) and
+// budget. Only the compare level changes — the blocks are reused as-is.
+func (t *ACTree) Configure(groupSize, budget int) error {
+	if groupSize < 1 || groupSize > t.Lanes || groupSize&(groupSize-1) != 0 {
+		return fmt.Errorf("stream: group size %d not a power of two within %d lanes",
+			groupSize, t.Lanes)
+	}
+	if budget < 1 {
+		return fmt.Errorf("stream: budget %d", budget)
+	}
+	lvl := 0
+	for 1<<lvl < groupSize {
+		lvl++
+	}
+	t.compareLevel = lvl
+	t.groupSize = groupSize
+	t.budget = budget
+	t.Reset()
+	return nil
+}
+
+// Reset clears all counters for a new word.
+func (t *ACTree) Reset() {
+	var clear func(*ACBlock)
+	clear = func(b *ACBlock) {
+		if b == nil {
+			return
+		}
+		b.Count = 0
+		clear(b.Children[0])
+		clear(b.Children[1])
+	}
+	clear(t.Root)
+}
+
+// Step consumes one bit position (MSB first) across all lanes: bits[i] is
+// lane i's magnitude bit. It returns the output bits after budget
+// enforcement: within each group (a subtree at the compare level), bits
+// that would exceed the budget are zeroed. Lanes within a group are
+// scanned in order, matching core.Reveal semantics.
+func (t *ACTree) Step(bits []uint8) ([]uint8, error) {
+	if len(bits) != t.Lanes {
+		return nil, fmt.Errorf("stream: %d lanes, got %d bits", t.Lanes, len(bits))
+	}
+	if t.groupSize == 0 {
+		return nil, fmt.Errorf("stream: A&C tree not configured")
+	}
+	out := make([]uint8, t.Lanes)
+	for start := 0; start < t.Lanes; start += t.groupSize {
+		group := t.compareBlock(start)
+		for i := start; i < start+t.groupSize; i++ {
+			if bits[i]&1 == 0 {
+				continue
+			}
+			if group.Count >= t.budget {
+				continue // pruned: output stays 0
+			}
+			out[i] = 1
+			// Propagate the accepted count from the leaf to the root so
+			// every level's accumulator stays consistent.
+			t.bump(i)
+		}
+	}
+	return out, nil
+}
+
+// compareBlock returns the block at the compare level covering the lane
+// range starting at `start`.
+func (t *ACTree) compareBlock(start int) *ACBlock {
+	b := t.Root
+	lo, hi := 0, t.Lanes
+	for b.Level > t.compareLevel {
+		mid := (lo + hi) / 2
+		if start < mid {
+			b = b.Children[0]
+			hi = mid
+		} else {
+			b = b.Children[1]
+			lo = mid
+		}
+	}
+	return b
+}
+
+// bump increments the counters on the path from leaf `lane` to the root.
+func (t *ACTree) bump(lane int) {
+	b := t.Root
+	lo, hi := 0, t.Lanes
+	for {
+		b.Count++
+		if b.Level == 0 {
+			return
+		}
+		mid := (lo + hi) / 2
+		if lane < mid {
+			b = b.Children[0]
+			hi = mid
+		} else {
+			b = b.Children[1]
+			lo = mid
+		}
+	}
+}
+
+// ApplyTree runs the full MSB-first comparison over LSB-first stored
+// magnitude/sign streams, like TermComparator.Apply but through the
+// explicit tree structure. Streams beyond the configured group size are
+// processed in consecutive groups; the stream count must equal Lanes.
+func (t *ACTree) ApplyTree(mags, signs [][]uint8) error {
+	if len(mags) != t.Lanes || len(signs) != t.Lanes {
+		return fmt.Errorf("stream: tree expects %d streams, got %d", t.Lanes, len(mags))
+	}
+	width := len(mags[0])
+	for _, m := range mags {
+		if len(m) != width {
+			return fmt.Errorf("stream: ragged magnitude streams")
+		}
+	}
+	t.Reset()
+	bits := make([]uint8, t.Lanes)
+	for pos := width - 1; pos >= 0; pos-- {
+		for i := range bits {
+			bits[i] = mags[i][pos]
+		}
+		out, err := t.Step(bits)
+		if err != nil {
+			return err
+		}
+		for i := range out {
+			mags[i][pos] = out[i]
+			if out[i] == 0 {
+				signs[i][pos] = 0
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/term"
+)
+
+func TestACTreeConstruction(t *testing.T) {
+	for _, lanes := range []int{1, 2, 4, 8, 16} {
+		tree, err := NewACTree(lanes)
+		if err != nil {
+			t.Fatalf("lanes %d: %v", lanes, err)
+		}
+		if len(tree.Leaves) != lanes {
+			t.Errorf("lanes %d: %d leaves", lanes, len(tree.Leaves))
+		}
+	}
+	for _, lanes := range []int{0, 3, 6, -2} {
+		if _, err := NewACTree(lanes); err == nil {
+			t.Errorf("lanes %d accepted", lanes)
+		}
+	}
+}
+
+func TestACTreeConfigure(t *testing.T) {
+	tree, _ := NewACTree(8)
+	for _, g := range []int{1, 2, 4, 8} {
+		if err := tree.Configure(g, 3); err != nil {
+			t.Errorf("group size %d rejected: %v", g, err)
+		}
+	}
+	for _, g := range []int{0, 3, 16} {
+		if err := tree.Configure(g, 3); err == nil {
+			t.Errorf("group size %d accepted", g)
+		}
+	}
+	if err := tree.Configure(4, 0); err == nil {
+		t.Error("budget 0 accepted")
+	}
+}
+
+func TestACTreeUnconfiguredStepErrors(t *testing.T) {
+	tree, _ := NewACTree(4)
+	if _, err := tree.Step(make([]uint8, 4)); err == nil {
+		t.Error("unconfigured tree accepted a step")
+	}
+	if err := tree.Configure(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Step(make([]uint8, 3)); err == nil {
+		t.Error("wrong lane count accepted")
+	}
+}
+
+// The explicit tree must agree with the functional TermComparator for
+// every power-of-two group size.
+func TestACTreeMatchesFunctionalComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const lanes = 8
+	for trial := 0; trial < 200; trial++ {
+		gSizes := []int{1, 2, 4, 8}
+		g := gSizes[rng.Intn(len(gSizes))]
+		k := 1 + rng.Intn(8)
+		vals := make([]int64, lanes)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1024))
+		}
+		encode := func() (mags, signs [][]uint8) {
+			for _, v := range vals {
+				var h HESEEncoder
+				for _, b := range ToBits(v) {
+					h.Push(b)
+				}
+				h.Flush()
+				m, s := h.Streams()
+				mags = append(mags, append([]uint8(nil), m...))
+				signs = append(signs, append([]uint8(nil), s...))
+			}
+			return
+		}
+		// Functional path, group by group.
+		fm, fs := encode()
+		tc, err := NewTermComparator(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for start := 0; start < lanes; start += g {
+			if err := tc.Apply(fm[start:start+g], fs[start:start+g]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Tree path, all lanes at once.
+		tm, ts := encode()
+		tree, err := NewACTree(lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Configure(g, k); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.ApplyTree(tm, ts); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < lanes; i++ {
+			for p := range fm[i] {
+				if fm[i][p] != tm[i][p] || fs[i][p] != ts[i][p] {
+					t.Fatalf("g=%d k=%d lane %d pos %d: tree %d/%d vs functional %d/%d",
+						g, k, i, p, tm[i][p], ts[i][p], fm[i][p], fs[i][p])
+				}
+			}
+		}
+	}
+}
+
+// Reconfiguring the tree between group sizes reuses the same blocks: the
+// structure (leaf and root identities) is untouched.
+func TestACTreeReconfigurationReusesHardware(t *testing.T) {
+	tree, _ := NewACTree(8)
+	if err := tree.Configure(8, 12); err != nil {
+		t.Fatal(err)
+	}
+	root, leaf0 := tree.Root, tree.Leaves[0]
+	if err := tree.Configure(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root != root || tree.Leaves[0] != leaf0 {
+		t.Error("reconfiguration rebuilt the tree; the paper requires reuse")
+	}
+}
+
+// Root count equals total accepted terms across all groups.
+func TestACTreeRootCountConsistent(t *testing.T) {
+	tree, _ := NewACTree(4)
+	if err := tree.Configure(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Two positions, all lanes high: each group of 2 accepts its budget
+	// of 2 terms then prunes.
+	out1, err := tree.Step([]uint8{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range out1 {
+		if b != 1 {
+			t.Errorf("first wave lane %d pruned prematurely", i)
+		}
+	}
+	out2, err := tree.Step([]uint8{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range out2 {
+		if b != 0 {
+			t.Errorf("second wave lane %d not pruned at budget", i)
+		}
+	}
+	if tree.Root.Count != 4 {
+		t.Errorf("root count %d, want 4 accepted terms", tree.Root.Count)
+	}
+}
+
+// The tree agrees with core.Reveal end to end (via the HESE encoders).
+func TestACTreeMatchesCoreReveal(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const lanes = 8
+	for trial := 0; trial < 100; trial++ {
+		g := []int{2, 4, 8}[rng.Intn(3)]
+		k := 1 + rng.Intn(10)
+		vals64 := make([]int64, lanes)
+		vals32 := make([]int32, lanes)
+		for i := range vals64 {
+			v := int64(rng.Intn(512))
+			vals64[i], vals32[i] = v, int32(v)
+		}
+		mags := make([][]uint8, lanes)
+		signs := make([][]uint8, lanes)
+		for i, v := range vals64 {
+			var h HESEEncoder
+			for _, b := range ToBits(v) {
+				h.Push(b)
+			}
+			h.Flush()
+			m, s := h.Streams()
+			mags[i], signs[i] = m, s
+		}
+		tree, _ := NewACTree(lanes)
+		if err := tree.Configure(g, k); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.ApplyTree(mags, signs); err != nil {
+			t.Fatal(err)
+		}
+		sw, _ := core.RevealValues(vals32, term.HESE, g, k)
+		for i := 0; i < lanes; i++ {
+			var got int64
+			for p := range mags[i] {
+				if mags[i][p] == 1 {
+					v := int64(1) << uint(p)
+					if signs[i][p] == 1 {
+						v = -v
+					}
+					got += v
+				}
+			}
+			if got != int64(sw[i].Value()) {
+				t.Fatalf("g=%d k=%d lane %d: tree %d vs core.Reveal %d",
+					g, k, i, got, sw[i].Value())
+			}
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package stream models the bit-serial post-processing pipeline of the
+// paper's TR system (Fig. 9, Secs. V-C to V-E): the binary stream
+// converter that reduces a tMAC coefficient vector to a two's-complement
+// bit stream, the ReLU block that zeroes negative streams once the sign
+// bit arrives, the hardware HESE encoder that emits magnitude and sign
+// streams, and the term comparator — a tree of accumulate-and-compare
+// (A&C) blocks that applies Term Revealing to groups of encoded data at
+// run time.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/hw/tmac"
+	"repro/internal/term"
+)
+
+// WordBits is the bit-serial word width used between blocks. 32 bits
+// covers every value a 15-entry coefficient vector of 12-bit coefficients
+// can represent.
+const WordBits = 32
+
+// ConvertCoeffVector reduces a coefficient vector to its two's-complement
+// bit stream, LSB first (the binary stream converter of Sec. V-C:
+// multiply each coefficient by its power of two and sum the partial
+// results). The returned slice has WordBits entries of 0 or 1.
+func ConvertCoeffVector(cv *tmac.CoeffVector) []uint8 {
+	return ToBits(cv.Value())
+}
+
+// ToBits encodes v as a WordBits-long two's-complement bit stream, LSB
+// first.
+func ToBits(v int64) []uint8 {
+	bits := make([]uint8, WordBits)
+	u := uint64(v)
+	for i := 0; i < WordBits; i++ {
+		bits[i] = uint8(u >> uint(i) & 1)
+	}
+	return bits
+}
+
+// FromBits decodes a two's-complement LSB-first bit stream.
+func FromBits(bits []uint8) int64 {
+	var u uint64
+	for i, b := range bits {
+		u |= uint64(b&1) << uint(i)
+	}
+	// Sign-extend from the stream's top bit.
+	top := uint(len(bits) - 1)
+	if bits[top]&1 == 1 {
+		for i := top + 1; i < 64; i++ {
+			u |= 1 << i
+		}
+	}
+	return int64(u)
+}
+
+// ReLUBlock implements the bit-serial ReLU of Sec. V-C: it buffers the
+// lower bits of a two's-complement stream until the MSB (the sign)
+// arrives, then outputs either zeros (negative input) or the buffered
+// stream.
+type ReLUBlock struct {
+	buf []uint8
+}
+
+// Push consumes one input bit. It returns the full output stream and done
+// = true when the word is complete (the MSB just arrived).
+func (r *ReLUBlock) Push(bit uint8) (out []uint8, done bool) {
+	r.buf = append(r.buf, bit&1)
+	if len(r.buf) < WordBits {
+		return nil, false
+	}
+	out = make([]uint8, WordBits)
+	if r.buf[WordBits-1] == 0 { // nonnegative: pass through
+		copy(out, r.buf)
+	}
+	r.buf = r.buf[:0]
+	return out, true
+}
+
+// ReLUWord applies the block to a whole word at once.
+func ReLUWord(bits []uint8) []uint8 {
+	var blk ReLUBlock
+	var out []uint8
+	for _, b := range bits {
+		if o, done := blk.Push(b); done {
+			out = o
+		}
+	}
+	return out
+}
+
+// HESEEncoder is the bit-serial hardware HESE encoder of Sec. V-D: it
+// consumes a magnitude bit stream LSB first, examining two bits at a time
+// (current bit plus one bit of lookahead, delaying output by one cycle),
+// and produces two parallel output streams: term magnitudes (1 = a term
+// at this position) and term signs (1 = negative). It implements the
+// Fig. 8(b) finite state machine; the IN-A-RUN state is the pending
+// carry.
+type HESEEncoder struct {
+	inRun    bool
+	havePrev bool
+	prev     uint8
+	magOut   []uint8
+	signOut  []uint8
+}
+
+// Push consumes the next input bit.
+func (h *HESEEncoder) Push(bit uint8) {
+	if !h.havePrev {
+		h.prev = bit & 1
+		h.havePrev = true
+		return
+	}
+	h.step(h.prev, bit&1)
+	h.prev = bit & 1
+}
+
+// Flush signals end of input, emitting the final digits (the last real
+// bit plus any pending carry).
+func (h *HESEEncoder) Flush() {
+	if h.havePrev {
+		h.step(h.prev, 0)
+		h.havePrev = false
+	}
+	if h.inRun {
+		h.step(0, 0) // drain the carry
+	}
+	// Pad the streams to a fixed word so downstream blocks stay in sync.
+	for len(h.magOut) < WordBits {
+		h.magOut = append(h.magOut, 0)
+		h.signOut = append(h.signOut, 0)
+	}
+}
+
+// step processes one (current, next) bit window exactly as the FSM of
+// Fig. 8(b): states NOT-IN-A-RUN / IN-A-RUN, one output digit per
+// transition.
+func (h *HESEEncoder) step(cur, next uint8) {
+	c := int(cur)
+	if h.inRun {
+		c++
+	}
+	switch c {
+	case 0:
+		h.emit(0, 0)
+		h.inRun = false
+	case 2:
+		h.emit(0, 0)
+		h.inRun = true
+	case 1:
+		if next == 1 {
+			h.emit(1, 1) // start (or continue across a gap) of a run: -1
+			h.inRun = true
+		} else {
+			h.emit(1, 0) // isolated 1 stays +1
+			h.inRun = false
+		}
+	}
+}
+
+func (h *HESEEncoder) emit(mag, sign uint8) {
+	h.magOut = append(h.magOut, mag)
+	h.signOut = append(h.signOut, sign)
+}
+
+// Streams returns the magnitude and sign output streams, LSB first.
+func (h *HESEEncoder) Streams() (mag, sign []uint8) { return h.magOut, h.signOut }
+
+// Expansion converts the output streams into a term.Expansion for the
+// (nonnegative) encoded magnitude.
+func (h *HESEEncoder) Expansion() term.Expansion {
+	var e term.Expansion
+	for i := len(h.magOut) - 1; i >= 0; i-- {
+		if h.magOut[i] == 1 {
+			e = append(e, term.Term{Exp: uint8(i), Neg: h.signOut[i] == 1})
+		}
+	}
+	return e
+}
+
+// EncodeHESEHW runs the full bit-serial encoder over a nonnegative value
+// and returns the resulting expansion; it must agree with the software
+// term.EncodeHESE.
+func EncodeHESEHW(v int64) (term.Expansion, error) {
+	if v < 0 {
+		return nil, fmt.Errorf("stream: HESE encoder input must be a magnitude, got %d", v)
+	}
+	var h HESEEncoder
+	for _, b := range ToBits(v) {
+		h.Push(b)
+	}
+	h.Flush()
+	return h.Expansion(), nil
+}
+
+// TermComparator applies run-time Term Revealing to the outputs of g
+// consecutive HESE encoders (Sec. V-E, Fig. 13): streams enter MSB first;
+// each cycle the accumulate-and-compare tree counts the nonzero bits seen
+// so far across the group, and once the group budget k is reached all
+// remaining (lower-order) terms are zeroed.
+type TermComparator struct {
+	GroupSize   int
+	GroupBudget int
+}
+
+// NewTermComparator builds a comparator for groups of g streams with
+// budget k.
+func NewTermComparator(g, k int) (*TermComparator, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("stream: comparator group size %d", g)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("stream: comparator group budget %d", k)
+	}
+	return &TermComparator{GroupSize: g, GroupBudget: k}, nil
+}
+
+// Apply processes one group of magnitude/sign stream pairs (LSB-first
+// storage, as produced by HESEEncoder; the comparator internally walks
+// them MSB first) and zeroes every term after the group budget is
+// reached. Within a cycle (one bit position), streams are scanned in
+// group order, matching the Reveal semantics of package core.
+func (tc *TermComparator) Apply(mags, signs [][]uint8) error {
+	if len(mags) != tc.GroupSize || len(signs) != tc.GroupSize {
+		return fmt.Errorf("stream: comparator expects %d streams, got %d", tc.GroupSize, len(mags))
+	}
+	width := len(mags[0])
+	for _, m := range mags {
+		if len(m) != width {
+			return fmt.Errorf("stream: ragged magnitude streams")
+		}
+	}
+	count := 0
+	for pos := width - 1; pos >= 0; pos-- { // MSB enters first
+		for i := 0; i < tc.GroupSize; i++ {
+			if mags[i][pos] == 0 {
+				continue
+			}
+			if count >= tc.GroupBudget {
+				mags[i][pos] = 0
+				signs[i][pos] = 0
+				continue
+			}
+			count++
+		}
+	}
+	return nil
+}
+
+// RevealStreams is a convenience wrapper: it HESE-encodes the values,
+// runs the comparator over consecutive groups, and returns the revealed
+// expansions. It must agree with core.RevealValues over HESE encodings
+// for whole groups.
+func RevealStreams(vals []int64, g, k int) ([]term.Expansion, error) {
+	tc, err := NewTermComparator(g, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]term.Expansion, len(vals))
+	for start := 0; start < len(vals); start += g {
+		end := start + g
+		if end > len(vals) {
+			end = len(vals)
+		}
+		mags := make([][]uint8, 0, g)
+		signs := make([][]uint8, 0, g)
+		for _, v := range vals[start:end] {
+			var h HESEEncoder
+			for _, b := range ToBits(v) {
+				h.Push(b)
+			}
+			h.Flush()
+			m, s := h.Streams()
+			mags = append(mags, m)
+			signs = append(signs, s)
+		}
+		// Pad a short tail group with zero streams so the comparator sees
+		// a full group (hardware behaviour: unused lanes stay idle).
+		for len(mags) < g {
+			mags = append(mags, make([]uint8, WordBits))
+			signs = append(signs, make([]uint8, WordBits))
+		}
+		if err := tc.Apply(mags, signs); err != nil {
+			return nil, err
+		}
+		for j := start; j < end; j++ {
+			var e term.Expansion
+			m, s := mags[j-start], signs[j-start]
+			for i := len(m) - 1; i >= 0; i-- {
+				if m[i] == 1 {
+					e = append(e, term.Term{Exp: uint8(i), Neg: s[i] == 1})
+				}
+			}
+			out[j] = e
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,247 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hw/tmac"
+	"repro/internal/term"
+)
+
+func TestBitsRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 81, -81, 32767, -32768, 1 << 20, -(1 << 20)} {
+		if got := FromBits(ToBits(v)); got != v {
+			t.Errorf("FromBits(ToBits(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestBitsRoundTripQuick(t *testing.T) {
+	f := func(v int32) bool { return FromBits(ToBits(int64(v))) == int64(v) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvertCoeffVector(t *testing.T) {
+	var cv tmac.CoeffVector
+	cv.Coeffs[5] = 1
+	cv.Coeffs[4] = 3
+	cv.Coeffs[3] = -1
+	cv.Coeffs[1] = 4
+	cv.Coeffs[0] = 1
+	if got := FromBits(ConvertCoeffVector(&cv)); got != 81 {
+		t.Errorf("converted stream = %d, want 81", got)
+	}
+}
+
+func TestReLUBlock(t *testing.T) {
+	// Positive values pass through; negatives become zero.
+	for _, v := range []int64{0, 1, 81, 4095, -1, -81, -4095} {
+		out := ReLUWord(ToBits(v))
+		want := v
+		if v < 0 {
+			want = 0
+		}
+		if got := FromBits(out); got != want {
+			t.Errorf("ReLU(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestReLUBlockBitSerialProtocol(t *testing.T) {
+	var blk ReLUBlock
+	bits := ToBits(42)
+	for i, b := range bits {
+		out, done := blk.Push(b)
+		if i < WordBits-1 {
+			if done || out != nil {
+				t.Fatal("ReLU emitted before the MSB arrived")
+			}
+		} else {
+			if !done {
+				t.Fatal("ReLU did not complete at the MSB")
+			}
+			if FromBits(out) != 42 {
+				t.Fatalf("ReLU output %d", FromBits(out))
+			}
+		}
+	}
+	// Block is reusable for the next word.
+	out := ReLUWord(ToBits(-7))
+	if FromBits(out) != 0 {
+		t.Error("ReLU block not reusable")
+	}
+}
+
+// Sec. V-D worked example: input 31 produces magnitude 00100001 and sign
+// 00000001 (LSB first: mag bits at positions 0 and 5, sign bit at 0),
+// i.e. 31 = 2^5 - 2^0.
+func TestHESEEncoderPaperExample31(t *testing.T) {
+	e, err := EncodeHESEHW(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := term.Expansion{{Exp: 5}, {Exp: 0, Neg: true}}
+	if len(e) != 2 || e[0] != want[0] || e[1] != want[1] {
+		t.Fatalf("HESE HW (31) = %v, want %v", e, want)
+	}
+}
+
+func TestHESEEncoderMatchesSoftwareExhaustive(t *testing.T) {
+	for v := int64(0); v <= 4096; v++ {
+		hw, err := EncodeHESEHW(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := term.EncodeHESE(int32(v))
+		if len(hw) != len(sw) {
+			t.Fatalf("HESE HW(%d) = %v, software %v", v, hw, sw)
+		}
+		for i := range hw {
+			if hw[i] != sw[i] {
+				t.Fatalf("HESE HW(%d) = %v, software %v", v, hw, sw)
+			}
+		}
+	}
+}
+
+func TestHESEEncoderRejectsNegative(t *testing.T) {
+	if _, err := EncodeHESEHW(-5); err == nil {
+		t.Error("negative magnitude accepted")
+	}
+}
+
+func TestHESEEncoderStreamsAligned(t *testing.T) {
+	var h HESEEncoder
+	for _, b := range ToBits(100) {
+		h.Push(b)
+	}
+	h.Flush()
+	mag, sign := h.Streams()
+	if len(mag) != len(sign) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(mag), len(sign))
+	}
+	for i := range mag {
+		if mag[i] == 0 && sign[i] == 1 {
+			t.Error("sign bit set where magnitude is zero")
+		}
+	}
+}
+
+func TestTermComparatorConstruction(t *testing.T) {
+	if _, err := NewTermComparator(0, 3); err == nil {
+		t.Error("group size 0 accepted")
+	}
+	if _, err := NewTermComparator(2, 0); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := NewTermComparator(2, 3); err != nil {
+		t.Errorf("valid comparator rejected: %v", err)
+	}
+}
+
+func TestTermComparatorAppliesBudget(t *testing.T) {
+	// Two streams with 3 terms total, budget 2: lowest-order term pruned.
+	vals := []int64{5, 2} // 2^2+2^0 and 2^1
+	exps, err := RevealStreams(vals, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receding water: 2^2 (from 5), 2^1 (from 2) kept; 2^0 pruned.
+	if exps[0].Value() != 4 || exps[1].Value() != 2 {
+		t.Errorf("comparator output = %d, %d; want 4, 2", exps[0].Value(), exps[1].Value())
+	}
+}
+
+// The hardware comparator must agree with the software receding-water
+// algorithm (core.Reveal) over HESE encodings for whole groups.
+func TestTermComparatorMatchesCoreReveal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		g := 1 + rng.Intn(4)
+		n := g * (1 + rng.Intn(3))
+		k := 1 + rng.Intn(10)
+		vals64 := make([]int64, n)
+		vals32 := make([]int32, n)
+		for i := range vals64 {
+			v := int64(rng.Intn(1024))
+			vals64[i] = v
+			vals32[i] = int32(v)
+		}
+		hw, err := RevealStreams(vals64, g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, _ := core.RevealValues(vals32, term.HESE, g, k)
+		for i := range hw {
+			if len(hw[i]) != len(sw[i]) {
+				t.Fatalf("trial %d value %d: hw %v vs sw %v (g=%d k=%d vals=%v)",
+					trial, i, hw[i], sw[i], g, k, vals64)
+			}
+			for j := range hw[i] {
+				if hw[i][j] != sw[i][j] {
+					t.Fatalf("trial %d value %d term %d: hw %v vs sw %v",
+						trial, i, j, hw[i], sw[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTermComparatorRaggedStreamsRejected(t *testing.T) {
+	tc, _ := NewTermComparator(2, 3)
+	mags := [][]uint8{make([]uint8, 8), make([]uint8, 7)}
+	signs := [][]uint8{make([]uint8, 8), make([]uint8, 7)}
+	if err := tc.Apply(mags, signs); err == nil {
+		t.Error("ragged streams accepted")
+	}
+	if err := tc.Apply(mags[:1], signs[:1]); err == nil {
+		t.Error("wrong stream count accepted")
+	}
+}
+
+// Full pipeline: coefficient vector -> binary stream -> ReLU -> HESE ->
+// comparator, checked against the direct functional path.
+func TestFullPipelineAgainstFunctionalModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const g, k, s = 4, 8, 3
+	for trial := 0; trial < 100; trial++ {
+		// Simulate g dot-product results (some negative).
+		raw := make([]int64, g)
+		for i := range raw {
+			raw[i] = int64(rng.Intn(4001) - 2000)
+		}
+		// Hardware path.
+		streams := make([][]uint8, g)
+		for i, v := range raw {
+			streams[i] = ReLUWord(ToBits(v))
+		}
+		relued := make([]int64, g)
+		for i := range streams {
+			relued[i] = FromBits(streams[i])
+		}
+		hw, err := RevealStreams(relued, g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Functional path.
+		fn := make([]int32, g)
+		for i, v := range raw {
+			if v < 0 {
+				v = 0
+			}
+			fn[i] = int32(v)
+		}
+		sw, _ := core.RevealValues(fn, term.HESE, g, k)
+		for i := range hw {
+			if hw[i].Value() != sw[i].Value() {
+				t.Fatalf("pipeline diverges at %d: hw %d vs sw %d",
+					i, hw[i].Value(), sw[i].Value())
+			}
+		}
+		_ = s
+	}
+}

@@ -1,0 +1,347 @@
+// Package systolic simulates the paper's weight-stationary systolic array
+// (Fig. 2, Sec. V) at the functional level with cycle accounting, in both
+// of the modes the reconfigurable FPGA system supports:
+//
+//   - pMAC mode (conventional quantization, QT): every cell performs one
+//     8-bit multiply-accumulate per cycle.
+//   - tMAC mode (Term Revealing): every cell holds a group of g weights
+//     as revealed terms and processes term pairs bit-serially; all cells
+//     advance in lockstep, so each wave costs the maximum term-pair count
+//     across active cells — which TR bounds by k·s.
+//
+// The simulator computes exact outputs (validated against the integer
+// matmul) and reports the cycle counts the cost model uses.
+package systolic
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hw/tmac"
+	"repro/internal/term"
+)
+
+// Mode selects the cell implementation.
+type Mode int
+
+const (
+	// PMAC is the bit-parallel baseline (QT mode).
+	PMAC Mode = iota
+	// TMAC is the term-MAC mode (TR mode).
+	TMAC
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == PMAC {
+		return "pMAC"
+	}
+	return "tMAC"
+}
+
+// Config describes the array and the TR parameters used in tMAC mode.
+type Config struct {
+	Rows, Cols int // physical cells: Rows tiles the output dim, Cols the K dim
+	Mode       Mode
+	// TR parameters (tMAC mode): weights are revealed per group of
+	// GroupSize with budget GroupBudget; data values carry at most
+	// DataTerms HESE terms.
+	GroupSize   int
+	GroupBudget int
+	DataTerms   int
+	WeightEnc   term.Encoding
+	DataEnc     term.Encoding
+}
+
+// DefaultTR mirrors the paper's FPGA configuration: a 128x64 array of
+// tMACs with group size 8 (Sec. VII-B).
+var DefaultTR = Config{Rows: 128, Cols: 64, Mode: TMAC,
+	GroupSize: 8, GroupBudget: 16, DataTerms: 3,
+	WeightEnc: term.HESE, DataEnc: term.HESE}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Rows < 1 || c.Cols < 1 {
+		return fmt.Errorf("systolic: array %dx%d", c.Rows, c.Cols)
+	}
+	if c.Mode == TMAC {
+		if c.GroupSize < 1 || c.GroupBudget < 1 {
+			return fmt.Errorf("systolic: tMAC mode needs TR parameters, got g=%d k=%d",
+				c.GroupSize, c.GroupBudget)
+		}
+	}
+	return nil
+}
+
+// Result reports the outcome of a simulated matrix multiplication.
+type Result struct {
+	Y [][]int64 // M x N outputs (exact integer results on revealed operands)
+	// Cycles is the total cycle count under the mode's timing model,
+	// including pipeline fill.
+	Cycles int64
+	// ComputeWaves is the number of synchronization waves (tMAC mode).
+	ComputeWaves int64
+	// MaxWavePairs and SumWavePairs characterize the straggler effect:
+	// synchronous hardware pays the max per wave, a free-running design
+	// would pay the mean (Sec. II-B).
+	MaxWavePairs int64
+	SumWavePairs int64
+	// BoundPairsPerWave is the k·s provisioning bound in tMAC mode.
+	BoundPairsPerWave int64
+	// Tiles processed.
+	Tiles int64
+}
+
+// MatMul simulates Y = W · X for quantized weight codes W (M x K) and
+// data codes X (K x N). In tMAC mode, W is term-revealed per row groups
+// and X is HESE-truncated, exactly as the hardware front end would
+// deliver them; outputs are exact dot products over those operands.
+func MatMul(cfg Config, w [][]int32, x [][]int32) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(w)
+	if m == 0 {
+		return nil, fmt.Errorf("systolic: empty weight matrix")
+	}
+	k := len(w[0])
+	if len(x) != k {
+		return nil, fmt.Errorf("systolic: inner dims %d vs %d", len(w[0]), len(x))
+	}
+	n := len(x[0])
+	res := &Result{Y: make([][]int64, m)}
+	for i := range res.Y {
+		res.Y[i] = make([]int64, n)
+	}
+	if cfg.Mode == PMAC {
+		simulatePMAC(cfg, w, x, res)
+		return res, nil
+	}
+	if err := simulateTMAC(cfg, w, x, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// simulatePMAC models the conventional array: tiles of (Rows output rows
+// x Cols K-elements); each tile streams all N data columns through at one
+// MAC per cell per cycle, plus the skew fill of Rows+Cols cycles.
+func simulatePMAC(cfg Config, w [][]int32, x [][]int32, res *Result) {
+	m, k, n := len(w), len(w[0]), len(x[0])
+	for r0 := 0; r0 < m; r0 += cfg.Rows {
+		for c0 := 0; c0 < k; c0 += cfg.Cols {
+			rEnd := min(r0+cfg.Rows, m)
+			cEnd := min(c0+cfg.Cols, k)
+			res.Tiles++
+			// Each data column occupies the tile for one cycle per
+			// K-element handled sequentially per cell: cells perform one
+			// MAC per cycle, data skewed; throughput one column per cycle
+			// after fill.
+			res.Cycles += int64(n) + int64(cfg.Rows+cfg.Cols)
+			for j := 0; j < n; j++ {
+				for i := r0; i < rEnd; i++ {
+					var sum int64
+					for l := c0; l < cEnd; l++ {
+						sum += int64(w[i][l]) * int64(x[l][j])
+					}
+					res.Y[i][j] += sum
+				}
+			}
+		}
+	}
+}
+
+// simulateTMAC models the TR array: each cell holds a group of g
+// consecutive K-elements of one output row. A wave processes one data
+// column through the tile; because cells are tightly synchronized, the
+// wave costs the maximum actual term-pair count across the tile's cells,
+// never exceeding the k·s bound that TR guarantees.
+func simulateTMAC(cfg Config, w [][]int32, x [][]int32, res *Result) error {
+	m, k, n := len(w), len(w[0]), len(x[0])
+	g := cfg.GroupSize
+	sBound := cfg.DataTerms
+	if sBound <= 0 {
+		sBound = 7
+	}
+	res.BoundPairsPerWave = int64(cfg.GroupBudget) * int64(sBound)
+
+	// Front end: reveal weights row-wise, truncate data column-wise.
+	wExp := make([][]term.Expansion, m)
+	for i := range w {
+		exps, _ := core.RevealValues(w[i], cfg.WeightEnc, g, cfg.GroupBudget)
+		wExp[i] = exps
+	}
+	xExp := make([][]term.Expansion, k)
+	for l := range x {
+		exps, _ := core.TruncateData(x[l], cfg.DataEnc, cfg.DataTerms)
+		xExp[l] = exps
+	}
+
+	groupsPerRow := (k + g - 1) / g
+	// Tile the (output rows x K-groups) space onto the physical array.
+	for r0 := 0; r0 < m; r0 += cfg.Rows {
+		for g0 := 0; g0 < groupsPerRow; g0 += cfg.Cols {
+			rEnd := min(r0+cfg.Rows, m)
+			gEnd := min(g0+cfg.Cols, groupsPerRow)
+			res.Tiles++
+			res.Cycles += int64(cfg.Rows + cfg.Cols) // skew fill
+			for j := 0; j < n; j++ {
+				var wavePairs int64
+				for i := r0; i < rEnd; i++ {
+					for gi := g0; gi < gEnd; gi++ {
+						lo := gi * g
+						hi := min(lo+g, k)
+						cell := tmac.NewTMAC(wExp[i][lo:hi])
+						col := make([]term.Expansion, hi-lo)
+						for l := lo; l < hi; l++ {
+							col[l-lo] = xExp[l][j]
+						}
+						work, err := cell.ProcessGroup(col)
+						if err != nil {
+							return err
+						}
+						if int64(work.Cycles) > wavePairs {
+							wavePairs = int64(work.Cycles)
+						}
+						res.Y[i][j] += cell.Result()
+					}
+				}
+				if wavePairs > res.BoundPairsPerWave {
+					return fmt.Errorf("systolic: wave needed %d pairs, exceeding the k·s bound %d",
+						wavePairs, res.BoundPairsPerWave)
+				}
+				res.ComputeWaves++
+				res.SumWavePairs += wavePairs
+				if wavePairs > res.MaxWavePairs {
+					res.MaxWavePairs = wavePairs
+				}
+				res.Cycles += wavePairs
+			}
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReferenceMatMul computes the exact integer product of the codes, for
+// validating pMAC-mode outputs.
+func ReferenceMatMul(w [][]int32, x [][]int32) [][]int64 {
+	m, k, n := len(w), len(w[0]), len(x[0])
+	y := make([][]int64, m)
+	for i := range y {
+		y[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			var sum int64
+			for l := 0; l < k; l++ {
+				sum += int64(w[i][l]) * int64(x[l][j])
+			}
+			y[i][j] = sum
+		}
+	}
+	return y
+}
+
+// RevealedReferenceMatMul computes the product after applying the same
+// TR/HESE front end the tMAC array uses, for validating tMAC-mode
+// outputs.
+func RevealedReferenceMatMul(cfg Config, w [][]int32, x [][]int32) [][]int64 {
+	m, k, n := len(w), len(w[0]), len(x[0])
+	wr := make([][]int32, m)
+	for i := range w {
+		_, vals := core.RevealValues(w[i], cfg.WeightEnc, cfg.GroupSize, cfg.GroupBudget)
+		wr[i] = vals
+	}
+	xr := make([][]int32, k)
+	for l := range x {
+		_, vals := core.TruncateData(x[l], cfg.DataEnc, cfg.DataTerms)
+		xr[l] = vals
+	}
+	y := make([][]int64, m)
+	for i := range y {
+		y[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			var sum int64
+			for l := 0; l < k; l++ {
+				sum += int64(wr[i][l]) * int64(xr[l][j])
+			}
+			y[i][j] = sum
+		}
+	}
+	return y
+}
+
+// MatMulParallel runs the same simulation as MatMul with the output rows
+// partitioned across worker goroutines. Row partitions write disjoint
+// slices of Y, so workers need no locking; per-worker statistics merge at
+// the end. The cycle counts still model a single physical array
+// processing all tiles sequentially — only the simulation itself is
+// parallel. workers < 1 selects GOMAXPROCS.
+func MatMulParallel(cfg Config, w [][]int32, x [][]int32, workers int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w) == 0 {
+		return nil, fmt.Errorf("systolic: empty weight matrix")
+	}
+	if len(x) != len(w[0]) {
+		return nil, fmt.Errorf("systolic: inner dims %d vs %d", len(w[0]), len(x))
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := len(w)
+	// Partition rows on tile boundaries so every worker simulates whole
+	// tiles, keeping cycle accounting identical to the serial run.
+	rowsPerChunk := ((m + workers - 1) / workers / cfg.Rows) * cfg.Rows
+	if rowsPerChunk < cfg.Rows {
+		rowsPerChunk = cfg.Rows
+	}
+	type chunk struct {
+		res *Result
+		err error
+		lo  int
+	}
+	var chunks []chunk
+	for lo := 0; lo < m; lo += rowsPerChunk {
+		chunks = append(chunks, chunk{lo: lo})
+	}
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(c *chunk) {
+			defer wg.Done()
+			hi := c.lo + rowsPerChunk
+			if hi > m {
+				hi = m
+			}
+			c.res, c.err = MatMul(cfg, w[c.lo:hi], x)
+		}(&chunks[i])
+	}
+	wg.Wait()
+	total := &Result{Y: make([][]int64, m)}
+	for _, c := range chunks {
+		if c.err != nil {
+			return nil, c.err
+		}
+		for i, row := range c.res.Y {
+			total.Y[c.lo+i] = row
+		}
+		total.Cycles += c.res.Cycles
+		total.ComputeWaves += c.res.ComputeWaves
+		total.SumWavePairs += c.res.SumWavePairs
+		total.Tiles += c.res.Tiles
+		if c.res.MaxWavePairs > total.MaxWavePairs {
+			total.MaxWavePairs = c.res.MaxWavePairs
+		}
+		total.BoundPairsPerWave = c.res.BoundPairsPerWave
+	}
+	return total, nil
+}

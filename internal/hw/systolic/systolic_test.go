@@ -1,0 +1,262 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func randCodes(rng *rand.Rand, rows, cols int, nonneg bool) [][]int32 {
+	m := make([][]int32, rows)
+	for i := range m {
+		m[i] = make([]int32, cols)
+		for j := range m[i] {
+			if nonneg {
+				m[i][j] = int32(rng.Intn(128))
+			} else {
+				m[i][j] = int32(rng.Intn(255) - 127)
+			}
+		}
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultTR.Validate(); err != nil {
+		t.Errorf("DefaultTR invalid: %v", err)
+	}
+	bad := []Config{
+		{Rows: 0, Cols: 4},
+		{Rows: 4, Cols: 0},
+		{Rows: 4, Cols: 4, Mode: TMAC}, // missing TR params
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if PMAC.String() != "pMAC" || TMAC.String() != "tMAC" {
+		t.Error("Mode.String mismatch")
+	}
+}
+
+func TestPMACModeBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(10), 1+rng.Intn(12), 1+rng.Intn(6)
+		w := randCodes(rng, m, k, false)
+		x := randCodes(rng, k, n, true)
+		cfg := Config{Rows: 4, Cols: 4, Mode: PMAC}
+		res, err := MatMul(cfg, w, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceMatMul(w, x)
+		for i := range want {
+			for j := range want[i] {
+				if res.Y[i][j] != want[i][j] {
+					t.Fatalf("pMAC Y[%d][%d] = %d, want %d", i, j, res.Y[i][j], want[i][j])
+				}
+			}
+		}
+		if res.Cycles <= 0 || res.Tiles <= 0 {
+			t.Fatal("missing cycle accounting")
+		}
+	}
+}
+
+func TestTMACModeMatchesRevealedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := Config{Rows: 3, Cols: 2, Mode: TMAC,
+		GroupSize: 4, GroupBudget: 8, DataTerms: 3,
+		WeightEnc: term.HESE, DataEnc: term.HESE}
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(16), 1+rng.Intn(5)
+		w := randCodes(rng, m, k, false)
+		x := randCodes(rng, k, n, true)
+		res, err := MatMul(cfg, w, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RevealedReferenceMatMul(cfg, w, x)
+		for i := range want {
+			for j := range want[i] {
+				if res.Y[i][j] != want[i][j] {
+					t.Fatalf("tMAC Y[%d][%d] = %d, want %d", i, j, res.Y[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestTMACWaveBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{Rows: 4, Cols: 4, Mode: TMAC,
+		GroupSize: 8, GroupBudget: 12, DataTerms: 3,
+		WeightEnc: term.HESE, DataEnc: term.HESE}
+	w := randCodes(rng, 16, 32, false)
+	x := randCodes(rng, 32, 8, true)
+	res, err := MatMul(cfg, w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxWavePairs > res.BoundPairsPerWave {
+		t.Errorf("max wave pairs %d exceed bound %d", res.MaxWavePairs, res.BoundPairsPerWave)
+	}
+	if res.BoundPairsPerWave != 36 {
+		t.Errorf("bound = %d, want k·s = 36", res.BoundPairsPerWave)
+	}
+	if res.ComputeWaves == 0 || res.SumWavePairs == 0 {
+		t.Error("wave statistics missing")
+	}
+}
+
+// The straggler effect of Sec. II-B: without TR (budget high enough to
+// never prune), the max wave cost runs well above the mean wave cost;
+// with a tight TR budget the two converge (tighter processing bound).
+func TestStragglerEffectShrinksUnderTR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := randCodes(rng, 32, 64, false)
+	x := randCodes(rng, 64, 16, true)
+
+	loose := Config{Rows: 8, Cols: 8, Mode: TMAC,
+		GroupSize: 8, GroupBudget: 56, DataTerms: 0, // effectively no TR
+		WeightEnc: term.Binary, DataEnc: term.Binary}
+	tight := Config{Rows: 8, Cols: 8, Mode: TMAC,
+		GroupSize: 8, GroupBudget: 12, DataTerms: 3,
+		WeightEnc: term.HESE, DataEnc: term.HESE}
+
+	rLoose, err := MatMul(loose, w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTight, err := MatMul(tight, w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(r *Result) float64 {
+		mean := float64(r.SumWavePairs) / float64(r.ComputeWaves)
+		return float64(r.MaxWavePairs) / mean
+	}
+	if spread(rTight) >= spread(rLoose) {
+		t.Errorf("TR did not tighten the straggler spread: %.2f vs %.2f",
+			spread(rTight), spread(rLoose))
+	}
+	if rTight.Cycles >= rLoose.Cycles {
+		t.Errorf("TR cycles %d not below no-TR cycles %d", rTight.Cycles, rLoose.Cycles)
+	}
+}
+
+func TestMatMulErrors(t *testing.T) {
+	if _, err := MatMul(Config{Rows: 0, Cols: 1}, nil, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg := Config{Rows: 2, Cols: 2, Mode: PMAC}
+	if _, err := MatMul(cfg, [][]int32{}, [][]int32{}); err == nil {
+		t.Error("empty weights accepted")
+	}
+	w := [][]int32{{1, 2}}
+	x := [][]int32{{1}}
+	if _, err := MatMul(cfg, w, x); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestTilingInvariance(t *testing.T) {
+	// Output must not depend on the physical array size.
+	rng := rand.New(rand.NewSource(5))
+	w := randCodes(rng, 9, 17, false)
+	x := randCodes(rng, 17, 5, true)
+	var ref [][]int64
+	for _, dims := range [][2]int{{2, 2}, {4, 8}, {16, 16}} {
+		cfg := Config{Rows: dims[0], Cols: dims[1], Mode: TMAC,
+			GroupSize: 4, GroupBudget: 8, DataTerms: 3,
+			WeightEnc: term.HESE, DataEnc: term.HESE}
+		res, err := MatMul(cfg, w, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Y
+			continue
+		}
+		for i := range ref {
+			for j := range ref[i] {
+				if res.Y[i][j] != ref[i][j] {
+					t.Fatalf("array %v changes the result", dims)
+				}
+			}
+		}
+	}
+}
+
+func TestPMACFasterPerCycleButMoreWorkPerCell(t *testing.T) {
+	// Sanity relationship: at equal array sizes, pMAC mode takes fewer
+	// cycles than tMAC mode processing 49 pairs per multiply would, while
+	// tMAC with TR takes fewer cycles than that worst case.
+	rng := rand.New(rand.NewSource(6))
+	w := randCodes(rng, 8, 32, false)
+	x := randCodes(rng, 32, 8, true)
+	trCfg := Config{Rows: 8, Cols: 4, Mode: TMAC,
+		GroupSize: 8, GroupBudget: 12, DataTerms: 3,
+		WeightEnc: term.HESE, DataEnc: term.HESE}
+	res, err := MatMul(trCfg, w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstPairsPerWave := int64(49 * trCfg.GroupSize)
+	if res.MaxWavePairs >= worstPairsPerWave {
+		t.Errorf("TR wave cost %d not below the 49·g worst case %d",
+			res.MaxWavePairs, worstPairsPerWave)
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	w := randCodes(rng, 37, 40, false)
+	x := randCodes(rng, 40, 6, true)
+	for _, mode := range []Mode{PMAC, TMAC} {
+		cfg := Config{Rows: 4, Cols: 4, Mode: mode,
+			GroupSize: 4, GroupBudget: 8, DataTerms: 3,
+			WeightEnc: term.HESE, DataEnc: term.HESE}
+		serial, err := MatMul(cfg, w, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 5, 0} {
+			par, err := MatMulParallel(cfg, w, x, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range serial.Y {
+				for j := range serial.Y[i] {
+					if par.Y[i][j] != serial.Y[i][j] {
+						t.Fatalf("%v workers=%d: Y[%d][%d] %d vs %d",
+							mode, workers, i, j, par.Y[i][j], serial.Y[i][j])
+					}
+				}
+			}
+			if par.Cycles != serial.Cycles || par.Tiles != serial.Tiles {
+				t.Fatalf("%v workers=%d: cycles %d/%d tiles %d/%d",
+					mode, workers, par.Cycles, serial.Cycles, par.Tiles, serial.Tiles)
+			}
+			if mode == TMAC && par.SumWavePairs != serial.SumWavePairs {
+				t.Fatalf("wave stats diverge: %d vs %d", par.SumWavePairs, serial.SumWavePairs)
+			}
+		}
+	}
+}
+
+func TestMatMulParallelErrors(t *testing.T) {
+	if _, err := MatMulParallel(Config{}, nil, nil, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg := Config{Rows: 2, Cols: 2, Mode: PMAC}
+	if _, err := MatMulParallel(cfg, [][]int32{}, [][]int32{}, 2); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := MatMulParallel(cfg, [][]int32{{1, 2}}, [][]int32{{1}}, 2); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package tmac
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// This file models the tMAC's internal microarchitecture explicitly
+// (Fig. 12): weight and data exponents live in register arrays with
+// parallel sign arrays; the exponent duplicator expands each data
+// value's terms once per matching weight term; every cycle one exponent
+// pair flows through the 3-bit adder into a coefficient accumulator.
+// The behavioural TMAC type in tmac.go computes the same result; the
+// pipeline exists to pin down the cycle-by-cycle schedule and is tested
+// for exact agreement.
+
+// RegisterArrays holds the per-group term storage of Fig. 12(a).
+type RegisterArrays struct {
+	WeightExp []uint8 // weight term exponents, in group-value order
+	WeightNeg []bool  // parallel sign array
+	WeightVal []int   // which group value each weight term belongs to
+	DataExp   []uint8 // data term exponents
+	DataNeg   []bool
+	DataVal   []int
+}
+
+// LoadGroup fills the register arrays from revealed weight and truncated
+// data expansions. The arrays are ordered by group value, matching the
+// colour-coded boundaries of Fig. 12.
+func LoadGroup(weights, data []term.Expansion) (*RegisterArrays, error) {
+	if len(weights) != len(data) {
+		return nil, fmt.Errorf("tmac: group size mismatch %d vs %d", len(weights), len(data))
+	}
+	r := &RegisterArrays{}
+	for v, e := range weights {
+		for _, t := range e {
+			r.WeightExp = append(r.WeightExp, t.Exp)
+			r.WeightNeg = append(r.WeightNeg, t.Neg)
+			r.WeightVal = append(r.WeightVal, v)
+		}
+	}
+	for v, e := range data {
+		for _, t := range e {
+			r.DataExp = append(r.DataExp, t.Exp)
+			r.DataNeg = append(r.DataNeg, t.Neg)
+			r.DataVal = append(r.DataVal, v)
+		}
+	}
+	return r, nil
+}
+
+// PairEvent is one cycle of the pipeline: the duplicated exponent pair
+// entering the adder and the CA update it produces.
+type PairEvent struct {
+	Cycle     int
+	GroupVal  int // which value of the group this pair belongs to
+	WeightExp uint8
+	DataExp   uint8
+	SumExp    int  // adder output
+	Negative  bool // sign of the product
+}
+
+// Pipeline is the cycle-by-cycle tMAC of Fig. 12.
+type Pipeline struct {
+	regs  *RegisterArrays
+	CV    CoeffVector
+	Trace []PairEvent
+}
+
+// NewPipeline builds a pipeline over loaded register arrays.
+func NewPipeline(regs *RegisterArrays) *Pipeline {
+	return &Pipeline{regs: regs}
+}
+
+// Run executes the full schedule: the exponent duplicator walks the data
+// terms of each group value and replays them against each of the value's
+// weight terms, one pair per cycle; the adder sums exponents and the CA
+// updates the coefficient vector. It returns the cycle count.
+func (p *Pipeline) Run() (int, error) {
+	r := p.regs
+	cycle := 0
+	wStart := 0
+	for v := 0; ; v++ {
+		// Weight terms of value v form a contiguous run.
+		wEnd := wStart
+		for wEnd < len(r.WeightVal) && r.WeightVal[wEnd] == v {
+			wEnd++
+		}
+		// Data terms of value v.
+		dStart := 0
+		for dStart < len(r.DataVal) && r.DataVal[dStart] < v {
+			dStart++
+		}
+		dEnd := dStart
+		for dEnd < len(r.DataVal) && r.DataVal[dEnd] == v {
+			dEnd++
+		}
+		if wStart >= len(r.WeightVal) && dStart >= len(r.DataVal) {
+			break
+		}
+		// The duplicator pairs every (weight term, data term) of value v.
+		for wi := wStart; wi < wEnd; wi++ {
+			for di := dStart; di < dEnd; di++ {
+				sum := int(r.WeightExp[wi]) + int(r.DataExp[di])
+				neg := r.WeightNeg[wi] != r.DataNeg[di]
+				if err := p.CV.Update(sum, neg); err != nil {
+					return cycle, err
+				}
+				p.Trace = append(p.Trace, PairEvent{
+					Cycle: cycle, GroupVal: v,
+					WeightExp: r.WeightExp[wi], DataExp: r.DataExp[di],
+					SumExp: sum, Negative: neg,
+				})
+				cycle++
+			}
+		}
+		wStart = wEnd
+		if wStart >= len(r.WeightVal) && dEnd >= len(r.DataVal) {
+			break
+		}
+	}
+	return cycle, nil
+}
+
+// TakeNeighborCV implements the sec_acc selection of Fig. 12: a cell can
+// adopt its neighbour's coefficient vector instead of its own (used when
+// partial results propagate through the array).
+func (p *Pipeline) TakeNeighborCV(neighbor *CoeffVector) {
+	p.CV = *neighbor
+}
+
+// Result reduces the coefficient vector.
+func (p *Pipeline) Result() int64 { return p.CV.Value() }

@@ -1,0 +1,145 @@
+package tmac
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/term"
+)
+
+func TestLoadGroupLayout(t *testing.T) {
+	w := expand([]int32{12, -3}, term.HESE) // 12 = +2^3+2^2; -3 = -2^2+2^0
+	x := expand([]int32{2, 5}, term.HESE)
+	regs, err := LoadGroup(w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs.WeightExp) != 4 || len(regs.DataExp) != 3 {
+		t.Fatalf("register array sizes %d/%d", len(regs.WeightExp), len(regs.DataExp))
+	}
+	// Value boundaries preserved in order.
+	if regs.WeightVal[0] != 0 || regs.WeightVal[len(regs.WeightVal)-1] != 1 {
+		t.Errorf("weight value tags wrong: %v", regs.WeightVal)
+	}
+	if _, err := LoadGroup(w, x[:1]); err == nil {
+		t.Error("mismatched group accepted")
+	}
+}
+
+// The explicit pipeline agrees exactly with the behavioural TMAC: same
+// result, same cycle count, and a trace whose length equals the cycles.
+func TestPipelineMatchesBehaviouralTMAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		g := 1 + rng.Intn(8)
+		wv := make([]int32, g)
+		xv := make([]int32, g)
+		for i := range wv {
+			wv[i] = int32(rng.Intn(255) - 127)
+			xv[i] = int32(rng.Intn(128))
+		}
+		wExp, _ := core.RevealValues(wv, term.HESE, g, 12)
+		xExp, _ := core.TruncateData(xv, term.HESE, 3)
+
+		behav := NewTMAC(wExp)
+		work, err := behav.ProcessGroup(xExp)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		regs, err := LoadGroup(wExp, xExp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe := NewPipeline(regs)
+		cycles, err := pipe.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pipe.Result() != behav.Result() {
+			t.Fatalf("pipeline result %d vs behavioural %d", pipe.Result(), behav.Result())
+		}
+		if cycles != work.Cycles {
+			t.Fatalf("pipeline cycles %d vs behavioural %d", cycles, work.Cycles)
+		}
+		if len(pipe.Trace) != cycles {
+			t.Fatalf("trace length %d vs cycles %d", len(pipe.Trace), cycles)
+		}
+		// Trace invariants: cycles strictly increasing, values in order.
+		for i, ev := range pipe.Trace {
+			if ev.Cycle != i {
+				t.Fatalf("trace cycle %d at index %d", ev.Cycle, i)
+			}
+			if ev.SumExp != int(ev.WeightExp)+int(ev.DataExp) {
+				t.Fatal("adder output inconsistent")
+			}
+			if i > 0 && ev.GroupVal < pipe.Trace[i-1].GroupVal {
+				t.Fatal("group values processed out of order")
+			}
+		}
+	}
+}
+
+// The Fig. 11 scenario: group of 4, budget k=8, single-term data; at most
+// 8 term pairs over 8 cycles.
+func TestPipelineFig11Schedule(t *testing.T) {
+	wv := []int32{12, -9, 81, 5}
+	xv := []int32{2, 4, 8, 1} // single binary terms
+	wExp, _ := core.RevealValues(wv, term.Binary, 4, 8)
+	xExp, _ := core.TruncateData(xv, term.Binary, 1)
+	regs, err := LoadGroup(wExp, xExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline(regs)
+	cycles, err := pipe.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles > 8 {
+		t.Errorf("Fig. 11 schedule took %d cycles, bound is 8", cycles)
+	}
+	var want int64
+	for i := range wv {
+		want += int64(wExp[i].Value()) * int64(xExp[i].Value())
+	}
+	if pipe.Result() != want {
+		t.Errorf("result %d, want %d", pipe.Result(), want)
+	}
+}
+
+func TestPipelineNeighborCV(t *testing.T) {
+	var neighbor CoeffVector
+	neighbor.Coeffs[3] = 5 // value 40
+	wExp := expand([]int32{1}, term.Binary)
+	xExp := expand([]int32{1}, term.Binary)
+	regs, _ := LoadGroup(wExp, xExp)
+	pipe := NewPipeline(regs)
+	pipe.TakeNeighborCV(&neighbor)
+	if _, err := pipe.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Result() != 41 { // 40 carried over + 1*1
+		t.Errorf("result %d, want 41", pipe.Result())
+	}
+	// The neighbour's vector was copied, not aliased.
+	if neighbor.Coeffs[0] != 0 {
+		t.Error("neighbour CV mutated")
+	}
+}
+
+func TestPipelineZeroGroup(t *testing.T) {
+	regs, err := LoadGroup(make([]term.Expansion, 3), make([]term.Expansion, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline(regs)
+	cycles, err := pipe.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 0 || pipe.Result() != 0 {
+		t.Errorf("zero group: %d cycles, result %d", cycles, pipe.Result())
+	}
+}

@@ -1,0 +1,179 @@
+// Package tmac models the paper's term MAC (tMAC) processing element and
+// the conventional bit-parallel MAC (pMAC) baseline at cycle level
+// (Sec. V-A/V-B, Figs. 10-12).
+//
+// A tMAC holds a group of g weights as signed power-of-two terms and
+// computes the group's contribution to a dot product by processing one
+// term pair per cycle: the 3-bit exponent adder sums a weight exponent
+// and a data exponent, and a coefficient accumulator (CA) increments or
+// decrements the corresponding entry of a 15-element coefficient vector.
+// A pMAC instead performs one full 8-bit multiply and 32-bit accumulate
+// per cycle.
+package tmac
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// CoeffVectorLen is the coefficient vector length: exponents of term
+// pairs of 8-bit values range over 0..14 (2^7 · 2^7 = 2^14), Sec. V-B.
+const CoeffVectorLen = 15
+
+// CoeffBits is the width of each coefficient accumulator; 12 bits is
+// dimensioned so dot products of length up to 4096 cannot overflow
+// (Sec. V-B).
+const CoeffBits = 12
+
+// coeffMax is the largest magnitude a 12-bit signed coefficient holds.
+const coeffMax = 1<<(CoeffBits-1) - 1
+
+// Work tallies the operations a MAC performed, the paper's Sec. V-A cost
+// notion ("arithmetic and bookkeeping operations performed per group").
+type Work struct {
+	Adds3       int // 3-bit exponent additions (tMAC)
+	Bookkeeping int // CA updates and alignment ops (tMAC)
+	Adds8       int // 8-bit adder passes inside a multiply (pMAC)
+	Accs32      int // 32-bit accumulations (pMAC)
+	Cycles      int
+}
+
+// Add accumulates another work tally.
+func (w *Work) Add(o Work) {
+	w.Adds3 += o.Adds3
+	w.Bookkeeping += o.Bookkeeping
+	w.Adds8 += o.Adds8
+	w.Accs32 += o.Accs32
+	w.Cycles += o.Cycles
+}
+
+// CoeffVector is the tMAC's partial-result representation: Coeffs[i] is
+// the signed multiplicity of 2^i.
+type CoeffVector struct {
+	Coeffs [CoeffVectorLen]int32
+}
+
+// Update applies one term-pair product ±2^exp to the vector, the CA
+// operation of Fig. 12(b). It returns an error on coefficient overflow
+// (beyond the 12-bit accumulator) or exponent overflow.
+func (cv *CoeffVector) Update(exp int, negative bool) error {
+	if exp < 0 || exp >= CoeffVectorLen {
+		return fmt.Errorf("tmac: term pair exponent %d outside coefficient vector", exp)
+	}
+	d := int32(1)
+	if negative {
+		d = -1
+	}
+	n := cv.Coeffs[exp] + d
+	if n > coeffMax || n < -coeffMax-1 {
+		return fmt.Errorf("tmac: coefficient %d overflows %d-bit accumulator", exp, CoeffBits)
+	}
+	cv.Coeffs[exp] = n
+	return nil
+}
+
+// Value reduces the coefficient vector to the integer it represents (the
+// binary stream converter's job, Sec. V-C).
+func (cv *CoeffVector) Value() int64 {
+	var v int64
+	for i, c := range cv.Coeffs {
+		v += int64(c) << uint(i)
+	}
+	return v
+}
+
+// Reset clears the vector.
+func (cv *CoeffVector) Reset() {
+	for i := range cv.Coeffs {
+		cv.Coeffs[i] = 0
+	}
+}
+
+// TMAC is one term-MAC cell with its pre-stored group of weight
+// expansions and its coefficient vector.
+type TMAC struct {
+	Weights []term.Expansion // g weight values, already term-revealed
+	CV      CoeffVector
+}
+
+// NewTMAC builds a tMAC with the given pre-stored (already TR-processed)
+// weight group.
+func NewTMAC(weights []term.Expansion) *TMAC {
+	return &TMAC{Weights: weights}
+}
+
+// ProcessGroup multiplies the stored weight group against a group of data
+// expansions, one term pair per cycle, accumulating into the coefficient
+// vector (Fig. 11). It returns the work performed. The exponent
+// duplicator of Fig. 12 pairs each data value's terms with each of the
+// matching weight value's terms.
+func (t *TMAC) ProcessGroup(data []term.Expansion) (Work, error) {
+	if len(data) != len(t.Weights) {
+		return Work{}, fmt.Errorf("tmac: group size mismatch %d vs %d", len(data), len(t.Weights))
+	}
+	var w Work
+	for i, dExp := range data {
+		for _, wt := range t.Weights[i] {
+			for _, dt := range dExp {
+				exp := int(wt.Exp) + int(dt.Exp)
+				neg := wt.Neg != dt.Neg
+				if err := t.CV.Update(exp, neg); err != nil {
+					return w, err
+				}
+				w.Adds3++       // exponent addition
+				w.Bookkeeping++ // CA update
+				w.Cycles++      // one term pair per cycle
+			}
+		}
+	}
+	return w, nil
+}
+
+// Result returns the accumulated dot-product value.
+func (t *TMAC) Result() int64 { return t.CV.Value() }
+
+// Reset clears the accumulator for the next output.
+func (t *TMAC) Reset() { t.CV.Reset() }
+
+// PMAC is the conventional bit-parallel MAC baseline: an 8-bit multiplier
+// plus a 32-bit accumulator, one multiply-accumulate per cycle.
+type PMAC struct {
+	Weights []int32
+	Acc     int64
+}
+
+// NewPMAC builds a pMAC with the pre-stored quantized weight group.
+func NewPMAC(weights []int32) *PMAC {
+	return &PMAC{Weights: weights}
+}
+
+// ProcessGroup multiplies the stored weights against data codes, one MAC
+// per cycle. Per Sec. V-A, each 8-bit multiply costs 7 8-bit adder passes
+// and each accumulate one 32-bit addition.
+func (p *PMAC) ProcessGroup(data []int32) (Work, error) {
+	if len(data) != len(p.Weights) {
+		return Work{}, fmt.Errorf("tmac: group size mismatch %d vs %d", len(data), len(p.Weights))
+	}
+	var w Work
+	for i, x := range data {
+		p.Acc += int64(p.Weights[i]) * int64(x)
+		w.Adds8 += 7
+		w.Accs32++
+		w.Cycles++
+	}
+	return w, nil
+}
+
+// Result returns the accumulated value.
+func (p *PMAC) Result() int64 { return p.Acc }
+
+// Reset clears the accumulator.
+func (p *PMAC) Reset() { p.Acc = 0 }
+
+// GroupBoundCycles returns the tMAC's synchronization bound for one group:
+// k·s cycles for a group budget k and at most s terms per data value
+// (Sec. V-A: "it requires no more than s×k cycles").
+func GroupBoundCycles(groupBudget, dataTerms int) int {
+	return groupBudget * dataTerms
+}

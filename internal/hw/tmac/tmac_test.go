@@ -1,0 +1,255 @@
+package tmac
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/term"
+)
+
+func expand(vals []int32, enc term.Encoding) []term.Expansion {
+	es := make([]term.Expansion, len(vals))
+	for i, v := range vals {
+		es[i] = term.Encode(v, enc)
+	}
+	return es
+}
+
+func TestCoeffVectorValue(t *testing.T) {
+	var cv CoeffVector
+	// Paper Sec. V-B example: coefficients (1,3,-1,0,4,1) over 2^5..2^0
+	// represent 81.
+	cv.Coeffs[5] = 1
+	cv.Coeffs[4] = 3
+	cv.Coeffs[3] = -1
+	cv.Coeffs[2] = 0
+	cv.Coeffs[1] = 4
+	cv.Coeffs[0] = 1
+	if got := cv.Value(); got != 81 {
+		t.Errorf("coefficient vector value = %d, want 81", got)
+	}
+}
+
+func TestCoeffVectorUpdateBounds(t *testing.T) {
+	var cv CoeffVector
+	if err := cv.Update(-1, false); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	if err := cv.Update(CoeffVectorLen, false); err == nil {
+		t.Error("exponent 15 accepted")
+	}
+	if err := cv.Update(14, false); err != nil {
+		t.Errorf("exponent 14 rejected: %v", err)
+	}
+}
+
+func TestCoeffVectorOverflowDetected(t *testing.T) {
+	var cv CoeffVector
+	for i := 0; i < coeffMax; i++ {
+		if err := cv.Update(0, false); err != nil {
+			t.Fatalf("premature overflow at %d", i)
+		}
+	}
+	if err := cv.Update(0, false); err == nil {
+		t.Error("overflow beyond 12-bit accumulator not detected")
+	}
+}
+
+// tMAC matches the exact integer dot product for every encoding.
+func TestTMACMatchesIntegerDotProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		g := 1 + rng.Intn(8)
+		w := make([]int32, g)
+		x := make([]int32, g)
+		var want int64
+		for i := range w {
+			w[i] = int32(rng.Intn(255) - 127)
+			x[i] = int32(rng.Intn(128)) // data is nonnegative post-ReLU
+			want += int64(w[i]) * int64(x[i])
+		}
+		enc := term.Encoding(rng.Intn(3))
+		cell := NewTMAC(expand(w, enc))
+		work, err := cell.ProcessGroup(expand(x, term.HESE))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cell.Result(); got != want {
+			t.Fatalf("tMAC result %d, want %d (enc %v)", got, want, enc)
+		}
+		if work.Cycles != work.Adds3 || work.Cycles != work.Bookkeeping {
+			t.Fatalf("work accounting inconsistent: %+v", work)
+		}
+	}
+}
+
+// The Fig. 10(b) scenario: with a TR budget k=6 and s=2-term data, a
+// group of 3 values needs at most 12 cycles, fewer when terms are sparse.
+func TestTMACFig10Bound(t *testing.T) {
+	w := []int32{12, 40, 81}
+	wExp, _ := core.RevealValues(w, term.Binary, 3, 6)
+	x := []int32{2, 5, 3}
+	xExp, _ := core.TruncateData(x, term.HESE, 2)
+	cell := NewTMAC(wExp)
+	work, err := cell.ProcessGroup(xExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound := GroupBoundCycles(6, 2); work.Cycles > bound {
+		t.Errorf("cycles %d exceed k·s bound %d", work.Cycles, bound)
+	}
+}
+
+// tMAC accumulates across multiple groups (a long dot product split into
+// groups) without error and without 12-bit overflow at length 4096.
+func TestTMACLongDotProductNoOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const length = 4096
+	const g = 8
+	var want int64
+	var cv CoeffVector
+	for start := 0; start < length; start += g {
+		w := make([]int32, g)
+		x := make([]int32, g)
+		for i := range w {
+			w[i] = int32(rng.Intn(255) - 127)
+			x[i] = int32(rng.Intn(128))
+		}
+		wExp, _ := core.RevealValues(w, term.HESE, g, 16)
+		xExp, _ := core.TruncateData(x, term.HESE, 3)
+		cell := NewTMAC(wExp)
+		cell.CV = cv
+		if _, err := cell.ProcessGroup(xExp); err != nil {
+			t.Fatalf("overflow in 4096-length dot product: %v", err)
+		}
+		cv = cell.CV
+		// The expected value is the dot product of the truncated operands.
+		for i := range w {
+			want += int64(wExp[i].Value()) * int64(xExp[i].Value())
+		}
+	}
+	if got := cv.Value(); got != want {
+		t.Fatalf("accumulated dot product %d, want %d", got, want)
+	}
+}
+
+func TestPMACMatchesIntegerDotProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		g := 1 + rng.Intn(8)
+		w := make([]int32, g)
+		x := make([]int32, g)
+		var want int64
+		for i := range w {
+			w[i] = int32(rng.Intn(255) - 127)
+			x[i] = int32(rng.Intn(255) - 127)
+			want += int64(w[i]) * int64(x[i])
+		}
+		cell := NewPMAC(w)
+		work, err := cell.ProcessGroup(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cell.Result() != want {
+			t.Fatalf("pMAC result %d, want %d", cell.Result(), want)
+		}
+		if work.Cycles != g || work.Accs32 != g || work.Adds8 != 7*g {
+			t.Fatalf("pMAC work %+v for group %d", work, g)
+		}
+	}
+}
+
+// The Sec. V-A work comparison: for g=3, k=6, s=2, tMAC does at most
+// 12 3-bit adds + 12 bookkeeping ops (24 total) versus pMAC's
+// 21 8-bit adds + 3 32-bit accumulations.
+func TestWorkComparisonSecVA(t *testing.T) {
+	w := []int32{37, -85, 102}
+	x := []int32{9, 17, 33}
+	wExp, _ := core.RevealValues(w, term.HESE, 3, 6)
+	xExp, _ := core.TruncateData(x, term.HESE, 2)
+
+	tCell := NewTMAC(wExp)
+	tWork, err := tCell.ProcessGroup(xExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tWork.Adds3 > 12 || tWork.Bookkeeping > 12 {
+		t.Errorf("tMAC work %+v exceeds the Sec. V-A bound of 12+12", tWork)
+	}
+
+	pCell := NewPMAC(w)
+	pWork, err := pCell.ProcessGroup(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pWork.Adds8 != 21 || pWork.Accs32 != 3 {
+		t.Errorf("pMAC work %+v, want 21 8-bit adds + 3 32-bit accs", pWork)
+	}
+}
+
+func TestGroupSizeMismatchErrors(t *testing.T) {
+	tCell := NewTMAC(make([]term.Expansion, 3))
+	if _, err := tCell.ProcessGroup(make([]term.Expansion, 2)); err == nil {
+		t.Error("tMAC accepted mismatched group")
+	}
+	pCell := NewPMAC(make([]int32, 3))
+	if _, err := pCell.ProcessGroup(make([]int32, 4)); err == nil {
+		t.Error("pMAC accepted mismatched group")
+	}
+}
+
+func TestWorkAdd(t *testing.T) {
+	a := Work{Adds3: 1, Bookkeeping: 2, Adds8: 3, Accs32: 4, Cycles: 5}
+	b := a
+	a.Add(b)
+	if a.Adds3 != 2 || a.Cycles != 10 || a.Accs32 != 8 {
+		t.Errorf("Work.Add broken: %+v", a)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	cell := NewTMAC(expand([]int32{3}, term.Binary))
+	if _, err := cell.ProcessGroup(expand([]int32{5}, term.Binary)); err != nil {
+		t.Fatal(err)
+	}
+	cell.Reset()
+	if cell.Result() != 0 {
+		t.Error("tMAC Reset did not clear")
+	}
+	p := NewPMAC([]int32{3})
+	if _, err := p.ProcessGroup([]int32{5}); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if p.Result() != 0 {
+		t.Error("pMAC Reset did not clear")
+	}
+}
+
+// Property: tMAC over random 8-bit groups always equals the integer dot
+// product, and cycle count equals the term-pair count.
+func TestTMACQuick(t *testing.T) {
+	f := func(wRaw, xRaw [4]int8) bool {
+		w := make([]int32, 4)
+		x := make([]int32, 4)
+		var want int64
+		for i := range w {
+			w[i] = int32(wRaw[i])
+			x[i] = int32(xRaw[i])
+			want += int64(w[i]) * int64(x[i])
+		}
+		wExp := expand(w, term.HESE)
+		xExp := expand(x, term.HESE)
+		cell := NewTMAC(wExp)
+		work, err := cell.ProcessGroup(xExp)
+		if err != nil {
+			return false
+		}
+		return cell.Result() == want && work.Cycles == core.TermPairCount(wExp, xExp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

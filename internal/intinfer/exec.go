@@ -1,0 +1,298 @@
+package intinfer
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// activation is the integer tensor flowing between steps: int32 codes at
+// the step's static scale, with a spatial shape for conv/pool stages.
+type activation struct {
+	data    []int32
+	c, h, w int // spatial shape; c*h*w == len(data) while spatial
+	flat    bool
+}
+
+// Infer runs one image through the plan and returns the logits in float
+// form (codes times the output scale) plus the predicted class.
+func (p *Plan) Infer(img []float32) ([]float32, int, error) {
+	if len(img) != p.inC*p.inH*p.inW {
+		return nil, 0, fmt.Errorf("intinfer: image has %d values, want %d",
+			len(img), p.inC*p.inH*p.inW)
+	}
+	// Input quantizer: the only float-to-int boundary.
+	act := activation{data: make([]int32, len(img)), c: p.inC, h: p.inH, w: p.inW}
+	for i, v := range img {
+		act.data[i] = clamp8(int32(math.RoundToEven(float64(v) / float64(p.inScale))))
+	}
+	for _, st := range p.steps {
+		var err error
+		act, err = p.exec(st, act)
+		if err != nil {
+			return nil, 0, fmt.Errorf("intinfer: step %s: %w", st.name, err)
+		}
+	}
+	logits := make([]float32, len(act.data))
+	best := 0
+	for i, c := range act.data {
+		logits[i] = float32(c) * p.outScale
+		if logits[i] > logits[best] {
+			best = i
+		}
+	}
+	return logits, best, nil
+}
+
+// InferBatch classifies a batch and returns predictions.
+func (p *Plan) InferBatch(images [][]float32) ([]int, error) {
+	preds := make([]int, len(images))
+	for i, img := range images {
+		_, cls, err := p.Infer(img)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = cls
+	}
+	return preds, nil
+}
+
+// Accuracy evaluates the plan over a labelled set.
+func (p *Plan) Accuracy(images [][]float32, labels []int) (float64, error) {
+	preds, err := p.InferBatch(images)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, pr := range preds {
+		if pr == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds)), nil
+}
+
+func clamp8(v int32) int32 {
+	if v > 127 {
+		return 127
+	}
+	if v < -127 {
+		return -127
+	}
+	return v
+}
+
+func (p *Plan) exec(st step, in activation) (activation, error) {
+	switch st.kind {
+	case kindConv:
+		return execConv(st, in)
+	case kindLinear:
+		return execLinear(st, in)
+	case kindReLU:
+		for i, v := range in.data {
+			if v < 0 {
+				in.data[i] = 0
+			} else if st.capCode > 0 && v > st.capCode {
+				in.data[i] = st.capCode
+			}
+		}
+		return in, nil
+	case kindMaxPool:
+		return execMaxPool(st, in)
+	case kindGAP:
+		return execGAP(in)
+	case kindResidual:
+		return p.execResidual(st, in)
+	case kindFlatten:
+		in.flat = true
+		return in, nil
+	default:
+		return in, fmt.Errorf("unknown step kind %d", st.kind)
+	}
+}
+
+// execResidual runs both branches (at the same target scale) and adds
+// their codes; the identity shortcut rescales from the input scale to the
+// target. Saturating to int8 matches the requantizer on the main path.
+func (p *Plan) execResidual(st step, in activation) (activation, error) {
+	// Branches consume independent copies of the activation (steps may
+	// mutate in place, e.g. ReLU).
+	bodyIn := activation{data: append([]int32(nil), in.data...), c: in.c, h: in.h, w: in.w}
+	var err error
+	body := bodyIn
+	for _, s := range st.body {
+		body, err = p.exec(s, body)
+		if err != nil {
+			return in, err
+		}
+	}
+	var skip activation
+	if st.proj != nil {
+		skip = activation{data: append([]int32(nil), in.data...), c: in.c, h: in.h, w: in.w}
+		for _, s := range st.proj {
+			skip, err = p.exec(s, skip)
+			if err != nil {
+				return in, err
+			}
+		}
+	} else {
+		// Identity shortcut: rescale codes to the target scale.
+		ratio := float64(st.shortcutScale) / float64(st.targetScale)
+		skip = activation{data: make([]int32, len(in.data)), c: in.c, h: in.h, w: in.w}
+		for i, v := range in.data {
+			skip.data[i] = clamp8(int32(math.RoundToEven(float64(v) * ratio)))
+		}
+	}
+	if len(body.data) != len(skip.data) {
+		return in, fmt.Errorf("residual branches disagree: %d vs %d values",
+			len(body.data), len(skip.data))
+	}
+	out := activation{data: make([]int32, len(body.data)), c: body.c, h: body.h, w: body.w}
+	for i := range out.data {
+		out.data[i] = clamp8(body.data[i] + skip.data[i])
+	}
+	return out, nil
+}
+
+// execGAP averages each channel plane with round-half-even; the scale is
+// unchanged, so no requantization is needed.
+func execGAP(in activation) (activation, error) {
+	if in.h == 0 || in.w == 0 {
+		return in, fmt.Errorf("GAP on non-spatial activation")
+	}
+	spatial := in.h * in.w
+	out := activation{data: make([]int32, in.c), flat: true}
+	for c := 0; c < in.c; c++ {
+		var sum int64
+		for i := 0; i < spatial; i++ {
+			sum += int64(in.data[c*spatial+i])
+		}
+		out.data[c] = int32(math.RoundToEven(float64(sum) / float64(spatial)))
+	}
+	return out, nil
+}
+
+// requant converts a 32-bit accumulator at scale sw·sx to an 8-bit code
+// at scale sy: code = round(acc · sw·sx / sy). This is the per-layer
+// requantization every integer deployment performs.
+func requant(acc int64, m float64) int32 {
+	return clamp8(int32(math.RoundToEven(float64(acc) * m)))
+}
+
+func execConv(st step, in activation) (activation, error) {
+	g := st.geom
+	if in.c != g.inC || in.h != g.inH || in.w != g.inW {
+		return in, fmt.Errorf("conv input %dx%dx%d, want %dx%dx%d",
+			in.c, in.h, in.w, g.inC, g.inH, g.inW)
+	}
+	m := float64(st.wScale) * float64(st.inScale) / float64(st.outScale)
+	cPerG := g.inC / g.groups
+	oPerG := g.outC / g.groups
+	kk := cPerG * g.kh * g.kw
+	out := activation{data: make([]int32, g.outC*g.outH*g.outW),
+		c: g.outC, h: g.outH, w: g.outW}
+	for oc := 0; oc < g.outC; oc++ {
+		grp := oc / oPerG
+		wRow := st.weights[oc*kk : (oc+1)*kk]
+		for oh := 0; oh < g.outH; oh++ {
+			for ow := 0; ow < g.outW; ow++ {
+				acc := int64(st.bias[oc])
+				for c := 0; c < cPerG; c++ {
+					ic := grp*cPerG + c
+					for kh := 0; kh < g.kh; kh++ {
+						ih := oh*g.stride + kh - g.pad
+						if ih < 0 || ih >= g.inH {
+							continue
+						}
+						rowOff := (ic*g.inH + ih) * g.inW
+						wOff := (c*g.kh + kh) * g.kw
+						for kw := 0; kw < g.kw; kw++ {
+							iw := ow*g.stride + kw - g.pad
+							if iw < 0 || iw >= g.inW {
+								continue
+							}
+							acc += int64(wRow[wOff+kw]) * int64(in.data[rowOff+iw])
+						}
+					}
+				}
+				out.data[(oc*g.outH+oh)*g.outW+ow] = requant(acc, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+func execLinear(st step, in activation) (activation, error) {
+	if len(in.data) != st.cols {
+		return in, fmt.Errorf("linear input %d values, want %d", len(in.data), st.cols)
+	}
+	m := float64(st.wScale) * float64(st.inScale) / float64(st.outScale)
+	out := activation{data: make([]int32, st.rows), flat: true}
+	for r := 0; r < st.rows; r++ {
+		acc := int64(st.bias[r])
+		row := st.weights[r*st.cols : (r+1)*st.cols]
+		for i, w := range row {
+			acc += int64(w) * int64(in.data[i])
+		}
+		out.data[r] = requant(acc, m)
+	}
+	return out, nil
+}
+
+func execMaxPool(st step, in activation) (activation, error) {
+	oh := (in.h-st.k)/st.stride + 1
+	ow := (in.w-st.k)/st.stride + 1
+	out := activation{data: make([]int32, in.c*oh*ow), c: in.c, h: oh, w: ow}
+	for c := 0; c < in.c; c++ {
+		plane := in.data[c*in.h*in.w:]
+		for py := 0; py < oh; py++ {
+			for px := 0; px < ow; px++ {
+				best := int32(math.MinInt32)
+				for ky := 0; ky < st.k; ky++ {
+					iy := py*st.stride + ky
+					for kx := 0; kx < st.k; kx++ {
+						if v := plane[iy*in.w+px*st.stride+kx]; v > best {
+							best = v
+						}
+					}
+				}
+				out.data[(c*oh+py)*ow+px] = best
+			}
+		}
+	}
+	return out, nil
+}
+
+// InferBatchParallel classifies a batch with a worker pool; a Plan is
+// immutable after Build, so concurrent Infer calls are safe. workers < 1
+// selects GOMAXPROCS.
+func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	preds := make([]int, len(images))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := wkr; i < len(images); i += workers {
+				_, cls, err := p.Infer(images[i])
+				if err != nil {
+					errs[wkr] = err
+					return
+				}
+				preds[i] = cls
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return preds, nil
+}

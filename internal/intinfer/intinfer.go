@@ -1,0 +1,392 @@
+// Package intinfer compiles trained models into integer-only inference
+// plans — the deployment form the paper's hardware executes. Weights are
+// 8-bit codes (optionally term-revealed), activations are 8-bit codes
+// with static per-layer scales from a calibration pass, accumulators are
+// 32-bit, and biases fold into the accumulator at the combined scale.
+// No floating point touches the data path between the input quantizer
+// and the logits.
+//
+// The engine supports conv / linear / ReLU / max pool / global average
+// pool / flatten chains plus residual blocks (both branches requantize to
+// a common scale so the skip-add is a plain integer addition). Fold batch
+// norms first (qsim.FoldBatchNorm); squeeze-excite topologies are
+// rejected at build time.
+package intinfer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/term"
+)
+
+// Options configures the compilation.
+type Options struct {
+	// WeightBits for the uniform quantization step (8 in the paper).
+	WeightBits int
+	// GroupSize/GroupBudget, when GroupBudget > 0, term-reveal the weight
+	// codes at build time (HESE encoding).
+	GroupSize, GroupBudget int
+	// Calibration images (flat, model geometry) for the static
+	// activation scales; at least one is required.
+	Calibration [][]float32
+}
+
+// step kinds.
+type kind int
+
+const (
+	kindConv kind = iota
+	kindLinear
+	kindReLU
+	kindMaxPool
+	kindFlatten
+	kindGAP
+	kindResidual
+)
+
+// step is one compiled operation.
+type step struct {
+	kind kind
+	name string
+
+	// conv / linear
+	geom       *convGeom
+	weights    []int32 // quantized (and revealed) codes, row-major
+	bias       []int32 // bias at the accumulator scale (sw*sx)
+	inScale    float32 // sx: static input scale
+	wScale     float32 // sw
+	outScale   float32 // sy: static output scale
+	rows, cols int     // linear dims (rows=out, cols=in)
+
+	// max pool
+	k, stride int
+	// relu cap in output codes (0 = none)
+	capCode int32
+
+	// residual: both branches produce codes at the residual's target
+	// scale; a nil proj means the identity shortcut, rescaled from
+	// shortcutScale to the target.
+	body, proj    []step
+	shortcutScale float32
+	targetScale   float32
+}
+
+type convGeom struct {
+	inC, inH, inW, outC, kh, kw, stride, pad, groups, outH, outW int
+}
+
+// Plan is a compiled integer inference program.
+type Plan struct {
+	steps         []step
+	inC, inH, inW int
+	classes       int
+	inScale       float32
+	outScale      float32
+}
+
+// Build compiles the model. The model itself is left unmodified.
+func Build(m *models.ImageModel, opts Options) (*Plan, error) {
+	if opts.WeightBits == 0 {
+		opts.WeightBits = 8
+	}
+	if len(opts.Calibration) == 0 {
+		return nil, fmt.Errorf("intinfer: calibration images required")
+	}
+	if opts.GroupBudget > 0 && opts.GroupSize < 1 {
+		return nil, fmt.Errorf("intinfer: group budget %d needs a group size", opts.GroupBudget)
+	}
+
+	// Calibration: capture every weight layer's input activations and the
+	// network output to fix static scales.
+	scales, outScale, err := calibrate(m, opts.Calibration)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{inC: m.InC, inH: m.InH, inW: m.InW, classes: m.Classes,
+		outScale: outScale}
+	c := &compiler{opts: opts, scales: scales}
+	var flat []nn.Layer
+	if err := flattenChain(m.Net, &flat); err != nil {
+		return nil, err
+	}
+	inScale, err := c.chainInputScale(flat)
+	if err != nil {
+		return nil, err
+	}
+	p.inScale = inScale
+	steps, err := c.compileChain(flat, inScale, outScale)
+	if err != nil {
+		return nil, err
+	}
+	p.steps = steps
+	return p, nil
+}
+
+// compiler threads the calibration scales through the recursive chain
+// compilation.
+type compiler struct {
+	opts   Options
+	scales map[string]float32
+}
+
+// flattenChain expands nested sequentials into a flat op list, keeping
+// Residual nodes intact for recursive compilation.
+func flattenChain(s *nn.Sequential, out *[]nn.Layer) error {
+	for _, l := range s.Layers {
+		switch v := l.(type) {
+		case *nn.Sequential:
+			if err := flattenChain(v, out); err != nil {
+				return err
+			}
+		case *nn.SEBlock:
+			return fmt.Errorf("intinfer: %T is not supported", l)
+		case *nn.BatchNorm2D:
+			return fmt.Errorf("intinfer: fold batch norm %s before building (qsim.FoldBatchNorm)", v.Name())
+		default:
+			*out = append(*out, l)
+		}
+	}
+	return nil
+}
+
+// chainInputScale is the calibrated scale of the first weight layer
+// reachable in the chain (descending into residual bodies: both branches
+// observed the same input tensor, so their first-layer scales agree).
+func (c *compiler) chainInputScale(chain []nn.Layer) (float32, error) {
+	for _, l := range chain {
+		switch v := l.(type) {
+		case *nn.Conv2D, *nn.Linear:
+			s, ok := c.scales[l.Name()]
+			if !ok {
+				return 0, fmt.Errorf("intinfer: no calibration for %s", l.Name())
+			}
+			return s, nil
+		case *nn.Residual:
+			var body []nn.Layer
+			seq, ok := v.Body.(*nn.Sequential)
+			if !ok {
+				return 0, fmt.Errorf("intinfer: residual body must be a Sequential")
+			}
+			if err := flattenChain(seq, &body); err != nil {
+				return 0, err
+			}
+			return c.chainInputScale(body)
+		}
+	}
+	return 0, fmt.Errorf("intinfer: chain has no weight layers")
+}
+
+// nextTarget returns the scale the activation must be requantized to
+// after position idx: the input scale of the next weight layer in the
+// chain (descending into residuals), or the chain's final target.
+func (c *compiler) nextTarget(chain []nn.Layer, idx int, final float32) (float32, error) {
+	for _, l := range chain[idx+1:] {
+		switch l.(type) {
+		case *nn.Conv2D, *nn.Linear, *nn.Residual:
+			return c.chainInputScale(chain[idx+1:])
+		}
+	}
+	return final, nil
+}
+
+// compileChain compiles a feed-forward chain whose input arrives at
+// inScale and whose output must leave at outScale.
+func (c *compiler) compileChain(chain []nn.Layer, inScale, outScale float32) ([]step, error) {
+	var steps []step
+	cur := inScale // scale of the activation flowing between steps
+	for idx, l := range chain {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			sx, ok := c.scales[v.Name()]
+			if !ok {
+				return nil, fmt.Errorf("intinfer: no calibration for %s", v.Name())
+			}
+			sy, err := c.nextTarget(chain, idx, outScale)
+			if err != nil {
+				return nil, err
+			}
+			st, err := compileConv(v, c.opts, sx, sy)
+			if err != nil {
+				return nil, err
+			}
+			steps = append(steps, st)
+			cur = sy
+		case *nn.Linear:
+			sx, ok := c.scales[v.Name()]
+			if !ok {
+				return nil, fmt.Errorf("intinfer: no calibration for %s", v.Name())
+			}
+			sy, err := c.nextTarget(chain, idx, outScale)
+			if err != nil {
+				return nil, err
+			}
+			st, err := compileLinear(v, c.opts, sx, sy)
+			if err != nil {
+				return nil, err
+			}
+			steps = append(steps, st)
+			cur = sy
+		case *nn.Residual:
+			sy, err := c.nextTarget(chain, idx, outScale)
+			if err != nil {
+				return nil, err
+			}
+			st, err := c.compileResidual(v, cur, sy)
+			if err != nil {
+				return nil, err
+			}
+			steps = append(steps, st)
+			cur = sy
+		case *nn.ReLU:
+			st := step{kind: kindReLU, name: v.Name()}
+			if v.Cap > 0 {
+				st.capCode = int32(math.Round(float64(v.Cap) / float64(cur)))
+			}
+			steps = append(steps, st)
+		case *nn.MaxPool2D:
+			steps = append(steps, step{kind: kindMaxPool, name: v.Name(),
+				k: v.K, stride: v.Stride})
+		case *nn.GlobalAvgPool2D:
+			// Integer mean preserves the scale; the preceding weight
+			// layer already requantized to the next layer's input scale.
+			steps = append(steps, step{kind: kindGAP, name: v.Name()})
+		case *nn.Flatten:
+			steps = append(steps, step{kind: kindFlatten, name: v.Name()})
+		case *nn.Identity, *nn.Dropout:
+			// no-ops at inference
+		default:
+			return nil, fmt.Errorf("intinfer: unsupported layer %T (%s)", l, l.Name())
+		}
+	}
+	return steps, nil
+}
+
+// compileResidual compiles both branches to produce codes at the target
+// scale, so the add is a plain integer addition.
+func (c *compiler) compileResidual(r *nn.Residual, inScale, target float32) (step, error) {
+	seq, ok := r.Body.(*nn.Sequential)
+	if !ok {
+		return step{}, fmt.Errorf("intinfer: residual body must be a Sequential")
+	}
+	var bodyChain []nn.Layer
+	if err := flattenChain(seq, &bodyChain); err != nil {
+		return step{}, err
+	}
+	body, err := c.compileChain(bodyChain, inScale, target)
+	if err != nil {
+		return step{}, err
+	}
+	st := step{kind: kindResidual, name: r.Name(), body: body,
+		shortcutScale: inScale, targetScale: target}
+	if r.Proj != nil {
+		pseq, ok := r.Proj.(*nn.Sequential)
+		if !ok {
+			return step{}, fmt.Errorf("intinfer: residual projection must be a Sequential")
+		}
+		var projChain []nn.Layer
+		if err := flattenChain(pseq, &projChain); err != nil {
+			return step{}, err
+		}
+		st.proj, err = c.compileChain(projChain, inScale, target)
+		if err != nil {
+			return step{}, err
+		}
+	}
+	return st, nil
+}
+
+// calibrate runs the float model over the calibration set with hooks
+// capturing max-abs statistics.
+func calibrate(m *models.ImageModel, images [][]float32) (map[string]float32, float32, error) {
+	maxabs := make(map[string]float32)
+	var restore []func()
+	record := func(name string) nn.MatMulHook {
+		return func(which string, data *tensor.Tensor) *tensor.Tensor {
+			if a := data.MaxAbs(); a > maxabs[name] {
+				maxabs[name] = a
+			}
+			return data
+		}
+	}
+	nn.Walk(m.Net, func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			old := v.Hook
+			v.Hook = record(v.Name())
+			restore = append(restore, func() { v.Hook = old })
+		case *nn.Linear:
+			old := v.Hook
+			v.Hook = record(v.Name())
+			restore = append(restore, func() { v.Hook = old })
+		}
+	})
+	out := m.Forward(images, false)
+	for i := len(restore) - 1; i >= 0; i-- {
+		restore[i]()
+	}
+	scales := make(map[string]float32, len(maxabs))
+	qmax := float32(127)
+	for name, a := range maxabs {
+		if a == 0 {
+			a = 1
+		}
+		scales[name] = a / qmax
+	}
+	oMax := out.MaxAbs()
+	if oMax == 0 {
+		oMax = 1
+	}
+	return scales, oMax / qmax, nil
+}
+
+func quantizeWeightRows(w []float32, rows, cols, bits, g, k int) ([]int32, float32) {
+	p := quant.MaxAbsParams(w, bits)
+	codes := p.QuantizeSlice(w)
+	if k > 0 {
+		for r := 0; r < rows; r++ {
+			_, revealed := core.RevealValues(codes[r*cols:(r+1)*cols], term.HESE, g, k)
+			copy(codes[r*cols:(r+1)*cols], revealed)
+		}
+	}
+	return codes, p.Scale
+}
+
+func compileConv(v *nn.Conv2D, opts Options, sx, sy float32) (step, error) {
+	g := v.Geom
+	kk := (g.InC / g.Groups) * g.KH * g.KW
+	codes, sw := quantizeWeightRows(v.Weight.W.Data, g.OutC, kk,
+		opts.WeightBits, opts.GroupSize, opts.GroupBudget)
+	st := step{kind: kindConv, name: v.Name(),
+		geom: &convGeom{inC: g.InC, inH: g.InH, inW: g.InW, outC: g.OutC,
+			kh: g.KH, kw: g.KW, stride: g.Stride, pad: g.Pad,
+			groups: g.Groups, outH: g.OutH, outW: g.OutW},
+		weights: codes, inScale: sx, wScale: sw, outScale: sy}
+	st.bias = make([]int32, g.OutC)
+	if v.Bias != nil {
+		acc := float64(sw) * float64(sx)
+		for i, b := range v.Bias.W.Data {
+			st.bias[i] = int32(math.Round(float64(b) / acc))
+		}
+	}
+	return st, nil
+}
+
+func compileLinear(v *nn.Linear, opts Options, sx, sy float32) (step, error) {
+	codes, sw := quantizeWeightRows(v.Weight.W.Data, v.Out, v.In,
+		opts.WeightBits, opts.GroupSize, opts.GroupBudget)
+	st := step{kind: kindLinear, name: v.Name(), rows: v.Out, cols: v.In,
+		weights: codes, inScale: sx, wScale: sw, outScale: sy}
+	st.bias = make([]int32, v.Out)
+	acc := float64(sw) * float64(sx)
+	for i, b := range v.Bias.W.Data {
+		st.bias[i] = int32(math.Round(float64(b) / acc))
+	}
+	return st, nil
+}

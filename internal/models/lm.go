@@ -1,0 +1,136 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// LSTMLM is the word-level language model of the paper's Wikitext-2
+// experiment: embedding, single-layer LSTM, linear head.
+type LSTMLM struct {
+	Name   string
+	Vocab  int
+	Embed  *nn.Embedding
+	Rnn    *nn.LSTM
+	Head   *nn.Linear
+	SeqLen int
+	drop   *nn.Dropout
+}
+
+// NewLSTMLM builds the language model.
+func NewLSTMLM(vocab, embedDim, hidden, seqLen int, dropout float64, seed int64) *LSTMLM {
+	rng := rand.New(rand.NewSource(seed))
+	return &LSTMLM{
+		Name:   "lstm-lm",
+		Vocab:  vocab,
+		Embed:  nn.NewEmbedding("embed", vocab, embedDim, rng),
+		Rnn:    nn.NewLSTM("lstm", embedDim, hidden, rng),
+		Head:   nn.NewLinear("head", hidden, vocab, rng),
+		SeqLen: seqLen,
+		drop:   nn.NewDropout("drop", dropout, seed+1),
+	}
+}
+
+// Params returns every learnable parameter.
+func (m *LSTMLM) Params() []*nn.Param {
+	ps := m.Embed.Params()
+	ps = append(ps, m.Rnn.Params()...)
+	ps = append(ps, m.Head.Params()...)
+	return ps
+}
+
+func (m *LSTMLM) zeroGrad() {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// forward runs a (T, B) token block and returns logits (T*B, Vocab).
+func (m *LSTMLM) forward(tokens []int, seqLen, batch int, train bool) *tensor.Tensor {
+	emb := m.Embed.Forward(tokens) // (T*B, E)
+	embSeq := emb.Reshape(seqLen, batch, m.Embed.Dim)
+	hidden := m.Rnn.Forward(embSeq) // (T, B, H)
+	flat := hidden.Reshape(seqLen*batch, m.Rnn.Hidden)
+	flat = m.drop.Forward(flat, train)
+	return m.Head.Forward(flat, train) // (T*B, V)
+}
+
+// LMTrainConfig controls language-model training.
+type LMTrainConfig struct {
+	Epochs  int
+	Batch   int
+	LR      float64
+	Clip    float64
+	Verbose bool
+}
+
+// DefaultLMTrain is the configuration used by the experiment harness.
+var DefaultLMTrain = LMTrainConfig{Epochs: 2, Batch: 8, LR: 3e-3, Clip: 1}
+
+// TrainLM fits the model on the corpus with truncated BPTT and returns
+// the final training loss per token.
+func (m *LSTMLM) TrainLM(corpus *datasets.TextCorpus, cfg LMTrainConfig) float64 {
+	opt := nn.NewAdam(cfg.LR, 0)
+	seqLen, batch := m.SeqLen, cfg.Batch
+	block := seqLen * batch
+	var last float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var total float64
+		steps := 0
+		for start := 0; start+block+1 <= len(corpus.Train); start += block {
+			// Column-major batching: sample b's sequence starts at
+			// start + b*seqLen; targets are the next token.
+			input := make([]int, block)
+			target := make([]int, block)
+			for t := 0; t < seqLen; t++ {
+				for b := 0; b < batch; b++ {
+					pos := start + b*seqLen + t
+					input[t*batch+b] = corpus.Train[pos]
+					target[t*batch+b] = corpus.Train[pos+1]
+				}
+			}
+			m.zeroGrad()
+			logits := m.forward(input, seqLen, batch, true)
+			loss, grad := nn.SoftmaxCrossEntropy(logits, target)
+			g := m.Head.Backward(grad)
+			g = m.drop.Backward(g)
+			g = m.Rnn.Backward(g.Reshape(seqLen, batch, m.Rnn.Hidden))
+			m.Embed.Backward(g.Reshape(seqLen*batch, m.Embed.Dim))
+			nn.ClipGradNorm(m.Params(), cfg.Clip)
+			opt.Step(m.Params())
+			total += loss
+			steps++
+		}
+		last = total / float64(steps)
+		if cfg.Verbose {
+			fmt.Printf("%s epoch %d: loss %.4f ppl %.2f\n", m.Name, epoch, last, math.Exp(last))
+		}
+	}
+	return last
+}
+
+// Perplexity evaluates the model on a token stream and returns
+// exp(mean cross-entropy), the paper's LSTM metric.
+func (m *LSTMLM) Perplexity(tokens []int) float64 {
+	seqLen := m.SeqLen
+	const batch = 1
+	var total float64
+	var count int
+	for start := 0; start+seqLen+1 <= len(tokens); start += seqLen {
+		input := tokens[start : start+seqLen]
+		target := tokens[start+1 : start+seqLen+1]
+		logits := m.forward(input, seqLen, batch, false)
+		loss, _ := nn.SoftmaxCrossEntropy(logits, target)
+		total += loss * float64(seqLen)
+		count += seqLen
+	}
+	if count == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(total / float64(count))
+}

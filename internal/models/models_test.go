@@ -1,0 +1,136 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+// smallGeom keeps the CNN tests fast.
+var smallGeom = CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
+
+func TestMLPTrainsAboveChance(t *testing.T) {
+	train := datasets.Digits(600, 1)
+	test := datasets.Digits(200, 2)
+	m := NewMLP(64, 3)
+	cfg := DefaultTrain
+	cfg.Epochs = 3
+	Train(m, train, cfg)
+	acc := Evaluate(m, test, 32)
+	if acc < 0.7 {
+		t.Errorf("MLP accuracy %.3f, want > 0.7 (chance is 0.1)", acc)
+	}
+}
+
+func TestCNNFamiliesForwardShapes(t *testing.T) {
+	builders := map[string]func(CNNGeom, int64) *ImageModel{
+		"vgg":       NewVGGStyle,
+		"resnet":    NewResNetStyle,
+		"mobilenet": NewMobileNetStyle,
+		"effnet":    NewEffNetStyle,
+	}
+	ds := datasets.ImageClasses(4, smallGeom.Classes, smallGeom.InC, smallGeom.InH, smallGeom.InW, 9)
+	for name, build := range builders {
+		m := build(smallGeom, 5)
+		logits := m.Forward(ds.Images, false)
+		if logits.Shape[0] != 4 || logits.Shape[1] != smallGeom.Classes {
+			t.Errorf("%s: logits shape %v", name, logits.Shape)
+		}
+	}
+}
+
+func TestCNNFamiliesTrainAboveChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	all := datasets.ImageClasses(360, smallGeom.Classes, smallGeom.InC, smallGeom.InH, smallGeom.InW, 10)
+	train, test := all.Split(240)
+	builders := map[string]func(CNNGeom, int64) *ImageModel{
+		"vgg":       NewVGGStyle,
+		"resnet":    NewResNetStyle,
+		"mobilenet": NewMobileNetStyle,
+		"effnet":    NewEffNetStyle,
+	}
+	for name, build := range builders {
+		m := build(smallGeom, 6)
+		cfg := DefaultTrain
+		cfg.Epochs = 3
+		Train(m, train, cfg)
+		acc := Evaluate(m, test, 16)
+		chance := 1.0 / float64(smallGeom.Classes)
+		if acc < chance+0.2 {
+			t.Errorf("%s accuracy %.3f barely above chance %.3f", name, acc, chance)
+		}
+	}
+}
+
+// The Sec. III-A premise: weight-decay training leaves conv/linear weights
+// approximately normally distributed.
+func TestTrainedWeightsAreNormalLike(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	train := datasets.Digits(600, 20)
+	m := NewMLP(64, 21)
+	cfg := DefaultTrain
+	cfg.Epochs = 3
+	Train(m, train, cfg)
+	var weights []float32
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if lin, ok := l.(*nn.Linear); ok {
+			weights = append(weights, lin.Weight.W.Data...)
+		}
+	})
+	score := stats.NormalityScore(weights)
+	if score < 0.6 {
+		t.Errorf("trained weight normality score %.3f too low", score)
+	}
+}
+
+func TestLSTMLMTrainsBelowUniformPerplexity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	corpus := datasets.MarkovText(6000, 1200, 60, 30)
+	m := NewLSTMLM(60, 16, 32, 12, 0.2, 31)
+	cfg := DefaultLMTrain
+	cfg.Epochs = 2
+	m.TrainLM(corpus, cfg)
+	ppl := m.Perplexity(corpus.Valid)
+	if ppl >= 60 {
+		t.Errorf("perplexity %.2f not below the uniform bound (vocab 60)", ppl)
+	}
+	if ppl > 40 {
+		t.Errorf("perplexity %.2f: model failed to learn the Markov structure", ppl)
+	}
+}
+
+func TestPerplexityEmptyStream(t *testing.T) {
+	m := NewLSTMLM(10, 4, 8, 4, 0, 1)
+	if p := m.Perplexity(nil); !isInf(p) {
+		t.Errorf("empty stream perplexity = %v, want +Inf", p)
+	}
+}
+
+func isInf(f float64) bool { return f > 1e300 }
+
+func TestModelWalkFindsWeightLayers(t *testing.T) {
+	m := NewEffNetStyle(smallGeom, 5)
+	convs, linears := 0, 0
+	nn.Walk(m.Net, func(l nn.Layer) {
+		switch l.(type) {
+		case *nn.Conv2D:
+			convs++
+		case *nn.Linear:
+			linears++
+		}
+	})
+	if convs < 10 {
+		t.Errorf("found only %d convs in effnet-style model", convs)
+	}
+	if linears < 9 { // head + 2 per SE block x 4 blocks
+		t.Errorf("found only %d linears", linears)
+	}
+}

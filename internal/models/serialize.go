@@ -1,0 +1,132 @@
+package models
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// snapshot is the on-disk form of a trained image model: the architecture
+// identifier plus geometry rebuild the graph; parameter and batch-norm
+// state restore the weights.
+type snapshot struct {
+	Arch   string
+	Geom   CNNGeom
+	Hidden int // MLP width
+	Params map[string][]float32
+	BNMean map[string][]float32
+	BNVar  map[string][]float32
+}
+
+// builders for deserialization; "mlp" is handled separately (different
+// constructor signature).
+var archBuilders = map[string]func(CNNGeom, int64) *ImageModel{
+	"vgg-style":       NewVGGStyle,
+	"resnet-style":    NewResNetStyle,
+	"mobilenet-style": NewMobileNetStyle,
+	"effnet-style":    NewEffNetStyle,
+}
+
+// Save serializes the model to w. The hidden argument records the MLP
+// width (ignored for CNNs).
+func Save(m *ImageModel, hidden int, w io.Writer) error {
+	snap := snapshot{
+		Arch:   m.Name,
+		Geom:   CNNGeom{InC: m.InC, InH: m.InH, InW: m.InW, Classes: m.Classes},
+		Hidden: hidden,
+		Params: make(map[string][]float32),
+		BNMean: make(map[string][]float32),
+		BNVar:  make(map[string][]float32),
+	}
+	for _, p := range m.Net.Params() {
+		if _, dup := snap.Params[p.Name]; dup {
+			return fmt.Errorf("models: duplicate parameter name %q", p.Name)
+		}
+		snap.Params[p.Name] = append([]float32(nil), p.W.Data...)
+	}
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			snap.BNMean[bn.Name()] = append([]float32(nil), bn.RunningMean...)
+			snap.BNVar[bn.Name()] = append([]float32(nil), bn.RunningVar...)
+		}
+	})
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reconstructs a model saved with Save.
+func Load(r io.Reader) (*ImageModel, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("models: decoding snapshot: %w", err)
+	}
+	var m *ImageModel
+	switch {
+	case snap.Arch == "mlp":
+		if snap.Hidden < 1 {
+			return nil, fmt.Errorf("models: MLP snapshot without hidden width")
+		}
+		m = NewMLP(snap.Hidden, 0)
+	default:
+		build, ok := archBuilders[snap.Arch]
+		if !ok {
+			return nil, fmt.Errorf("models: unknown architecture %q", snap.Arch)
+		}
+		m = build(snap.Geom, 0)
+	}
+	for _, p := range m.Net.Params() {
+		data, ok := snap.Params[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("models: snapshot missing parameter %q", p.Name)
+		}
+		if len(data) != len(p.W.Data) {
+			return nil, fmt.Errorf("models: parameter %q has %d values, want %d",
+				p.Name, len(data), len(p.W.Data))
+		}
+		copy(p.W.Data, data)
+	}
+	var restoreErr error
+	nn.Walk(m.Net, func(l nn.Layer) {
+		bn, ok := l.(*nn.BatchNorm2D)
+		if !ok || restoreErr != nil {
+			return
+		}
+		mean, okM := snap.BNMean[bn.Name()]
+		vari, okV := snap.BNVar[bn.Name()]
+		if !okM || !okV || len(mean) != len(bn.RunningMean) {
+			restoreErr = fmt.Errorf("models: snapshot missing batch-norm state for %q", bn.Name())
+			return
+		}
+		copy(bn.RunningMean, mean)
+		copy(bn.RunningVar, vari)
+	})
+	if restoreErr != nil {
+		return nil, restoreErr
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path.
+func SaveFile(m *ImageModel, hidden int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(m, hidden, f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*ImageModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

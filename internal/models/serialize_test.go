@@ -1,0 +1,92 @@
+package models
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func TestSaveLoadRoundTripCNN(t *testing.T) {
+	g := CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
+	all := datasets.ImageClasses(200, g.Classes, g.InC, g.InH, g.InW, 61)
+	train, test := all.Split(150)
+	m := NewResNetStyle(g, 62)
+	cfg := DefaultTrain
+	cfg.Epochs = 2
+	Train(m, train, cfg)
+	before := m.Forward(test.Images[:8], false)
+
+	var buf bytes.Buffer
+	if err := Save(m, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := loaded.Forward(test.Images[:8], false)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatalf("output %d differs after round trip: %v vs %v",
+				i, before.Data[i], after.Data[i])
+		}
+	}
+}
+
+func TestSaveLoadRoundTripMLP(t *testing.T) {
+	m := NewMLP(32, 63)
+	ds := datasets.Digits(8, 64)
+	before := m.Forward(ds.Images, false)
+	var buf bytes.Buffer
+	if err := Save(m, 32, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := loaded.Forward(ds.Images, false)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("MLP outputs differ after round trip")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	m := NewMLP(16, 65)
+	if err := SaveFile(m, 16, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "mlp" || loaded.Classes != 10 {
+		t.Errorf("loaded metadata wrong: %+v", loaded)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("corrupt input accepted")
+	}
+}
+
+func TestLoadRejectsMLPWithoutHidden(t *testing.T) {
+	m := NewMLP(16, 66)
+	var buf bytes.Buffer
+	if err := Save(m, 0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("MLP snapshot without hidden width accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation; Cap > 0 turns it into ReLU-n
+// (e.g. ReLU6 used by MobileNet-style blocks).
+type ReLU struct {
+	label string
+	Cap   float32 // 0 means uncapped
+	mask  []bool
+}
+
+// NewReLU builds an uncapped ReLU.
+func NewReLU(label string) *ReLU { return &ReLU{label: label} }
+
+// NewReLU6 builds a ReLU capped at 6.
+func NewReLU6(label string) *ReLU { return &ReLU{label: label, Cap: 6} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.label }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	r.mask = make([]bool, len(y.Data))
+	for i, v := range y.Data {
+		switch {
+		case v <= 0:
+			y.Data[i] = 0
+		case r.Cap > 0 && v >= r.Cap:
+			y.Data[i] = r.Cap
+		default:
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	for i := range g.Data {
+		if !r.mask[i] {
+			g.Data[i] = 0
+		}
+	}
+	return g
+}
+
+// Sigmoid is the logistic activation (used by squeeze-excite gates).
+type Sigmoid struct {
+	label string
+	out   []float32
+}
+
+// NewSigmoid builds a sigmoid layer.
+func NewSigmoid(label string) *Sigmoid { return &Sigmoid{label: label} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.label }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = sigmoid(v)
+	}
+	s.out = y.Data
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	for i := range g.Data {
+		o := s.out[i]
+		g.Data[i] *= o * (1 - o)
+	}
+	return g
+}
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+func tanhf(v float32) float32 {
+	return float32(math.Tanh(float64(v)))
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Residual wraps a body with a skip connection: y = body(x) + proj(x),
+// where proj is the identity when nil (the classic ResNet basic-block
+// wiring; a 1x1 strided conv projection handles shape changes).
+type Residual struct {
+	label string
+	Body  Layer
+	Proj  Layer // nil for identity shortcut
+}
+
+// NewResidual builds a residual wrapper.
+func NewResidual(label string, body, proj Layer) *Residual {
+	return &Residual{label: label, Body: body, Proj: proj}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.label }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Proj != nil {
+		ps = append(ps, r.Proj.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	var skip *tensor.Tensor
+	if r.Proj != nil {
+		skip = r.Proj.Forward(x, train)
+	} else {
+		skip = x
+	}
+	out := y.Clone()
+	out.AddInPlace(skip)
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dBody := r.Body.Backward(grad)
+	var dSkip *tensor.Tensor
+	if r.Proj != nil {
+		dSkip = r.Proj.Backward(grad)
+	} else {
+		dSkip = grad
+	}
+	dx := dBody.Clone()
+	dx.AddInPlace(dSkip)
+	return dx
+}
+
+// SEBlock is a squeeze-and-excitation gate (EfficientNet's MBConv):
+// channel descriptors from global average pooling pass through a
+// bottleneck MLP and a sigmoid, and the result rescales each channel.
+type SEBlock struct {
+	label string
+	C     int
+	FC1   *Linear
+	FC2   *Linear
+	relu  *ReLU
+	sig   *Sigmoid
+
+	lastX     *tensor.Tensor
+	lastScale *tensor.Tensor
+	pool      *GlobalAvgPool2D
+}
+
+// NewSEBlock builds a squeeze-excite block with the given reduction.
+func NewSEBlock(label string, c, reduction int, rng *rand.Rand) *SEBlock {
+	mid := c / reduction
+	if mid < 1 {
+		mid = 1
+	}
+	return &SEBlock{
+		label: label,
+		C:     c,
+		FC1:   NewLinear(label+".fc1", c, mid, rng),
+		FC2:   NewLinear(label+".fc2", mid, c, rng),
+		relu:  NewReLU(label + ".relu"),
+		sig:   NewSigmoid(label + ".sigmoid"),
+		pool:  NewGlobalAvgPool2D(label + ".pool"),
+	}
+}
+
+// Name implements Layer.
+func (se *SEBlock) Name() string { return se.label }
+
+// Params implements Layer.
+func (se *SEBlock) Params() []*Param {
+	return append(se.FC1.Params(), se.FC2.Params()...)
+}
+
+// Forward implements Layer.
+func (se *SEBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	se.lastX = x
+	pooled := se.pool.Forward(x, train) // (B, C)
+	h := se.relu.Forward(se.FC1.Forward(pooled, train), train)
+	scale := se.sig.Forward(se.FC2.Forward(h, train), train) // (B, C)
+	se.lastScale = scale
+	b, c := x.Shape[0], x.Shape[1]
+	spatial := 1
+	for _, d := range x.Shape[2:] {
+		spatial *= d
+	}
+	y := x.Clone()
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			sc := scale.Data[s*c+ch]
+			row := y.Data[(s*c+ch)*spatial : (s*c+ch+1)*spatial]
+			for i := range row {
+				row[i] *= sc
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (se *SEBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := se.lastX
+	b, c := x.Shape[0], x.Shape[1]
+	spatial := 1
+	for _, d := range x.Shape[2:] {
+		spatial *= d
+	}
+	// d/dscale and the direct path d/dx = grad * scale.
+	dScale := tensor.New(b, c)
+	dx := grad.Clone()
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			off := (s*c + ch) * spatial
+			var sum float32
+			sc := se.lastScale.Data[s*c+ch]
+			for i := 0; i < spatial; i++ {
+				sum += grad.Data[off+i] * x.Data[off+i]
+				dx.Data[off+i] *= sc
+			}
+			dScale.Data[s*c+ch] = sum
+		}
+	}
+	// Back through the gate MLP into the pooled descriptor.
+	g := se.sig.Backward(dScale)
+	g = se.FC2.Backward(g)
+	g = se.relu.Backward(g)
+	g = se.FC1.Backward(g)
+	dPooled := se.pool.Backward(g)
+	dx.AddInPlace(dPooled)
+	return dx
+}

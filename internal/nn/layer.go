@@ -1,0 +1,142 @@
+// Package nn is the neural-network substrate: layers with explicit
+// forward/backward passes, containers, losses and optimizers, sufficient
+// to train the paper's evaluation models (an MLP, CNNs in the style of
+// VGG/ResNet/MobileNet/EfficientNet, and an LSTM language model) from
+// scratch, offline, on synthetic data. Quantized (QT / TR) inference on
+// trained models is provided by package qsim on top of this package.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MatMulHook observes and optionally rewrites the data operand feeding a
+// weight matmul. The first argument identifies the matmul (the layer
+// label, plus a suffix for layers with several weight matrices).
+type MatMulHook func(which string, data *tensor.Tensor) *tensor.Tensor
+
+// Param is a learnable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	W, G  *tensor.Tensor
+	Decay bool // whether weight decay applies (biases and norms opt out)
+}
+
+// NewParam allocates a parameter and its gradient of the given shape.
+func NewParam(name string, decay bool, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), G: tensor.New(shape...), Decay: decay}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.G.Fill(0) }
+
+// Layer is a differentiable module. Forward consumes the previous
+// activation and returns the next; Backward consumes dL/dout and returns
+// dL/din, accumulating parameter gradients along the way. A layer caches
+// whatever it needs between Forward and Backward, so a Layer instance is
+// not safe for concurrent use.
+type Layer interface {
+	Name() string
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Label  string
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(label string, layers ...Layer) *Sequential {
+	return &Sequential{Label: label, Layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.Label }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs every layer's backward in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params collects all parameters in the container.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient under the container.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// heInit fills w with Kaiming-normal values for the given fan-in.
+func heInit(w *tensor.Tensor, rng *rand.Rand, fanIn int) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	w.RandN(rng, std)
+}
+
+// xavierInit fills w with Glorot-normal values.
+func xavierInit(w *tensor.Tensor, rng *rand.Rand, fanIn, fanOut int) {
+	std := math.Sqrt(2.0 / float64(fanIn+fanOut))
+	w.RandN(rng, std)
+}
+
+// Walk visits l and every layer nested inside it (Sequential children,
+// Residual bodies and projections, squeeze-excite MLPs), in forward
+// order. Package qsim uses it to find all weight-bearing layers.
+func Walk(l Layer, fn func(Layer)) {
+	fn(l)
+	switch v := l.(type) {
+	case *Sequential:
+		for _, c := range v.Layers {
+			Walk(c, fn)
+		}
+	case *Residual:
+		Walk(v.Body, fn)
+		if v.Proj != nil {
+			Walk(v.Proj, fn)
+		}
+	case *SEBlock:
+		Walk(v.FC1, fn)
+		Walk(v.FC2, fn)
+	}
+}
+
+// Identity passes activations through unchanged. Folding transforms (see
+// package qsim) substitute it for layers that have been absorbed into a
+// neighbour.
+type Identity struct{ Label string }
+
+// Name implements Layer.
+func (i *Identity) Name() string { return i.Label }
+
+// Forward implements Layer.
+func (i *Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+
+// Backward implements Layer.
+func (i *Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Params implements Layer.
+func (i *Identity) Params() []*Param { return nil }

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x·Wᵀ + b, with x of shape
+// (batch, in) and W of shape (out, in).
+type Linear struct {
+	label   string
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+	// Hook, when set, observes and may rewrite the data operand feeding
+	// the weight matmul (package qsim uses it to emulate run-time data
+	// quantization and count term pairs). It must return a tensor of the
+	// same shape.
+	Hook   MatMulHook
+	lastIn *tensor.Tensor
+}
+
+// NewLinear builds a fully connected layer with He initialization.
+func NewLinear(label string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		label:  label,
+		In:     in,
+		Out:    out,
+		Weight: NewParam(label+".weight", true, out, in),
+		Bias:   NewParam(label+".bias", false, out),
+	}
+	heInit(l.Weight.W, rng, in)
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.label }
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b := x.Shape[0]
+	x2 := x.Reshape(b, l.In)
+	if l.Hook != nil {
+		x2 = l.Hook(l.label, x2)
+	}
+	l.lastIn = x2
+	y := tensor.MatMulTransB(x2, l.Weight.W)
+	for i := 0; i < b; i++ {
+		row := y.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	b := grad.Shape[0]
+	g2 := grad.Reshape(b, l.Out)
+	// dW = gᵀ·x, accumulated.
+	dW := tensor.MatMulTransA(g2, l.lastIn)
+	l.Weight.G.AddInPlace(dW)
+	for i := 0; i < b; i++ {
+		row := g2.Data[i*l.Out : (i+1)*l.Out]
+		for j, v := range row {
+			l.Bias.G.Data[j] += v
+		}
+	}
+	// dx = g·W.
+	return tensor.MatMul(g2, l.Weight.W)
+}
+
+// Flatten reshapes (B, ...) activations to (B, features).
+type Flatten struct {
+	label     string
+	lastShape []int
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten(label string) *Flatten { return &Flatten{label: label} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.label }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastShape = append([]int(nil), x.Shape...)
+	n := 1
+	for _, d := range x.Shape[1:] {
+		n *= d
+	}
+	return x.Reshape(x.Shape[0], n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.lastShape...)
+}
+
+// Dropout zeroes activations with probability P during training and
+// rescales survivors by 1/(1-P) (inverted dropout).
+type Dropout struct {
+	label string
+	P     float64
+	rng   *rand.Rand
+	mask  []float32
+}
+
+// NewDropout builds a dropout layer with its own deterministic stream.
+func NewDropout(label string, p float64, seed int64) *Dropout {
+	return &Dropout{label: label, P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.label }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	d.mask = make([]float32, len(x.Data))
+	keep := float32(1 - d.P)
+	inv := 1 / keep
+	for i := range y.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = inv
+			y.Data[i] *= inv
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	g := grad.Clone()
+	for i := range g.Data {
+		g.Data[i] *= d.mask[i]
+	}
+	return g
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (B, C) against integer targets and the gradient dL/dlogits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	b, c := logits.Shape[0], logits.Shape[1]
+	if len(targets) != b {
+		panic("nn: target count does not match batch")
+	}
+	grad := tensor.New(b, c)
+	var loss float64
+	for s := 0; s < b; s++ {
+		row := logits.Data[s*c : (s+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		logSum := math.Log(sum)
+		t := targets[s]
+		loss += logSum - float64(row[t]-maxV)
+		for j := 0; j < c; j++ {
+			p := math.Exp(float64(row[j]-maxV)) / sum
+			grad.Data[s*c+j] = float32(p) / float32(b)
+		}
+		grad.Data[s*c+t] -= 1 / float32(b)
+	}
+	return loss / float64(b), grad
+}
+
+// Softmax returns row-wise softmax probabilities of logits (B, C).
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	b, c := logits.Shape[0], logits.Shape[1]
+	out := tensor.New(b, c)
+	for s := 0; s < b; s++ {
+		row := logits.Data[s*c : (s+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		for j, v := range row {
+			out.Data[s*c+j] = float32(math.Exp(float64(v-maxV)) / sum)
+		}
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows of logits whose argmax matches the
+// target.
+func Accuracy(logits *tensor.Tensor, targets []int) float64 {
+	b, c := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for s := 0; s < b; s++ {
+		row := tensor.FromSlice(logits.Data[s*c:(s+1)*c], c)
+		if row.Argmax() == targets[s] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(b)
+}

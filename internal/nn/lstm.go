@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Embedding maps integer tokens to dense vectors. It does not implement
+// Layer (its input is token indices, not a tensor); the language model in
+// package models wires it explicitly.
+type Embedding struct {
+	label      string
+	Vocab, Dim int
+	Weight     *Param
+	lastTokens []int
+}
+
+// NewEmbedding builds an embedding table with Xavier initialization.
+func NewEmbedding(label string, vocab, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{label: label, Vocab: vocab, Dim: dim,
+		Weight: NewParam(label+".weight", false, vocab, dim)}
+	xavierInit(e.Weight.W, rng, vocab, dim)
+	return e
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.Weight} }
+
+// Forward gathers rows for each token, producing (len(tokens), Dim).
+func (e *Embedding) Forward(tokens []int) *tensor.Tensor {
+	e.lastTokens = append(e.lastTokens[:0], tokens...)
+	out := tensor.New(len(tokens), e.Dim)
+	for i, t := range tokens {
+		copy(out.Data[i*e.Dim:(i+1)*e.Dim], e.Weight.W.Data[t*e.Dim:(t+1)*e.Dim])
+	}
+	return out
+}
+
+// Backward scatters the gradient back into the table rows.
+func (e *Embedding) Backward(grad *tensor.Tensor) {
+	for i, t := range e.lastTokens {
+		dst := e.Weight.G.Data[t*e.Dim : (t+1)*e.Dim]
+		src := grad.Data[i*e.Dim : (i+1)*e.Dim]
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	}
+}
+
+// LSTM is a single-layer LSTM processing a full sequence with
+// backpropagation through time. Gate order in the packed weight matrices
+// is input, forget, cell, output. Input shape is (T, B, In); output is
+// (T, B, Hidden).
+type LSTM struct {
+	label      string
+	In, Hidden int
+	Wx         *Param // (4H, In)
+	Wh         *Param // (4H, H)
+	B          *Param // (4H)
+	// Hook, when set, observes and may rewrite the data operands feeding
+	// the two recurrent matmuls; it is invoked with labels "<name>.wx"
+	// (step input) and "<name>.wh" (previous hidden state).
+	Hook MatMulHook
+
+	// caches for BPTT
+	seqLen, batch   int
+	xs              *tensor.Tensor
+	hs, cs          []*tensor.Tensor // per step, (B, H); index 0 is initial state
+	gi, gf, gg, go_ []*tensor.Tensor // post-activation gates per step
+	tanhC           []*tensor.Tensor
+}
+
+// NewLSTM builds the LSTM with Xavier-initialized weights and the
+// customary forget-gate bias of 1.
+func NewLSTM(label string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{label: label, In: in, Hidden: hidden,
+		Wx: NewParam(label+".wx", true, 4*hidden, in),
+		Wh: NewParam(label+".wh", true, 4*hidden, hidden),
+		B:  NewParam(label+".bias", false, 4*hidden),
+	}
+	xavierInit(l.Wx.W, rng, in, hidden)
+	xavierInit(l.Wh.W, rng, hidden, hidden)
+	for i := hidden; i < 2*hidden; i++ {
+		l.B.W.Data[i] = 1 // forget gate bias
+	}
+	return l
+}
+
+// Params returns the LSTM parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// Forward runs the sequence x of shape (T, B, In) from a zero initial
+// state and returns the hidden states (T, B, Hidden).
+func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
+	seqLen, batch := x.Shape[0], x.Shape[1]
+	l.seqLen, l.batch = seqLen, batch
+	l.xs = x
+	h := tensor.New(batch, l.Hidden)
+	c := tensor.New(batch, l.Hidden)
+	l.hs = []*tensor.Tensor{h}
+	l.cs = []*tensor.Tensor{c}
+	l.gi = l.gi[:0]
+	l.gf = l.gf[:0]
+	l.gg = l.gg[:0]
+	l.go_ = l.go_[:0]
+	l.tanhC = l.tanhC[:0]
+	out := tensor.New(seqLen, batch, l.Hidden)
+	hDim := l.Hidden
+	for t := 0; t < seqLen; t++ {
+		xt := tensor.FromSlice(x.Data[t*batch*l.In:(t+1)*batch*l.In], batch, l.In)
+		hIn := h
+		if l.Hook != nil {
+			xt = l.Hook(l.label+".wx", xt)
+			hIn = l.Hook(l.label+".wh", h)
+		}
+		z := tensor.MatMulTransB(xt, l.Wx.W) // (B, 4H)
+		zh := tensor.MatMulTransB(hIn, l.Wh.W)
+		z.AddInPlace(zh)
+		for s := 0; s < batch; s++ {
+			row := z.Data[s*4*hDim : (s+1)*4*hDim]
+			for j := range row {
+				row[j] += l.B.W.Data[j]
+			}
+		}
+		i := tensor.New(batch, hDim)
+		f := tensor.New(batch, hDim)
+		g := tensor.New(batch, hDim)
+		o := tensor.New(batch, hDim)
+		cNew := tensor.New(batch, hDim)
+		hNew := tensor.New(batch, hDim)
+		tc := tensor.New(batch, hDim)
+		for s := 0; s < batch; s++ {
+			row := z.Data[s*4*hDim:]
+			for j := 0; j < hDim; j++ {
+				iv := sigmoid(row[j])
+				fv := sigmoid(row[hDim+j])
+				gv := tanhf(row[2*hDim+j])
+				ov := sigmoid(row[3*hDim+j])
+				cv := fv*c.Data[s*hDim+j] + iv*gv
+				tcv := tanhf(cv)
+				i.Data[s*hDim+j] = iv
+				f.Data[s*hDim+j] = fv
+				g.Data[s*hDim+j] = gv
+				o.Data[s*hDim+j] = ov
+				cNew.Data[s*hDim+j] = cv
+				tc.Data[s*hDim+j] = tcv
+				hNew.Data[s*hDim+j] = ov * tcv
+			}
+		}
+		l.gi = append(l.gi, i)
+		l.gf = append(l.gf, f)
+		l.gg = append(l.gg, g)
+		l.go_ = append(l.go_, o)
+		l.tanhC = append(l.tanhC, tc)
+		l.hs = append(l.hs, hNew)
+		l.cs = append(l.cs, cNew)
+		h, c = hNew, cNew
+		copy(out.Data[t*batch*hDim:(t+1)*batch*hDim], hNew.Data)
+	}
+	return out
+}
+
+// Backward backpropagates dL/dout (T, B, Hidden) through time,
+// accumulating parameter gradients and returning dL/dx (T, B, In).
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	seqLen, batch, hDim := l.seqLen, l.batch, l.Hidden
+	dx := tensor.New(seqLen, batch, l.In)
+	dhNext := tensor.New(batch, hDim)
+	dcNext := tensor.New(batch, hDim)
+	for t := seqLen - 1; t >= 0; t-- {
+		dh := tensor.New(batch, hDim)
+		copy(dh.Data, grad.Data[t*batch*hDim:(t+1)*batch*hDim])
+		dh.AddInPlace(dhNext)
+		i, f, g, o := l.gi[t], l.gf[t], l.gg[t], l.go_[t]
+		tc := l.tanhC[t]
+		cPrev := l.cs[t]
+		dz := tensor.New(batch, 4*hDim)
+		dcNew := tensor.New(batch, hDim)
+		for s := 0; s < batch; s++ {
+			for j := 0; j < hDim; j++ {
+				idx := s*hDim + j
+				do := dh.Data[idx] * tc.Data[idx]
+				dc := dh.Data[idx]*o.Data[idx]*(1-tc.Data[idx]*tc.Data[idx]) + dcNext.Data[idx]
+				di := dc * g.Data[idx]
+				df := dc * cPrev.Data[idx]
+				dg := dc * i.Data[idx]
+				dcNew.Data[idx] = dc * f.Data[idx]
+				zrow := dz.Data[s*4*hDim:]
+				zrow[j] = di * i.Data[idx] * (1 - i.Data[idx])
+				zrow[hDim+j] = df * f.Data[idx] * (1 - f.Data[idx])
+				zrow[2*hDim+j] = dg * (1 - g.Data[idx]*g.Data[idx])
+				zrow[3*hDim+j] = do * o.Data[idx] * (1 - o.Data[idx])
+			}
+		}
+		dcNext = dcNew
+		xt := tensor.FromSlice(l.xs.Data[t*batch*l.In:(t+1)*batch*l.In], batch, l.In)
+		hPrev := l.hs[t]
+		// Parameter gradients.
+		l.Wx.G.AddInPlace(tensor.MatMulTransA(dz, xt))
+		l.Wh.G.AddInPlace(tensor.MatMulTransA(dz, hPrev))
+		for s := 0; s < batch; s++ {
+			row := dz.Data[s*4*hDim : (s+1)*4*hDim]
+			for j, v := range row {
+				l.B.G.Data[j] += v
+			}
+		}
+		// Input and recurrent gradients.
+		dxt := tensor.MatMul(dz, l.Wx.W)
+		copy(dx.Data[t*batch*l.In:(t+1)*batch*l.In], dxt.Data)
+		dhNext = tensor.MatMul(dz, l.Wh.W)
+	}
+	return dx
+}

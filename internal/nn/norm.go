@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2D normalizes (B, C, H, W) activations per channel. During
+// training it uses batch statistics and maintains running estimates; at
+// inference it uses the running estimates (standard behaviour, and the
+// setting in which the paper's quantization operates: batch norm folds
+// into an affine transform).
+type BatchNorm2D struct {
+	label    string
+	C        int
+	Eps      float32
+	Momentum float32
+	Gamma    *Param
+	Beta     *Param
+
+	RunningMean []float32
+	RunningVar  []float32
+
+	// caches for backward
+	lastX    *tensor.Tensor
+	xhat     []float32
+	invStd   []float32
+	lastMean []float32
+}
+
+// NewBatchNorm2D builds a batch norm layer over C channels.
+func NewBatchNorm2D(label string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		label:       label,
+		C:           c,
+		Eps:         1e-5,
+		Momentum:    0.1,
+		Gamma:       NewParam(label+".gamma", false, c),
+		Beta:        NewParam(label+".beta", false, c),
+		RunningMean: make([]float32, c),
+		RunningVar:  make([]float32, c),
+	}
+	bn.Gamma.W.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return bn.label }
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b := x.Shape[0]
+	spatial := 1
+	for _, d := range x.Shape[2:] {
+		spatial *= d
+	}
+	y := x.Clone()
+	if train {
+		bn.lastX = x
+		bn.xhat = make([]float32, len(x.Data))
+		bn.invStd = make([]float32, bn.C)
+		bn.lastMean = make([]float32, bn.C)
+		n := float32(b * spatial)
+		for c := 0; c < bn.C; c++ {
+			var mean float64
+			for s := 0; s < b; s++ {
+				row := x.Data[(s*bn.C+c)*spatial : (s*bn.C+c+1)*spatial]
+				for _, v := range row {
+					mean += float64(v)
+				}
+			}
+			mean /= float64(n)
+			var vari float64
+			for s := 0; s < b; s++ {
+				row := x.Data[(s*bn.C+c)*spatial : (s*bn.C+c+1)*spatial]
+				for _, v := range row {
+					d := float64(v) - mean
+					vari += d * d
+				}
+			}
+			vari /= float64(n)
+			inv := float32(1 / math.Sqrt(vari+float64(bn.Eps)))
+			bn.invStd[c] = inv
+			bn.lastMean[c] = float32(mean)
+			bn.RunningMean[c] = (1-bn.Momentum)*bn.RunningMean[c] + bn.Momentum*float32(mean)
+			bn.RunningVar[c] = (1-bn.Momentum)*bn.RunningVar[c] + bn.Momentum*float32(vari)
+			gamma, beta := bn.Gamma.W.Data[c], bn.Beta.W.Data[c]
+			for s := 0; s < b; s++ {
+				off := (s*bn.C + c) * spatial
+				for i := 0; i < spatial; i++ {
+					xh := (x.Data[off+i] - float32(mean)) * inv
+					bn.xhat[off+i] = xh
+					y.Data[off+i] = gamma*xh + beta
+				}
+			}
+		}
+		return y
+	}
+	for c := 0; c < bn.C; c++ {
+		inv := float32(1 / math.Sqrt(float64(bn.RunningVar[c])+float64(bn.Eps)))
+		gamma, beta := bn.Gamma.W.Data[c], bn.Beta.W.Data[c]
+		mean := bn.RunningMean[c]
+		for s := 0; s < b; s++ {
+			off := (s*bn.C + c) * spatial
+			for i := 0; i < spatial; i++ {
+				y.Data[off+i] = gamma*(x.Data[off+i]-mean)*inv + beta
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer (training mode only).
+func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	b := grad.Shape[0]
+	spatial := 1
+	for _, d := range grad.Shape[2:] {
+		spatial *= d
+	}
+	n := float32(b * spatial)
+	dx := tensor.New(grad.Shape...)
+	for c := 0; c < bn.C; c++ {
+		var sumG, sumGX float64
+		for s := 0; s < b; s++ {
+			off := (s*bn.C + c) * spatial
+			for i := 0; i < spatial; i++ {
+				g := float64(grad.Data[off+i])
+				sumG += g
+				sumGX += g * float64(bn.xhat[off+i])
+			}
+		}
+		bn.Beta.G.Data[c] += float32(sumG)
+		bn.Gamma.G.Data[c] += float32(sumGX)
+		gamma := bn.Gamma.W.Data[c]
+		inv := bn.invStd[c]
+		meanG := float32(sumG) / n
+		meanGX := float32(sumGX) / n
+		for s := 0; s < b; s++ {
+			off := (s*bn.C + c) * spatial
+			for i := 0; i < spatial; i++ {
+				dx.Data[off+i] = gamma * inv *
+					(grad.Data[off+i] - meanG - bn.xhat[off+i]*meanGX)
+			}
+		}
+	}
+	return dx
+}

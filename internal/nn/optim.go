@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with momentum and decoupled weight
+// decay (weight decay is the mechanism behind the paper's Sec. III-A
+// premise that trained weights are approximately normally distributed).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	vel         map[*Param]*tensor.Tensor
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		vel: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter and leaves gradients intact
+// (call ZeroGrad before the next accumulation).
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := o.vel[p]
+		if !ok {
+			v = tensor.New(p.W.Shape...)
+			o.vel[p] = v
+		}
+		wd := float32(0)
+		if p.Decay {
+			wd = float32(o.WeightDecay)
+		}
+		lr := float32(o.LR)
+		mu := float32(o.Momentum)
+		for i := range p.W.Data {
+			g := p.G.Data[i] + wd*p.W.Data[i]
+			v.Data[i] = mu*v.Data[i] - lr*g
+			p.W.Data[i] += v.Data[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer used for the LSTM language model.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+	t                     int
+	m, v                  map[*Param]*tensor.Tensor
+}
+
+// NewAdam builds an Adam optimizer with conventional defaults for the
+// moment coefficients.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: make(map[*Param]*tensor.Tensor), v: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one Adam update to every parameter.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.W.Shape...)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.W.Shape...)
+		}
+		v := o.v[p]
+		wd := float32(0)
+		if p.Decay {
+			wd = float32(o.WeightDecay)
+		}
+		for i := range p.W.Data {
+			g := float64(p.G.Data[i] + wd*p.W.Data[i])
+			m.Data[i] = float32(o.Beta1*float64(m.Data[i]) + (1-o.Beta1)*g)
+			v.Data[i] = float32(o.Beta2*float64(v.Data[i]) + (1-o.Beta2)*g*g)
+			mh := float64(m.Data[i]) / bc1
+			vh := float64(v.Data[i]) / bc2
+			p.W.Data[i] -= float32(o.LR * mh / (math.Sqrt(vh) + o.Eps))
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm (used when training the LSTM).
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.G.Scale(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// MaxPool2D pools (B, C, H, W) activations with a square window.
+type MaxPool2D struct {
+	label     string
+	K, Stride int
+	lastShape []int
+	argmax    []int // flat input index of each output's maximum
+}
+
+// NewMaxPool2D builds a max pooling layer.
+func NewMaxPool2D(label string, k, stride int) *MaxPool2D {
+	return &MaxPool2D{label: label, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return m.label }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-m.K)/m.Stride + 1
+	ow := (w-m.K)/m.Stride + 1
+	m.lastShape = append([]int(nil), x.Shape...)
+	out := tensor.New(b, c, oh, ow)
+	m.argmax = make([]int, len(out.Data))
+	oi := 0
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(s*c+ch)*h*w:]
+			for py := 0; py < oh; py++ {
+				for px := 0; px < ow; px++ {
+					bestIdx := -1
+					var best float32
+					for ky := 0; ky < m.K; ky++ {
+						iy := py*m.Stride + ky
+						for kx := 0; kx < m.K; kx++ {
+							ix := px*m.Stride + kx
+							idx := iy*w + ix
+							if bestIdx == -1 || plane[idx] > best {
+								best = plane[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					m.argmax[oi] = (s*c+ch)*h*w + bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.lastShape...)
+	for i, g := range grad.Data {
+		dx.Data[m.argmax[i]] += g
+	}
+	return dx
+}
+
+// GlobalAvgPool2D averages each channel plane to a single value, producing
+// (B, C) activations.
+type GlobalAvgPool2D struct {
+	label     string
+	lastShape []int
+}
+
+// NewGlobalAvgPool2D builds a global average pooling layer.
+func NewGlobalAvgPool2D(label string) *GlobalAvgPool2D {
+	return &GlobalAvgPool2D{label: label}
+}
+
+// Name implements Layer.
+func (g *GlobalAvgPool2D) Name() string { return g.label }
+
+// Params implements Layer.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b, c := x.Shape[0], x.Shape[1]
+	spatial := 1
+	for _, d := range x.Shape[2:] {
+		spatial *= d
+	}
+	g.lastShape = append([]int(nil), x.Shape...)
+	out := tensor.New(b, c)
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			row := x.Data[(s*c+ch)*spatial : (s*c+ch+1)*spatial]
+			var sum float32
+			for _, v := range row {
+				sum += v
+			}
+			out.Data[s*c+ch] = sum / float32(spatial)
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(g.lastShape...)
+	b, c := g.lastShape[0], g.lastShape[1]
+	spatial := 1
+	for _, d := range g.lastShape[2:] {
+		spatial *= d
+	}
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			gv := grad.Data[s*c+ch] / float32(spatial)
+			row := dx.Data[(s*c+ch)*spatial : (s*c+ch+1)*spatial]
+			for i := range row {
+				row[i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// AvgPool2D pools (B, C, H, W) activations with a square mean window.
+type AvgPool2D struct {
+	label     string
+	K, Stride int
+	lastShape []int
+}
+
+// NewAvgPool2D builds an average pooling layer.
+func NewAvgPool2D(label string, k, stride int) *AvgPool2D {
+	return &AvgPool2D{label: label, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (a *AvgPool2D) Name() string { return a.label }
+
+// Params implements Layer.
+func (a *AvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-a.K)/a.Stride + 1
+	ow := (w-a.K)/a.Stride + 1
+	a.lastShape = append([]int(nil), x.Shape...)
+	out := tensor.New(b, c, oh, ow)
+	inv := 1 / float32(a.K*a.K)
+	oi := 0
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(s*c+ch)*h*w:]
+			for py := 0; py < oh; py++ {
+				for px := 0; px < ow; px++ {
+					var sum float32
+					for ky := 0; ky < a.K; ky++ {
+						iy := py*a.Stride + ky
+						for kx := 0; kx < a.K; kx++ {
+							sum += plane[iy*w+px*a.Stride+kx]
+						}
+					}
+					out.Data[oi] = sum * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(a.lastShape...)
+	b, c, h, w := a.lastShape[0], a.lastShape[1], a.lastShape[2], a.lastShape[3]
+	oh := (h-a.K)/a.Stride + 1
+	ow := (w-a.K)/a.Stride + 1
+	inv := 1 / float32(a.K*a.K)
+	gi := 0
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < c; ch++ {
+			plane := dx.Data[(s*c+ch)*h*w:]
+			for py := 0; py < oh; py++ {
+				for px := 0; px < ow; px++ {
+					g := grad.Data[gi] * inv
+					gi++
+					for ky := 0; ky < a.K; ky++ {
+						iy := py*a.Stride + ky
+						for kx := 0; kx < a.K; kx++ {
+							plane[iy*w+px*a.Stride+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

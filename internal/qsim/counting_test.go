@@ -1,0 +1,142 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/term"
+)
+
+// Exact validation of the conv hook's term-pair accounting: enumerate
+// every (output position, filter tap, output channel) triple explicitly
+// and compare with the engine's counter.
+func TestConvPairAccountingExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	geoms := []tensor.ConvGeom{
+		{InC: 3, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1, OutC: 4},
+		{InC: 4, InH: 7, InW: 5, KH: 3, KW: 3, Stride: 2, Pad: 1, Groups: 1, OutC: 3},
+		{InC: 4, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 4, OutC: 4},
+		{InC: 2, InH: 5, InW: 5, KH: 1, KW: 1, Stride: 1, Pad: 0, Groups: 1, OutC: 6},
+	}
+	for gi, geom := range geoms {
+		conv := nn.NewConv2D("conv", geom, false, rng)
+		net := nn.NewSequential("net", conv)
+		m := &models.ImageModel{Name: "tiny", Net: net,
+			InC: geom.InC, InH: geom.InH, InW: geom.InW, Classes: 1}
+
+		origW := append([]float32(nil), conv.Weight.W.Data...)
+		spec := Spec{WeightBits: 8, DataBits: 8,
+			WeightEncoding: term.HESE, DataEncoding: term.HESE,
+			GroupSize: 4, GroupBudget: 8, DataTerms: 3}
+		e := Attach(m, spec)
+
+		const batch = 2
+		imgs := make([][]float32, batch)
+		for b := range imgs {
+			imgs[b] = make([]float32, geom.InC*geom.InH*geom.InW)
+			for i := range imgs[b] {
+				imgs[b][i] = float32(rng.NormFloat64())
+			}
+		}
+		m.Forward(imgs, false)
+		got := e.TermPairs()
+
+		// Brute force: replicate the engine's data quantization, then
+		// enumerate the full convolution loop nest.
+		g := conv.Geom
+		cPerG := g.InC / g.Groups
+		oPerG := g.OutC / g.Groups
+		kk := cPerG * g.KH * g.KW
+		// Weight term counts mirror Attach exactly: quantize the ORIGINAL
+		// float weights with the same params and apply the same per-row
+		// term revealing.
+		wCounts := make([]int, g.OutC*kk)
+		{
+			p := quant.MaxAbsParams(origW, 8)
+			for r := 0; r < g.OutC; r++ {
+				codes := p.QuantizeSlice(origW[r*kk : (r+1)*kk])
+				exps, _ := core.RevealValues(codes, term.HESE,
+					spec.GroupSize, spec.GroupBudget)
+				for i, ex := range exps {
+					wCounts[r*kk+i] = len(ex)
+				}
+			}
+		}
+		// The engine quantizes the whole batch tensor with one dynamic
+		// scale; replicate that.
+		all := make([]float32, 0, batch*len(imgs[0]))
+		for _, img := range imgs {
+			all = append(all, img...)
+		}
+		pd := quant.MaxAbsParams(all, 8)
+		var want int64
+		for b := 0; b < batch; b++ {
+			dCounts := make([]int, len(imgs[b]))
+			for i, v := range imgs[b] {
+				exp := term.TopTerms(term.Encode(pd.Quantize(v), term.HESE), 3)
+				dCounts[i] = len(exp)
+			}
+			for oc := 0; oc < g.OutC; oc++ {
+				grp := oc / oPerG
+				for oh := 0; oh < g.OutH; oh++ {
+					for ow := 0; ow < g.OutW; ow++ {
+						for c := 0; c < cPerG; c++ {
+							ic := grp*cPerG + c
+							for kh := 0; kh < g.KH; kh++ {
+								ih := oh*g.Stride + kh - g.Pad
+								if ih < 0 || ih >= g.InH {
+									continue
+								}
+								for kw := 0; kw < g.KW; kw++ {
+									iw := ow*g.Stride + kw - g.Pad
+									if iw < 0 || iw >= g.InW {
+										continue
+									}
+									wIdx := oc*kk + (c*g.KH+kh)*g.KW + kw
+									dIdx := (ic*g.InH+ih)*g.InW + iw
+									want += int64(wCounts[wIdx]) * int64(dCounts[dIdx])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		e.Detach()
+		if got != want {
+			t.Errorf("geom %d: engine counted %d pairs, brute force %d", gi, got, want)
+		}
+	}
+}
+
+// Revealed weights written back by Attach are exact lattice points of
+// the quantizer computed on the original weights: revealed/scale is an
+// integer with magnitude at most 128 (a HESE prefix of an 8-bit code can
+// round up to ±2^7).
+func TestRevealedWeightsAreLatticePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	l := nn.NewLinear("fc", 16, 4, rng)
+	net := nn.NewSequential("net", nn.NewFlatten("flat"), l)
+	m := &models.ImageModel{Name: "tiny", Net: net, InC: 1, InH: 4, InW: 4, Classes: 4}
+	orig := append([]float32(nil), l.Weight.W.Data...)
+	e := Attach(m, TR(8, 12, 3))
+	p := quant.MaxAbsParams(orig, 8)
+	for i, v := range l.Weight.W.Data {
+		q := float64(v) / float64(p.Scale)
+		r := math.Round(q)
+		if math.Abs(q-r) > 1e-3 {
+			t.Fatalf("weight %d: revealed value %v is not an integer multiple of the scale (%v)",
+				i, v, q)
+		}
+		if math.Abs(r) > 128 {
+			t.Fatalf("weight %d: revealed code %v beyond ±128", i, r)
+		}
+	}
+	e.Detach()
+}

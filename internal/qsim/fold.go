@@ -1,0 +1,69 @@
+package qsim
+
+import (
+	"math"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// FoldBatchNorm absorbs every BatchNorm2D that directly follows a Conv2D
+// into that convolution's weights and bias, replacing the norm layer with
+// an identity — the standard deployment step before post-training
+// quantization (the paper quantizes deployed models, whose batch norms
+// are affine at inference). The fold is exact in inference mode:
+//
+//	y = γ·(W·x - μ)/√(σ²+ε) + β  =  (γ/√(σ²+ε))·W·x + (β - γμ/√(σ²+ε))
+//
+// It returns the number of layers folded. Only inference behaviour is
+// preserved; do not train a folded model.
+func FoldBatchNorm(m *models.ImageModel) int {
+	return foldSequential(m.Net)
+}
+
+func foldSequential(s *nn.Sequential) int {
+	n := 0
+	for i := 0; i < len(s.Layers); i++ {
+		switch v := s.Layers[i].(type) {
+		case *nn.Sequential:
+			n += foldSequential(v)
+		case *nn.Residual:
+			if body, ok := v.Body.(*nn.Sequential); ok {
+				n += foldSequential(body)
+			}
+			if proj, ok := v.Proj.(*nn.Sequential); ok {
+				n += foldSequential(proj)
+			}
+		case *nn.Conv2D:
+			if i+1 >= len(s.Layers) {
+				continue
+			}
+			bn, ok := s.Layers[i+1].(*nn.BatchNorm2D)
+			if !ok {
+				continue
+			}
+			foldInto(v, bn)
+			s.Layers[i+1] = &nn.Identity{Label: bn.Name() + ".folded"}
+			n++
+		}
+	}
+	return n
+}
+
+func foldInto(conv *nn.Conv2D, bn *nn.BatchNorm2D) {
+	g := conv.Geom
+	kk := (g.InC / g.Groups) * g.KH * g.KW
+	if conv.Bias == nil {
+		conv.Bias = nn.NewParam(conv.Name()+".bias", false, g.OutC)
+	}
+	for oc := 0; oc < g.OutC; oc++ {
+		inv := float32(1 / math.Sqrt(float64(bn.RunningVar[oc])+float64(bn.Eps)))
+		scale := bn.Gamma.W.Data[oc] * inv
+		row := conv.Weight.W.Data[oc*kk : (oc+1)*kk]
+		for i := range row {
+			row[i] *= scale
+		}
+		conv.Bias.W.Data[oc] = conv.Bias.W.Data[oc]*scale +
+			bn.Beta.W.Data[oc] - bn.RunningMean[oc]*scale
+	}
+}

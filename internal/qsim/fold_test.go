@@ -1,0 +1,79 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/models"
+)
+
+func trainedSmallCNN(t *testing.T) (*models.ImageModel, *datasets.ImageDataset) {
+	t.Helper()
+	g := models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
+	all := datasets.ImageClassesHard(360, g.Classes, g.InC, g.InH, g.InW, 0.4, 0.4, 51)
+	train, test := all.Split(240)
+	m := models.NewResNetStyle(g, 52)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 3
+	models.Train(m, train, cfg)
+	return m, test
+}
+
+func TestFoldBatchNormPreservesInference(t *testing.T) {
+	m, test := trainedSmallCNN(t)
+	before := m.Forward(test.Images[:16], false)
+	folded := FoldBatchNorm(m)
+	if folded < 10 {
+		t.Fatalf("only %d batch norms folded in a ResNet-style model", folded)
+	}
+	after := m.Forward(test.Images[:16], false)
+	var maxDiff float64
+	for i := range before.Data {
+		d := math.Abs(float64(before.Data[i] - after.Data[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Errorf("folding changed inference outputs by up to %g", maxDiff)
+	}
+	// Folding twice finds nothing new.
+	if again := FoldBatchNorm(m); again != 0 {
+		t.Errorf("second fold pass folded %d layers", again)
+	}
+}
+
+func TestFoldedModelQuantizes(t *testing.T) {
+	m, test := trainedSmallCNN(t)
+	baseline := models.Evaluate(m, test, 32)
+	FoldBatchNorm(m)
+	e := Attach(m, QT(8, 8))
+	q8 := models.Evaluate(m, test, 32)
+	e.Detach()
+	if q8 < baseline-0.05 {
+		t.Errorf("folded 8-bit QT accuracy %.3f fell from %.3f", q8, baseline)
+	}
+	eTR := Attach(m, TR(8, 16, 3))
+	tr := models.Evaluate(m, test, 32)
+	eTR.Detach()
+	if tr < baseline-0.08 {
+		t.Errorf("folded TR accuracy %.3f fell from %.3f", tr, baseline)
+	}
+}
+
+func TestFoldVGGStyle(t *testing.T) {
+	g := models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
+	m := models.NewVGGStyle(g, 53)
+	ds := datasets.ImageClasses(8, 4, 3, 8, 8, 54)
+	before := m.Forward(ds.Images, false)
+	if n := FoldBatchNorm(m); n != 4 {
+		t.Fatalf("folded %d batch norms in vgg-style, want 4", n)
+	}
+	after := m.Forward(ds.Images, false)
+	for i := range before.Data {
+		if math.Abs(float64(before.Data[i]-after.Data[i])) > 1e-3 {
+			t.Fatal("vgg-style folding changed outputs")
+		}
+	}
+}

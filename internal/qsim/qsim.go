@@ -1,0 +1,600 @@
+// Package qsim emulates quantized inference on trained float models,
+// reproducing the paper's evaluation pipeline: weights are uniformly
+// quantized per layer (QT), optionally further quantized at run time with
+// Term Revealing, and activations are dynamically quantized and HESE-
+// truncated between layers. All arithmetic that the tMAC hardware would
+// perform on terms is emulated bit-exactly by computing with the truncated
+// integer values, and the engine counts the term-pair multiplications each
+// configuration requires — the paper's cost proxy.
+package qsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+	"repro/internal/term"
+)
+
+// Spec selects a quantization configuration.
+type Spec struct {
+	// WeightBits and DataBits are the uniform quantization widths (the
+	// paper's first step). 0 disables quantization of that operand.
+	WeightBits, DataBits int
+	// WeightEncoding and DataEncoding pick the term decomposition used
+	// for counting and truncation (binary or HESE).
+	WeightEncoding term.Encoding
+	DataEncoding   term.Encoding
+	// GroupSize/GroupBudget, when GroupBudget > 0, apply TR to the weights
+	// along each dot-product (rows of Linear weights, flattened filters of
+	// convolutions), grouped in consecutive runs of GroupSize.
+	GroupSize, GroupBudget int
+	// DataTerms, when > 0, keeps only the top s terms of each quantized
+	// activation (the per-value truncation of Sec. V-A).
+	DataTerms int
+	// DataGroupSize/DataGroupBudget, when DataGroupBudget > 0, apply
+	// run-time TR to the activations in consecutive groups — exactly what
+	// the hardware term comparator does to the outputs of g consecutive
+	// HESE encoders (Sec. V-E). Composes with DataTerms (per-value cap
+	// first, then the group budget).
+	DataGroupSize, DataGroupBudget int
+	// SearchScale selects the MSE scale search instead of max-abs.
+	SearchScale bool
+}
+
+// QT returns a plain uniform-quantization spec at the given bit widths.
+func QT(weightBits, dataBits int) Spec {
+	return Spec{WeightBits: weightBits, DataBits: dataBits,
+		WeightEncoding: term.Binary, DataEncoding: term.Binary}
+}
+
+// TR returns the paper's full configuration: 8-bit QT, HESE encodings,
+// weight TR with (g, k) and data truncated to s terms.
+func TR(g, k, s int) Spec {
+	return Spec{WeightBits: 8, DataBits: 8,
+		WeightEncoding: term.HESE, DataEncoding: term.HESE,
+		GroupSize: g, GroupBudget: k, DataTerms: s}
+}
+
+// Validate reports whether the spec is self-consistent.
+func (s Spec) Validate() error {
+	if s.WeightBits < 0 || s.WeightBits > 16 || s.DataBits < 0 || s.DataBits > 16 {
+		return fmt.Errorf("qsim: bit widths out of range: %d/%d", s.WeightBits, s.DataBits)
+	}
+	if s.GroupBudget > 0 && s.GroupSize < 1 {
+		return fmt.Errorf("qsim: group budget %d with group size %d", s.GroupBudget, s.GroupSize)
+	}
+	if s.DataGroupBudget > 0 && s.DataGroupSize < 1 {
+		return fmt.Errorf("qsim: data group budget %d with group size %d",
+			s.DataGroupBudget, s.DataGroupSize)
+	}
+	if s.DataTerms < 0 {
+		return fmt.Errorf("qsim: negative data terms")
+	}
+	return nil
+}
+
+// String renders the spec the way the paper labels settings.
+func (s Spec) String() string {
+	if s.GroupBudget > 0 {
+		return fmt.Sprintf("TR(w%d/d%d,g=%d,k=%d,s=%d,%v)",
+			s.WeightBits, s.DataBits, s.GroupSize, s.GroupBudget, s.DataTerms, s.DataEncoding)
+	}
+	return fmt.Sprintf("QT(w%d/d%d)", s.WeightBits, s.DataBits)
+}
+
+// LayerStat accumulates per-matmul cost counters.
+type LayerStat struct {
+	Name      string
+	TermPairs int64 // term-pair multiplications actually required
+	MACs      int64 // conventional multiply-accumulates (pMAC work)
+	Bound     int64 // provisioned term-pair slots (synchronization bound)
+}
+
+// boundPerMAC returns the provisioned term-pair slots per multiply under
+// a spec: (wbits-1)·(dbits-1) for QT (the array cannot skip zero bits
+// without losing synchronization), k·s/g for TR (Sec. III-D).
+func boundPerMAC(spec Spec) float64 {
+	wb, db := spec.WeightBits, spec.DataBits
+	if wb == 0 {
+		wb = 8
+	}
+	if db == 0 {
+		db = 8
+	}
+	if spec.GroupBudget > 0 {
+		s := spec.DataTerms
+		if s <= 0 {
+			s = db - 1
+		}
+		return float64(spec.GroupBudget) * float64(s) / float64(spec.GroupSize)
+	}
+	return float64(wb-1) * float64(db-1)
+}
+
+// Engine instruments a model for quantized inference. Attach quantizes
+// weights in place and installs data hooks; Detach restores the original
+// float weights. While attached, every forward pass accumulates term-pair
+// counts.
+type Engine struct {
+	Spec      Spec
+	overrides map[string]Spec
+	stats     map[string]*LayerStat
+	order     []string
+	restore   []func()
+
+	// luts cache, per data-quantization setting and quantized code
+	// (offset by QMax), the truncated code and its term count, so
+	// activation quantization is a table lookup instead of a per-element
+	// encode.
+	luts map[lutKey][]dataEntry
+}
+
+type dataEntry struct {
+	value int32
+	count int8
+}
+
+type lutKey struct {
+	bits  int
+	enc   term.Encoding
+	terms int
+}
+
+// specFor returns the layer's effective spec (override or default).
+func (e *Engine) specFor(name string) Spec {
+	if s, ok := e.overrides[name]; ok {
+		return s
+	}
+	return e.Spec
+}
+
+// lutFor returns (building on demand) the truncation lookup table for the
+// spec's data parameters, or nil when a table is not applicable.
+func (e *Engine) lutFor(spec Spec) []dataEntry {
+	if spec.DataBits == 0 || spec.DataBits > 12 {
+		return nil
+	}
+	key := lutKey{bits: spec.DataBits, enc: spec.DataEncoding, terms: spec.DataTerms}
+	if lut, ok := e.luts[key]; ok {
+		return lut
+	}
+	qmax := int32(1)<<(spec.DataBits-1) - 1
+	lut := make([]dataEntry, 2*qmax+1)
+	for code := -qmax; code <= qmax; code++ {
+		exp := term.Encode(code, spec.DataEncoding)
+		if spec.DataTerms > 0 {
+			exp = term.TopTerms(exp, spec.DataTerms)
+		}
+		lut[code+qmax] = dataEntry{value: exp.Value(), count: int8(len(exp))}
+	}
+	e.luts[key] = lut
+	return lut
+}
+
+func newEngine(spec Spec, overrides map[string]Spec) *Engine {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	for name, o := range overrides {
+		if err := o.Validate(); err != nil {
+			panic(fmt.Sprintf("qsim: override for %s: %v", name, err))
+		}
+	}
+	return &Engine{Spec: spec, overrides: overrides,
+		stats: make(map[string]*LayerStat), luts: make(map[lutKey][]dataEntry)}
+}
+
+// Attach instruments every Conv2D and Linear layer of an image model.
+func Attach(m *models.ImageModel, spec Spec) *Engine {
+	return AttachPerLayer(m, spec, nil)
+}
+
+// AttachPerLayer instruments a model with per-layer spec overrides keyed
+// by layer name; layers not named use the default. This supports
+// heterogeneous budgets (e.g. a looser k on the quantization-sensitive
+// first and last layers, the paper's per-layer parameter search).
+func AttachPerLayer(m *models.ImageModel, def Spec, overrides map[string]Spec) *Engine {
+	e := newEngine(def, overrides)
+	nn.Walk(m.Net, func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Linear:
+			e.attachLinear(v)
+		case *nn.Conv2D:
+			e.attachConv(v)
+		}
+	})
+	return e
+}
+
+// AttachLM instruments an LSTM language model (embedding excluded: it is
+// a lookup, not a matmul).
+func AttachLM(m *models.LSTMLM, spec Spec) *Engine {
+	e := newEngine(spec, nil)
+	e.attachLinear(m.Head)
+	e.attachLSTM(m.Rnn)
+	return e
+}
+
+// Detach restores original weights and removes all hooks.
+func (e *Engine) Detach() {
+	for i := len(e.restore) - 1; i >= 0; i-- {
+		e.restore[i]()
+	}
+	e.restore = nil
+}
+
+// Reset zeroes the accumulated counters.
+func (e *Engine) Reset() {
+	for _, s := range e.stats {
+		s.TermPairs = 0
+		s.MACs = 0
+		s.Bound = 0
+	}
+}
+
+// TermPairs returns total term-pair multiplications since the last Reset.
+func (e *Engine) TermPairs() int64 {
+	var n int64
+	for _, s := range e.stats {
+		n += s.TermPairs
+	}
+	return n
+}
+
+// MACs returns total conventional multiplies since the last Reset.
+func (e *Engine) MACs() int64 {
+	var n int64
+	for _, s := range e.stats {
+		n += s.MACs
+	}
+	return n
+}
+
+// BoundPairs returns the number of term-pair slots the synchronous
+// hardware must provision for the work since the last Reset — the paper's
+// Fig. 15 cost metric, accumulated per layer so per-layer overrides are
+// respected.
+func (e *Engine) BoundPairs() int64 {
+	var n int64
+	for _, s := range e.stats {
+		n += s.Bound
+	}
+	return n
+}
+
+// Stats returns per-layer counters in attach order.
+func (e *Engine) Stats() []LayerStat {
+	out := make([]LayerStat, 0, len(e.order))
+	for _, name := range e.order {
+		out = append(out, *e.stats[name])
+	}
+	return out
+}
+
+func (e *Engine) stat(name string) *LayerStat {
+	s, ok := e.stats[name]
+	if !ok {
+		s = &LayerStat{Name: name}
+		e.stats[name] = s
+		e.order = append(e.order, name)
+	}
+	return s
+}
+
+// quantizeWeights quantizes (and, when configured, term-reveals) a weight
+// matrix laid out as rows × k, writing the dequantized result back and
+// returning the per-element term counts (used for term-pair accounting).
+func (e *Engine) quantizeWeights(spec Spec, w []float32, rows, k int) []int {
+	counts := make([]int, rows*k)
+	if spec.WeightBits == 0 {
+		// Unquantized weights still have a term count for accounting; use
+		// a conservative 7 (the 8-bit worst case is what the hardware
+		// provisions for).
+		for i := range counts {
+			counts[i] = 7
+		}
+		return counts
+	}
+	var p quant.Params
+	if spec.SearchScale {
+		p = quant.SearchParams(w, spec.WeightBits)
+	} else {
+		p = quant.MaxAbsParams(w, spec.WeightBits)
+	}
+	for r := 0; r < rows; r++ {
+		row := w[r*k : (r+1)*k]
+		codes := p.QuantizeSlice(row)
+		var exps []term.Expansion
+		if spec.GroupBudget > 0 {
+			exps, codes = core.RevealValues(codes, spec.WeightEncoding,
+				spec.GroupSize, spec.GroupBudget)
+		} else {
+			exps = make([]term.Expansion, k)
+			for i, c := range codes {
+				exps[i] = term.Encode(c, spec.WeightEncoding)
+			}
+		}
+		for i, c := range codes {
+			row[i] = p.Dequantize(c)
+			counts[r*k+i] = len(exps[i])
+		}
+	}
+	return counts
+}
+
+// colSums folds per-element counts (rows × k) into per-column sums over a
+// row range [r0, r1).
+func colSums(counts []int, k, r0, r1 int) []int64 {
+	out := make([]int64, k)
+	for r := r0; r < r1; r++ {
+		for i := 0; i < k; i++ {
+			out[i] += int64(counts[r*k+i])
+		}
+	}
+	return out
+}
+
+// quantizeData dynamically quantizes an activation tensor, truncates each
+// value to the configured number of data terms, and returns the rewritten
+// tensor plus per-element term counts.
+func (e *Engine) quantizeData(spec Spec, x *tensor.Tensor) (*tensor.Tensor, []int) {
+	counts := make([]int, len(x.Data))
+	if spec.DataBits == 0 {
+		for i := range counts {
+			counts[i] = 7
+		}
+		return x, counts
+	}
+	p := quant.MaxAbsParams(x.Data, spec.DataBits)
+	y := tensor.New(x.Shape...)
+	if spec.DataGroupBudget > 0 {
+		// Run-time group TR on data, as the hardware term comparator
+		// performs it: per-value cap first (the HESE encoder keeps s
+		// leading terms), then the receding-water budget per group.
+		codes := p.QuantizeSlice(x.Data)
+		if spec.DataTerms > 0 {
+			for i, c := range codes {
+				codes[i] = term.TruncateValue(c, spec.DataEncoding, spec.DataTerms)
+			}
+		}
+		exps, vals := core.RevealValues(codes, spec.DataEncoding,
+			spec.DataGroupSize, spec.DataGroupBudget)
+		for i := range vals {
+			counts[i] = len(exps[i])
+			y.Data[i] = p.Dequantize(vals[i])
+		}
+		return y, counts
+	}
+	if lut := e.lutFor(spec); lut != nil {
+		qmax := int32(1)<<(spec.DataBits-1) - 1
+		for i, v := range x.Data {
+			ent := lut[p.Quantize(v)+qmax]
+			counts[i] = int(ent.count)
+			y.Data[i] = p.Dequantize(ent.value)
+		}
+		return y, counts
+	}
+	for i, v := range x.Data {
+		code := p.Quantize(v)
+		exp := term.Encode(code, spec.DataEncoding)
+		if spec.DataTerms > 0 {
+			exp = term.TopTerms(exp, spec.DataTerms)
+		}
+		counts[i] = len(exp)
+		y.Data[i] = p.Dequantize(exp.Value())
+	}
+	return y, counts
+}
+
+func (e *Engine) attachLinear(l *nn.Linear) {
+	st := e.stat(l.Name())
+	spec := e.specFor(l.Name())
+	orig := append([]float32(nil), l.Weight.W.Data...)
+	origHook := l.Hook
+	wCounts := e.quantizeWeights(spec, l.Weight.W.Data, l.Out, l.In)
+	colSum := colSums(wCounts, l.In, 0, l.Out)
+	l.Hook = func(which string, data *tensor.Tensor) *tensor.Tensor {
+		y, counts := e.quantizeData(spec, data)
+		b := data.Shape[0]
+		var pairs int64
+		for i, c := range counts {
+			pairs += int64(c) * colSum[i%l.In]
+		}
+		st.TermPairs += pairs
+		macs := int64(b) * int64(l.Out) * int64(l.In)
+		st.MACs += macs
+		st.Bound += int64(float64(macs) * boundPerMAC(spec))
+		return y
+	}
+	e.restore = append(e.restore, func() {
+		copy(l.Weight.W.Data, orig)
+		l.Hook = origHook
+	})
+}
+
+func (e *Engine) attachConv(c *nn.Conv2D) {
+	st := e.stat(c.Name())
+	spec := e.specFor(c.Name())
+	g := c.Geom
+	orig := append([]float32(nil), c.Weight.W.Data...)
+	origHook := c.Hook
+	cPerG := g.InC / g.Groups
+	oPerG := g.OutC / g.Groups
+	kk := cPerG * g.KH * g.KW
+	// Per-group column sums of weight term counts over the group's
+	// filters: index [grp][c'*KH*KW + kh*KW + kw].
+	wCounts := e.quantizeWeights(spec, c.Weight.W.Data, g.OutC, kk)
+	grpColSum := make([][]int64, g.Groups)
+	for grp := range grpColSum {
+		grpColSum[grp] = colSums(wCounts, kk, grp*oPerG, (grp+1)*oPerG)
+	}
+	c.Hook = func(which string, data *tensor.Tensor) *tensor.Tensor {
+		y, counts := e.quantizeData(spec, data)
+		b := data.Shape[0]
+		imgLen := g.InC * g.InH * g.InW
+		var pairs int64
+		for s := 0; s < b; s++ {
+			base := s * imgLen
+			for grp := 0; grp < g.Groups; grp++ {
+				for ci := 0; ci < cPerG; ci++ {
+					ch := grp*cPerG + ci
+					for kh := 0; kh < g.KH; kh++ {
+						for kw := 0; kw < g.KW; kw++ {
+							wIdx := (ci*g.KH+kh)*g.KW + kw
+							wc := grpColSum[grp][wIdx]
+							if wc == 0 {
+								continue
+							}
+							var dSum int64
+							for oh := 0; oh < g.OutH; oh++ {
+								ih := oh*g.Stride + kh - g.Pad
+								if ih < 0 || ih >= g.InH {
+									continue
+								}
+								rowOff := base + (ch*g.InH+ih)*g.InW
+								for ow := 0; ow < g.OutW; ow++ {
+									iw := ow*g.Stride + kw - g.Pad
+									if iw < 0 || iw >= g.InW {
+										continue
+									}
+									dSum += int64(counts[rowOff+iw])
+								}
+							}
+							pairs += wc * dSum
+						}
+					}
+				}
+			}
+		}
+		st.TermPairs += pairs
+		macs := int64(b) * int64(g.OutC) * int64(g.OutH) * int64(g.OutW) * int64(kk)
+		st.MACs += macs
+		st.Bound += int64(float64(macs) * boundPerMAC(spec))
+		return y
+	}
+	e.restore = append(e.restore, func() {
+		copy(c.Weight.W.Data, orig)
+		c.Hook = origHook
+	})
+}
+
+func (e *Engine) attachLSTM(l *nn.LSTM) {
+	stX := e.stat(l.Wx.Name)
+	stH := e.stat(l.Wh.Name)
+	origWx := append([]float32(nil), l.Wx.W.Data...)
+	origWh := append([]float32(nil), l.Wh.W.Data...)
+	origHook := l.Hook
+	spec := e.specFor(l.Wx.Name)
+	colX := colSums(e.quantizeWeights(spec, l.Wx.W.Data, 4*l.Hidden, l.In), l.In, 0, 4*l.Hidden)
+	colH := colSums(e.quantizeWeights(spec, l.Wh.W.Data, 4*l.Hidden, l.Hidden), l.Hidden, 0, 4*l.Hidden)
+	l.Hook = func(which string, data *tensor.Tensor) *tensor.Tensor {
+		y, counts := e.quantizeData(spec, data)
+		b := data.Shape[0]
+		var col []int64
+		var st *LayerStat
+		var k int
+		// The layer labels its two matmuls "<name>.wx" and "<name>.wh",
+		// matching the parameter names.
+		if which == l.Wx.Name {
+			col, st, k = colX, stX, l.In
+		} else {
+			col, st, k = colH, stH, l.Hidden
+		}
+		var pairs int64
+		for i, c := range counts {
+			pairs += int64(c) * col[i%k]
+		}
+		st.TermPairs += pairs
+		macs := int64(b) * int64(4*l.Hidden) * int64(k)
+		st.MACs += macs
+		st.Bound += int64(float64(macs) * boundPerMAC(spec))
+		return y
+	}
+	e.restore = append(e.restore, func() {
+		copy(l.Wx.W.Data, origWx)
+		copy(l.Wh.W.Data, origWh)
+		l.Hook = origHook
+	})
+}
+
+// WeightSnapshot captures a layer's float weights plus their quantized
+// codes under the given bits; used by the distribution experiments.
+type WeightSnapshot struct {
+	Name   string
+	Float  []float32
+	Codes  []int32
+	Params quant.Params
+}
+
+// SnapshotWeights returns quantized snapshots of every Conv2D/Linear
+// weight of a model, in forward order, without modifying the model.
+func SnapshotWeights(m *models.ImageModel, bits int) []WeightSnapshot {
+	var out []WeightSnapshot
+	nn.Walk(m.Net, func(l nn.Layer) {
+		var w []float32
+		switch v := l.(type) {
+		case *nn.Linear:
+			w = v.Weight.W.Data
+		case *nn.Conv2D:
+			w = v.Weight.W.Data
+		default:
+			return
+		}
+		p := quant.SearchParams(w, bits)
+		out = append(out, WeightSnapshot{
+			Name:   l.Name(),
+			Float:  append([]float32(nil), w...),
+			Codes:  p.QuantizeSlice(w),
+			Params: p,
+		})
+	})
+	return out
+}
+
+// CaptureActivations runs images through the model and captures the
+// quantized codes of the input to each Conv2D/Linear layer, for the data
+// distribution experiments. The model is left unmodified.
+func CaptureActivations(m *models.ImageModel, images [][]float32, bits int) map[string][]int32 {
+	caps := make(map[string][]int32)
+	var restore []func()
+	nn.Walk(m.Net, func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Linear:
+			old := v.Hook
+			v.Hook = func(which string, data *tensor.Tensor) *tensor.Tensor {
+				p := quant.MaxAbsParams(data.Data, bits)
+				caps[which] = append(caps[which], p.QuantizeSlice(data.Data)...)
+				return data
+			}
+			restore = append(restore, func() { v.Hook = old })
+		case *nn.Conv2D:
+			old := v.Hook
+			v.Hook = func(which string, data *tensor.Tensor) *tensor.Tensor {
+				p := quant.MaxAbsParams(data.Data, bits)
+				caps[which] = append(caps[which], p.QuantizeSlice(data.Data)...)
+				return data
+			}
+			restore = append(restore, func() { v.Hook = old })
+		}
+	})
+	m.Forward(images, false)
+	for i := len(restore) - 1; i >= 0; i-- {
+		restore[i]()
+	}
+	return caps
+}
+
+// SortedLayerNames returns the captured layer names in a stable order.
+func SortedLayerNames(caps map[string][]int32) []string {
+	names := make([]string, 0, len(caps))
+	for n := range caps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,388 @@
+package qsim
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/models"
+	"repro/internal/term"
+)
+
+func trainedMLP(t *testing.T) (*models.ImageModel, *datasets.ImageDataset) {
+	t.Helper()
+	train := datasets.Digits(500, 1)
+	test := datasets.Digits(200, 2)
+	m := models.NewMLP(64, 3)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 3
+	models.Train(m, train, cfg)
+	return m, test
+}
+
+func TestSpecValidateAndString(t *testing.T) {
+	if err := QT(8, 8).Validate(); err != nil {
+		t.Errorf("QT(8,8) invalid: %v", err)
+	}
+	if err := TR(8, 12, 3).Validate(); err != nil {
+		t.Errorf("TR(8,12,3) invalid: %v", err)
+	}
+	for _, s := range []Spec{
+		{WeightBits: -1},
+		{WeightBits: 20},
+		{WeightBits: 8, DataBits: 8, GroupBudget: 4},
+		{WeightBits: 8, DataBits: 8, DataTerms: -2},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v should be invalid", s)
+		}
+	}
+	if QT(8, 8).String() == "" || TR(8, 12, 3).String() == "" {
+		t.Error("empty spec strings")
+	}
+}
+
+func TestAttachDetachRestoresWeights(t *testing.T) {
+	m, _ := trainedMLP(t)
+	var before []float32
+	for _, p := range m.Net.Params() {
+		before = append(before, p.W.Data...)
+	}
+	e := Attach(m, QT(4, 8))
+	changed := false
+	var during []float32
+	for _, p := range m.Net.Params() {
+		during = append(during, p.W.Data...)
+	}
+	for i := range before {
+		if before[i] != during[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("Attach did not quantize any weight")
+	}
+	e.Detach()
+	var after []float32
+	for _, p := range m.Net.Params() {
+		after = append(after, p.W.Data...)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Detach did not restore weights")
+		}
+	}
+}
+
+func TestQT8PreservesAccuracy(t *testing.T) {
+	m, test := trainedMLP(t)
+	base := models.Evaluate(m, test, 32)
+	e := Attach(m, QT(8, 8))
+	q8 := models.Evaluate(m, test, 32)
+	e.Detach()
+	if q8 < base-0.03 {
+		t.Errorf("8-bit QT accuracy %.3f dropped from %.3f", q8, base)
+	}
+}
+
+// The paper's central accuracy claim at small scale: TR on top of 8-bit QT
+// matches 8-bit QT accuracy while conventional quantization at an
+// equivalent term budget (4-bit) loses more.
+func TestTRBeatsAggressiveQTAtEqualBudget(t *testing.T) {
+	m, test := trainedMLP(t)
+	e := Attach(m, QT(8, 8))
+	q8 := models.Evaluate(m, test, 32)
+	e.Detach()
+
+	eTR := Attach(m, TR(8, 8, 3)) // α = 1
+	tr := models.Evaluate(m, test, 32)
+	eTR.Detach()
+
+	eQ2 := Attach(m, Spec{WeightBits: 2, DataBits: 8,
+		WeightEncoding: term.Binary, DataEncoding: term.Binary})
+	q2 := models.Evaluate(m, test, 32)
+	eQ2.Detach()
+
+	if tr < q8-0.05 {
+		t.Errorf("TR accuracy %.3f fell more than 5pp below 8-bit QT %.3f", tr, q8)
+	}
+	// 2-bit QT keeps at most 1 magnitude term per value (same α as the TR
+	// setting) and should do clearly worse.
+	if tr <= q2 {
+		t.Errorf("TR (%.3f) did not beat 2-bit QT (%.3f) at equal term budget", tr, q2)
+	}
+}
+
+func TestTRReducesTermPairs(t *testing.T) {
+	m, test := trainedMLP(t)
+	eQT := Attach(m, QT(8, 8))
+	models.Evaluate(m, test, 32)
+	qtPairs := eQT.TermPairs()
+	qtMACs := eQT.MACs()
+	eQT.Detach()
+
+	eTR := Attach(m, TR(8, 12, 3))
+	models.Evaluate(m, test, 32)
+	trPairs := eTR.TermPairs()
+	trMACs := eTR.MACs()
+	eTR.Detach()
+
+	if qtPairs == 0 || trPairs == 0 {
+		t.Fatal("no term pairs counted")
+	}
+	if trMACs != qtMACs {
+		t.Errorf("MAC counts differ: %d vs %d", trMACs, qtMACs)
+	}
+	// Actual (data-dependent) pairs must shrink under TR.
+	if float64(qtPairs)/float64(trPairs) < 1.2 {
+		t.Errorf("TR actual pairs %d not clearly below QT %d", trPairs, qtPairs)
+	}
+	// QT pairs must stay below the 49-per-MAC worst case.
+	if qtPairs > 49*qtMACs {
+		t.Errorf("QT pairs %d exceed the 7x7 bound %d", qtPairs, 49*qtMACs)
+	}
+}
+
+// The paper's Fig. 15 metric: the provisioned (synchronization) bound.
+// QT provisions 49 pairs per multiply; TR(8,12,3) provisions
+// 12·3/8 = 4.5 per multiply, a 10.9x reduction — within the paper's
+// 3-10x+ range.
+func TestTRBoundReductionMatchesPaperRange(t *testing.T) {
+	m, test := trainedMLP(t)
+	head, _ := test.Split(32)
+
+	eQT := Attach(m, QT(8, 8))
+	models.Evaluate(m, head, 32)
+	qtBound := eQT.BoundPairs()
+	eQT.Detach()
+
+	eTR := Attach(m, TR(8, 12, 3))
+	models.Evaluate(m, head, 32)
+	trBound := eTR.BoundPairs()
+	eTR.Detach()
+
+	ratio := float64(qtBound) / float64(trBound)
+	if ratio < 3 {
+		t.Errorf("TR bound reduction %.2fx below the paper's 3x floor", ratio)
+	}
+	// And the bound is an upper bound on the actual pairs.
+	eTR2 := Attach(m, TR(8, 12, 3))
+	models.Evaluate(m, head, 32)
+	if eTR2.TermPairs() > eTR2.BoundPairs() {
+		t.Errorf("actual pairs %d exceed provisioned bound %d",
+			eTR2.TermPairs(), eTR2.BoundPairs())
+	}
+	eTR2.Detach()
+}
+
+func TestResetClearsCounters(t *testing.T) {
+	m, test := trainedMLP(t)
+	e := Attach(m, QT(8, 8))
+	head, _ := test.Split(32)
+	models.Evaluate(m, head, 32)
+	if e.TermPairs() == 0 {
+		t.Fatal("no pairs counted")
+	}
+	e.Reset()
+	if e.TermPairs() != 0 || e.MACs() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	e.Detach()
+}
+
+func TestStatsPerLayer(t *testing.T) {
+	m, test := trainedMLP(t)
+	e := Attach(m, QT(8, 8))
+	head, _ := test.Split(32)
+	models.Evaluate(m, head, 32)
+	stats := e.Stats()
+	if len(stats) != 2 { // fc1, fc2
+		t.Fatalf("got %d layer stats, want 2", len(stats))
+	}
+	for _, s := range stats {
+		if s.TermPairs <= 0 || s.MACs <= 0 {
+			t.Errorf("layer %s has empty counters: %+v", s.Name, s)
+		}
+	}
+	e.Detach()
+}
+
+func TestConvTermPairCountMatchesBruteForce(t *testing.T) {
+	// Tiny CNN: validate the conv hook's pair accounting against an
+	// explicit im2col enumeration.
+	g := models.CNNGeom{InC: 2, InH: 6, InW: 6, Classes: 3}
+	m := models.NewResNetStyle(g, 4)
+	ds := datasets.ImageClasses(4, 3, 2, 6, 6, 5)
+	e := Attach(m, QT(8, 8))
+	models.Evaluate(m, ds, 4)
+	if e.TermPairs() <= 0 {
+		t.Fatal("no pairs counted through conv layers")
+	}
+	// Sanity bound: pairs <= 49 * MACs (7 terms per operand max).
+	if e.TermPairs() > 49*e.MACs() {
+		t.Errorf("pairs %d exceed 49*MACs %d", e.TermPairs(), 49*e.MACs())
+	}
+	e.Detach()
+}
+
+func TestLSTMEngineCountsAndPreservesPerplexity(t *testing.T) {
+	corpus := datasets.MarkovText(4000, 800, 50, 6)
+	m := models.NewLSTMLM(50, 12, 24, 10, 0.2, 7)
+	cfg := models.DefaultLMTrain
+	cfg.Epochs = 1
+	m.TrainLM(corpus, cfg)
+	base := m.Perplexity(corpus.Valid)
+
+	e := AttachLM(m, QT(8, 8))
+	q8 := m.Perplexity(corpus.Valid)
+	pairs := e.TermPairs()
+	e.Detach()
+	restored := m.Perplexity(corpus.Valid)
+
+	if pairs <= 0 {
+		t.Fatal("no pairs counted in LSTM")
+	}
+	if q8 > base*1.1 {
+		t.Errorf("8-bit QT perplexity %.2f vs float %.2f", q8, base)
+	}
+	if restored != base {
+		t.Errorf("Detach did not restore LM: %.4f vs %.4f", restored, base)
+	}
+
+	eTR := AttachLM(m, TR(8, 16, 3))
+	trPPL := m.Perplexity(corpus.Valid)
+	trPairs := eTR.TermPairs()
+	eTR.Detach()
+	if trPPL > base*1.25 {
+		t.Errorf("TR perplexity %.2f degraded too far from %.2f", trPPL, base)
+	}
+	if trPairs >= pairs {
+		t.Errorf("TR pairs %d not below QT pairs %d", trPairs, pairs)
+	}
+}
+
+func TestSnapshotWeights(t *testing.T) {
+	m, _ := trainedMLP(t)
+	snaps := SnapshotWeights(m, 8)
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	for _, s := range snaps {
+		if len(s.Codes) != len(s.Float) || len(s.Codes) == 0 {
+			t.Errorf("snapshot %s malformed", s.Name)
+		}
+		for _, c := range s.Codes {
+			if c < -127 || c > 127 {
+				t.Errorf("code %d out of 8-bit range", c)
+			}
+		}
+	}
+}
+
+func TestCaptureActivations(t *testing.T) {
+	m, test := trainedMLP(t)
+	head, _ := test.Split(8)
+	caps := CaptureActivations(m, head.Images, 8)
+	if len(caps) != 2 {
+		t.Fatalf("captured %d layers, want 2", len(caps))
+	}
+	names := SortedLayerNames(caps)
+	if len(names) != 2 || names[0] >= names[1] {
+		t.Error("SortedLayerNames not sorted")
+	}
+	for name, codes := range caps {
+		if len(codes) == 0 {
+			t.Errorf("no activations for %s", name)
+		}
+	}
+	// Model must be left unhooked: a second forward without capture.
+	before := models.Evaluate(m, head, 8)
+	after := models.Evaluate(m, head, 8)
+	if before != after {
+		t.Error("capture left the model in a modified state")
+	}
+}
+
+func TestDataTermsTruncationReducesCounts(t *testing.T) {
+	m, test := trainedMLP(t)
+	head, _ := test.Split(64)
+
+	run := func(s Spec) int64 {
+		e := Attach(m, s)
+		defer e.Detach()
+		models.Evaluate(m, head, 32)
+		return e.TermPairs()
+	}
+	base := Spec{WeightBits: 8, DataBits: 8,
+		WeightEncoding: term.HESE, DataEncoding: term.HESE}
+	s2 := base
+	s2.DataTerms = 2
+	s1 := base
+	s1.DataTerms = 1
+	p0, p2, p1 := run(base), run(s2), run(s1)
+	if !(p1 < p2 && p2 < p0) {
+		t.Errorf("data term truncation did not monotonically reduce pairs: %d, %d, %d", p0, p2, p1)
+	}
+}
+
+func TestDataGroupTRValidate(t *testing.T) {
+	s := TR(8, 12, 3)
+	s.DataGroupBudget = 12
+	if err := s.Validate(); err == nil {
+		t.Error("data group budget without group size accepted")
+	}
+	s.DataGroupSize = 8
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid data-TR spec rejected: %v", err)
+	}
+}
+
+// Run-time group TR on data (the hardware term comparator) further
+// reduces actual term pairs over the per-value cap alone, with a bounded
+// accuracy cost.
+func TestDataGroupTRReducesPairs(t *testing.T) {
+	m, test := trainedMLP(t)
+	head, _ := test.Split(120)
+
+	base := TR(8, 12, 3)
+	eBase := Attach(m, base)
+	accBase := models.Evaluate(m, head, 32)
+	pairsBase := eBase.TermPairs()
+	eBase.Detach()
+
+	withDataTR := base
+	withDataTR.DataGroupSize = 8
+	withDataTR.DataGroupBudget = 12
+	eTR := Attach(m, withDataTR)
+	accTR := models.Evaluate(m, head, 32)
+	pairsTR := eTR.TermPairs()
+	eTR.Detach()
+
+	if pairsTR >= pairsBase {
+		t.Errorf("data group TR did not reduce pairs: %d vs %d", pairsTR, pairsBase)
+	}
+	if accTR < accBase-0.08 {
+		t.Errorf("data group TR dropped accuracy %.3f -> %.3f", accBase, accTR)
+	}
+}
+
+// A generous data group budget changes nothing: groups under budget pass
+// through untouched.
+func TestDataGroupTRGenerousBudgetIsNoop(t *testing.T) {
+	m, test := trainedMLP(t)
+	head, _ := test.Split(64)
+	base := TR(8, 12, 3)
+	eBase := Attach(m, base)
+	accBase := models.Evaluate(m, head, 32)
+	eBase.Detach()
+
+	loose := base
+	loose.DataGroupSize = 8
+	loose.DataGroupBudget = 24 // = g*s: cannot bind given DataTerms=3
+	eLoose := Attach(m, loose)
+	accLoose := models.Evaluate(m, head, 32)
+	eLoose.Detach()
+	if accLoose != accBase {
+		t.Errorf("unbinding data budget changed accuracy %.4f -> %.4f", accBase, accLoose)
+	}
+}

@@ -1,0 +1,109 @@
+package qsim
+
+import (
+	"sort"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// This file implements the parameter search the paper highlights as a
+// benefit of post-training TR (Sec. VI: "Using pre-trained models has the
+// advantage of making parameter search (e.g., for group size g and term
+// budget k) simple"): finding group budgets directly on a pre-trained
+// model with no retraining.
+
+// EvalFunc measures a model's quality under the currently attached
+// engine; higher is better (negate perplexity for LSTMs).
+type EvalFunc func() float64
+
+// SearchGlobalBudget returns the smallest group budget k (searched over
+// candidates, descending) whose TR(g, k, s) accuracy stays within tol of
+// the 8-bit QT baseline, along with both scores. It leaves the model
+// unmodified.
+func SearchGlobalBudget(m *models.ImageModel, eval EvalFunc, g, s int,
+	candidates []int, tol float64) (bestK int, baseline, best float64) {
+	eQT := Attach(m, QT(8, 8))
+	baseline = eval()
+	eQT.Detach()
+
+	sorted := append([]int(nil), candidates...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	bestK = 0
+	best = baseline
+	for _, k := range sorted {
+		e := Attach(m, TR(g, k, s))
+		acc := eval()
+		e.Detach()
+		if acc >= baseline-tol {
+			bestK = k
+			best = acc
+		} else {
+			break // budgets only get more aggressive from here
+		}
+	}
+	return bestK, baseline, best
+}
+
+// WeightLayerNames returns the names of all weight-bearing layers of a
+// model in forward order.
+func WeightLayerNames(m *models.ImageModel) []string {
+	var names []string
+	nn.Walk(m.Net, func(l nn.Layer) {
+		switch l.(type) {
+		case *nn.Linear, *nn.Conv2D:
+			names = append(names, l.Name())
+		}
+	})
+	return names
+}
+
+// SearchPerLayerBudgets greedily tightens each layer's group budget: all
+// layers start at kMax; visiting layers in forward order, each layer's k
+// is lowered through the candidate list as long as the model stays within
+// tol of the 8-bit QT baseline. Returns the per-layer budgets and the
+// final score. The greedy pass mirrors how the paper's per-model k would
+// be refined per layer without retraining.
+func SearchPerLayerBudgets(m *models.ImageModel, eval EvalFunc, g, s int,
+	candidates []int, tol float64) (map[string]int, float64) {
+	eQT := Attach(m, QT(8, 8))
+	baseline := eval()
+	eQT.Detach()
+
+	sorted := append([]int(nil), candidates...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	kMax := sorted[0]
+
+	budgets := make(map[string]int)
+	names := WeightLayerNames(m)
+	for _, n := range names {
+		budgets[n] = kMax
+	}
+	attach := func() *Engine {
+		overrides := make(map[string]Spec, len(budgets))
+		for n, k := range budgets {
+			overrides[n] = TR(g, k, s)
+		}
+		return AttachPerLayer(m, TR(g, kMax, s), overrides)
+	}
+	score := func() float64 {
+		e := attach()
+		defer e.Detach()
+		return eval()
+	}
+	final := score()
+	for _, n := range names {
+		for _, k := range sorted[1:] {
+			prev := budgets[n]
+			budgets[n] = k
+			acc := score()
+			if acc >= baseline-tol {
+				final = acc
+				continue
+			}
+			budgets[n] = prev
+			break
+		}
+	}
+	return budgets, final
+}

@@ -1,0 +1,115 @@
+package qsim
+
+import (
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestSearchGlobalBudget(t *testing.T) {
+	m, test := trainedMLP(t)
+	eval := func() float64 { return models.Evaluate(m, test, 32) }
+	k, baseline, best := SearchGlobalBudget(m, eval, 8, 3,
+		[]int{24, 16, 12, 8, 4}, 0.02)
+	if k == 0 {
+		t.Fatal("no budget satisfied the tolerance; even k=24 should")
+	}
+	if best < baseline-0.02 {
+		t.Errorf("returned score %.3f violates tolerance vs baseline %.3f", best, baseline)
+	}
+	if k > 16 {
+		t.Errorf("search stopped at k=%d; the MLP tolerates smaller budgets", k)
+	}
+	// Model restored.
+	if got := models.Evaluate(m, test, 32); got == 0 {
+		t.Error("model unusable after search")
+	}
+}
+
+func TestWeightLayerNames(t *testing.T) {
+	m, _ := trainedMLP(t)
+	names := WeightLayerNames(m)
+	if len(names) != 2 || names[0] != "fc1" || names[1] != "fc2" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSearchPerLayerBudgets(t *testing.T) {
+	m, test := trainedMLP(t)
+	head, _ := test.Split(120)
+	eval := func() float64 { return models.Evaluate(m, head, 32) }
+	budgets, final := SearchPerLayerBudgets(m, eval, 8, 3,
+		[]int{24, 16, 12, 8}, 0.03)
+	if len(budgets) != 2 {
+		t.Fatalf("budgets for %d layers, want 2", len(budgets))
+	}
+	eQT := Attach(m, QT(8, 8))
+	baseline := eval()
+	eQT.Detach()
+	if final < baseline-0.03 {
+		t.Errorf("final score %.3f violates the tolerance vs %.3f", final, baseline)
+	}
+	for name, k := range budgets {
+		if k < 8 || k > 24 {
+			t.Errorf("layer %s budget %d outside candidates", name, k)
+		}
+	}
+	// Per-layer search should tighten at least one layer below the max.
+	tightened := false
+	for _, k := range budgets {
+		if k < 24 {
+			tightened = true
+		}
+	}
+	if !tightened {
+		t.Error("greedy search never tightened any layer")
+	}
+}
+
+func TestAttachPerLayerOverrides(t *testing.T) {
+	m, test := trainedMLP(t)
+	head, _ := test.Split(64)
+	// fc1 aggressive, fc2 loose; bound accounting must differ from the
+	// uniform setting.
+	uniform := Attach(m, TR(8, 16, 3))
+	models.Evaluate(m, head, 32)
+	uniformBound := uniform.BoundPairs()
+	uniform.Detach()
+
+	mixed := AttachPerLayer(m, TR(8, 16, 3), map[string]Spec{
+		"fc1": TR(8, 8, 3),
+	})
+	models.Evaluate(m, head, 32)
+	mixedBound := mixed.BoundPairs()
+	mixedStats := mixed.Stats()
+	mixed.Detach()
+
+	if mixedBound >= uniformBound {
+		t.Errorf("override did not reduce the bound: %d vs %d", mixedBound, uniformBound)
+	}
+	// fc1's bound per MAC is half of fc2's (k 8 vs 16).
+	var fc1, fc2 LayerStat
+	for _, s := range mixedStats {
+		switch s.Name {
+		case "fc1":
+			fc1 = s
+		case "fc2":
+			fc2 = s
+		}
+	}
+	r1 := float64(fc1.Bound) / float64(fc1.MACs)
+	r2 := float64(fc2.Bound) / float64(fc2.MACs)
+	if r1 >= r2 {
+		t.Errorf("fc1 bound/MAC %.2f not below fc2 %.2f", r1, r2)
+	}
+}
+
+func TestAttachPerLayerInvalidOverridePanics(t *testing.T) {
+	m, _ := trainedMLP(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid override accepted")
+		}
+	}()
+	AttachPerLayer(m, QT(8, 8), map[string]Spec{"fc1": {WeightBits: -3}})
+}

@@ -1,0 +1,188 @@
+// Package quant implements conventional uniform fixed-point quantization
+// (QT in the paper): the first quantization step that converts 32-bit
+// floating-point DNN weights and data to n-bit fixed-point values before
+// Term Revealing is applied on top at run time.
+//
+// The layerwise procedure follows the spirit of Lee et al., "Quantization
+// for rapid deployment of deep neural networks" (the paper's ref [44]):
+// symmetric per-tensor scales, with an optional scale search that minimizes
+// the mean squared quantization error rather than simply using the maximum
+// absolute value.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes a symmetric uniform quantizer with the given bit width.
+// A value x maps to clamp(round(x/Scale), -QMax, QMax); the most
+// significant bit of the n-bit representation holds the sign, so an n-bit
+// quantizer has QMax = 2^(n-1) - 1 (e.g. 127 for 8 bits, at most 7
+// magnitude terms).
+type Params struct {
+	Bits  int
+	Scale float32
+}
+
+// QMax returns the largest representable magnitude, 2^(Bits-1)-1.
+func (p Params) QMax() int32 {
+	return int32(1)<<(p.Bits-1) - 1
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Bits < 2 || p.Bits > 16 {
+		return fmt.Errorf("quant: bits must be in [2,16], got %d", p.Bits)
+	}
+	if !(p.Scale > 0) || math.IsInf(float64(p.Scale), 0) {
+		return fmt.Errorf("quant: scale must be positive and finite, got %v", p.Scale)
+	}
+	return nil
+}
+
+// Quantize maps a single float to its fixed-point code.
+func (p Params) Quantize(x float32) int32 {
+	q := int32(math.RoundToEven(float64(x / p.Scale)))
+	m := p.QMax()
+	if q > m {
+		q = m
+	}
+	if q < -m {
+		q = -m
+	}
+	return q
+}
+
+// Dequantize maps a fixed-point code back to a float.
+func (p Params) Dequantize(q int32) float32 {
+	return float32(q) * p.Scale
+}
+
+// QuantizeSlice quantizes xs into a new int32 slice.
+func (p Params) QuantizeSlice(xs []float32) []int32 {
+	qs := make([]int32, len(xs))
+	for i, x := range xs {
+		qs[i] = p.Quantize(x)
+	}
+	return qs
+}
+
+// DequantizeSlice reconstructs floats from codes into a new slice.
+func (p Params) DequantizeSlice(qs []int32) []float32 {
+	xs := make([]float32, len(qs))
+	for i, q := range qs {
+		xs[i] = p.Dequantize(q)
+	}
+	return xs
+}
+
+// RoundTrip quantizes then dequantizes xs, returning the values the
+// quantized network actually computes with.
+func (p Params) RoundTrip(xs []float32) []float32 {
+	ys := make([]float32, len(xs))
+	for i, x := range xs {
+		ys[i] = p.Dequantize(p.Quantize(x))
+	}
+	return ys
+}
+
+func maxAbs(xs []float32) float32 {
+	var m float32
+	for _, x := range xs {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MaxAbsParams returns the symmetric quantizer whose range exactly covers
+// the maximum absolute value of xs. If all values are zero the scale is 1.
+func MaxAbsParams(xs []float32, bits int) Params {
+	m := maxAbs(xs)
+	qmax := float32(int32(1)<<(bits-1) - 1)
+	if m == 0 {
+		return Params{Bits: bits, Scale: 1}
+	}
+	return Params{Bits: bits, Scale: m / qmax}
+}
+
+// MSE returns the mean squared error between xs and their round trip
+// through p.
+func MSE(xs []float32, p Params) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		d := float64(x - p.Dequantize(p.Quantize(x)))
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// SearchParams performs the layerwise scale search: it evaluates a range of
+// clipping factors around the max-abs scale and returns the parameters
+// minimizing the quantization MSE. This mirrors the layerwise procedure of
+// the paper's ref [44] used before applying TR.
+func SearchParams(xs []float32, bits int) Params {
+	base := MaxAbsParams(xs, bits)
+	if maxAbs(xs) == 0 {
+		return base
+	}
+	best := base
+	bestErr := MSE(xs, base)
+	// Clipping the range below max-abs trades saturation error for finer
+	// resolution; sweep a modest grid of candidates.
+	for i := 1; i <= 20; i++ {
+		factor := 1 - float32(i)*0.02 // 0.98 down to 0.60
+		cand := Params{Bits: bits, Scale: base.Scale * factor}
+		if e := MSE(xs, cand); e < bestErr {
+			best, bestErr = cand, e
+		}
+	}
+	return best
+}
+
+// Error statistics for comparing quantization settings (used by Fig. 18).
+
+// RelativeError returns the mean relative error of the round trip of xs
+// through p, following the paper's Fig. 18 metric (average quantization
+// error relative to the original 32-bit floating-point weights). Values
+// with |x| below eps are skipped to avoid division blow-ups.
+func RelativeError(xs []float32, quantized []float32) float64 {
+	const eps = 1e-12
+	var sum float64
+	var n int
+	for i, x := range xs {
+		a := math.Abs(float64(x))
+		if a < eps {
+			continue
+		}
+		sum += math.Abs(float64(quantized[i])-float64(x)) / a
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RMSError returns the root mean squared error between original and
+// quantized values.
+func RMSError(xs []float32, quantized []float32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, x := range xs {
+		d := float64(quantized[i]) - float64(x)
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}

@@ -1,0 +1,201 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQMax(t *testing.T) {
+	cases := map[int]int32{2: 1, 4: 7, 6: 31, 7: 63, 8: 127, 16: 32767}
+	for bits, want := range cases {
+		if got := (Params{Bits: bits, Scale: 1}).QMax(); got != want {
+			t.Errorf("QMax(%d bits) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{Bits: 8, Scale: 0.5}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, p := range []Params{
+		{Bits: 1, Scale: 1},
+		{Bits: 17, Scale: 1},
+		{Bits: 8, Scale: 0},
+		{Bits: 8, Scale: -1},
+		{Bits: 8, Scale: float32(math.Inf(1))},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid params %+v accepted", p)
+		}
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	p := Params{Bits: 8, Scale: 1}
+	if got := p.Quantize(1000); got != 127 {
+		t.Errorf("Quantize(1000) = %d, want clamp to 127", got)
+	}
+	if got := p.Quantize(-1000); got != -127 {
+		t.Errorf("Quantize(-1000) = %d, want clamp to -127", got)
+	}
+}
+
+func TestQuantizeRoundsToEven(t *testing.T) {
+	p := Params{Bits: 8, Scale: 1}
+	if got := p.Quantize(2.5); got != 2 {
+		t.Errorf("Quantize(2.5) = %d, want 2 (round half to even)", got)
+	}
+	if got := p.Quantize(3.5); got != 4 {
+		t.Errorf("Quantize(3.5) = %d, want 4", got)
+	}
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	// Round-trip error of an unclamped value is at most Scale/2.
+	rng := rand.New(rand.NewSource(1))
+	p := Params{Bits: 8, Scale: 0.031}
+	for i := 0; i < 1000; i++ {
+		x := (rng.Float32()*2 - 1) * p.Scale * 126
+		y := p.Dequantize(p.Quantize(x))
+		if d := math.Abs(float64(y - x)); d > float64(p.Scale)/2+1e-6 {
+			t.Fatalf("round trip error %g > scale/2 for x=%g", d, x)
+		}
+	}
+}
+
+func TestMaxAbsParamsCoversRange(t *testing.T) {
+	xs := []float32{-3, 0.5, 2.9, 1.0}
+	p := MaxAbsParams(xs, 8)
+	if p.Quantize(-3) != -127 {
+		t.Errorf("max magnitude should map to -127, got %d", p.Quantize(-3))
+	}
+	if p.Quantize(3) != 127 {
+		t.Errorf("max magnitude should map to 127, got %d", p.Quantize(3))
+	}
+}
+
+func TestMaxAbsParamsAllZero(t *testing.T) {
+	p := MaxAbsParams([]float32{0, 0, 0}, 8)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("all-zero input produced invalid params: %v", err)
+	}
+	if p.Quantize(0) != 0 {
+		t.Error("zero should quantize to 0")
+	}
+}
+
+func TestSearchParamsNeverWorseThanMaxAbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		xs := make([]float32, 500)
+		for i := range xs {
+			xs[i] = float32(rng.NormFloat64())
+		}
+		// Add a single outlier so clipping helps.
+		xs[0] = 25
+		maxP := MaxAbsParams(xs, 8)
+		searched := SearchParams(xs, 8)
+		if MSE(xs, searched) > MSE(xs, maxP)+1e-12 {
+			t.Fatalf("SearchParams MSE %g worse than MaxAbs %g", MSE(xs, searched), MSE(xs, maxP))
+		}
+	}
+}
+
+func TestSearchParamsClipsOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float32, 2000)
+	for i := range xs {
+		xs[i] = float32(rng.NormFloat64()) * 0.1
+	}
+	xs[0] = 10 // extreme outlier
+	searched := SearchParams(xs, 8)
+	maxP := MaxAbsParams(xs, 8)
+	if searched.Scale >= maxP.Scale {
+		t.Errorf("expected searched scale %g below max-abs scale %g with an outlier present",
+			searched.Scale, maxP.Scale)
+	}
+}
+
+func TestQuantizeSliceAndBack(t *testing.T) {
+	xs := []float32{-1, -0.5, 0, 0.25, 0.9}
+	p := MaxAbsParams(xs, 8)
+	qs := p.QuantizeSlice(xs)
+	if len(qs) != len(xs) {
+		t.Fatal("length mismatch")
+	}
+	back := p.DequantizeSlice(qs)
+	rt := p.RoundTrip(xs)
+	for i := range back {
+		if back[i] != rt[i] {
+			t.Errorf("DequantizeSlice[%d]=%g != RoundTrip %g", i, back[i], rt[i])
+		}
+	}
+}
+
+func TestMoreBitsNeverIncreaseMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float32, 1000)
+	for i := range xs {
+		xs[i] = float32(rng.NormFloat64())
+	}
+	prev := math.Inf(1)
+	for bits := 4; bits <= 8; bits++ {
+		e := MSE(xs, MaxAbsParams(xs, bits))
+		if e > prev+1e-12 {
+			t.Fatalf("MSE at %d bits (%g) exceeds %d bits (%g)", bits, e, bits-1, prev)
+		}
+		prev = e
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	xs := []float32{1, 2, 4}
+	q := []float32{1.1, 1.8, 4}
+	got := RelativeError(xs, q)
+	want := (0.1/1 + 0.2/2 + 0) / 3
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("RelativeError = %g, want %g", got, want)
+	}
+	if RelativeError([]float32{0, 0}, []float32{1, 1}) != 0 {
+		t.Error("RelativeError should skip zero references")
+	}
+}
+
+func TestRMSError(t *testing.T) {
+	xs := []float32{0, 0}
+	q := []float32{3, 4}
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if got := RMSError(xs, q); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RMSError = %g, want %g", got, want)
+	}
+	if RMSError(nil, nil) != 0 {
+		t.Error("empty RMSError should be 0")
+	}
+}
+
+func TestQuantizeQuickWithinRange(t *testing.T) {
+	p := Params{Bits: 8, Scale: 0.02}
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) {
+			return true
+		}
+		q := p.Quantize(x)
+		return q >= -127 && q <= 127
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequantizeQuantizeIdentityOnCodes(t *testing.T) {
+	// Quantizing an exact code's dequantized value returns the code.
+	p := Params{Bits: 8, Scale: 0.125}
+	for q := int32(-127); q <= 127; q++ {
+		if got := p.Quantize(p.Dequantize(q)); got != q {
+			t.Fatalf("Quantize(Dequantize(%d)) = %d", q, got)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses to reproduce the paper's distribution figures: histograms,
+// empirical CDFs, and summary statistics over weight/data values and term
+// counts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates counts over fixed-width bins of a float range.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+	below    int64
+	above    int64
+	total    int64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [min, max). Values outside the range are tallied separately.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(max > min) {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.below++
+	case x >= h.Max:
+		h.above++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+		if i == len(h.Counts) { // guard against float rounding at the edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fraction returns the fraction of observations that landed in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// FractionAtMost returns the fraction of observations ≤ x (bin-resolution).
+func (h *Histogram) FractionAtMost(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := h.below
+	for i := range h.Counts {
+		if h.BinCenter(i) <= x {
+			n += h.Counts[i]
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Render draws a unicode bar chart of the histogram for terminal output.
+func (h *Histogram) Render(width int) string {
+	var max int64 = 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := int(float64(width) * float64(c) / float64(max))
+		fmt.Fprintf(&b, "%10.3f | %-*s %6.2f%%\n",
+			h.BinCenter(i), width, strings.Repeat("#", bar), 100*h.Fraction(i))
+	}
+	return b.String()
+}
+
+// IntHistogram counts occurrences of small nonnegative integers (e.g.
+// number of terms per value, term pairs per group).
+type IntHistogram struct {
+	Counts []int64
+	total  int64
+}
+
+// NewIntHistogram creates a histogram for values 0..max inclusive; larger
+// values are clamped into the last bucket.
+func NewIntHistogram(max int) *IntHistogram {
+	return &IntHistogram{Counts: make([]int64, max+1)}
+}
+
+// Add records one observation.
+func (h *IntHistogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Counts) {
+		v = len(h.Counts) - 1
+	}
+	h.Counts[v]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *IntHistogram) Total() int64 { return h.total }
+
+// Fraction returns the fraction of observations equal to v.
+func (h *IntHistogram) Fraction(v int) float64 {
+	if h.total == 0 || v < 0 || v >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[v]) / float64(h.total)
+}
+
+// CumulativeFraction returns the fraction of observations ≤ v (the CDF the
+// paper plots in Fig. 8(c)).
+func (h *IntHistogram) CumulativeFraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v >= len(h.Counts) {
+		v = len(h.Counts) - 1
+	}
+	var n int64
+	for i := 0; i <= v; i++ {
+		n += h.Counts[i]
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Percentile returns the smallest v with CDF(v) >= p, for p in [0,1].
+func (h *IntHistogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(h.total)))
+	var n int64
+	for i, c := range h.Counts {
+		n += c
+		if n >= target {
+			return i
+		}
+	}
+	return len(h.Counts) - 1
+}
+
+// Mean returns the mean of the recorded integers.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum int64
+	for v, c := range h.Counts {
+		sum += int64(v) * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Max returns the largest recorded value (bucket index).
+func (h *IntHistogram) Max() int {
+	for v := len(h.Counts) - 1; v >= 0; v-- {
+		if h.Counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	AbsMean        float64
+	FracNonzero    float64
+	FracWithinHalf float64 // fraction within 0.5 std of the mean
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float32) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumAbs float64
+	nz := 0
+	for _, x := range xs {
+		v := float64(x)
+		sum += v
+		sumAbs += math.Abs(v)
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		if v != 0 {
+			nz++
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	s.AbsMean = sumAbs / float64(len(xs))
+	s.FracNonzero = float64(nz) / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := float64(x) - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	sorted := make([]float64, len(xs))
+	for i, x := range xs {
+		sorted[i] = float64(x)
+	}
+	sort.Float64s(sorted)
+	s.Median = sorted[len(sorted)/2]
+	within := 0
+	for _, x := range xs {
+		if math.Abs(float64(x)-s.Mean) <= 0.5*s.Std {
+			within++
+		}
+	}
+	s.FracWithinHalf = float64(within) / float64(len(xs))
+	return s
+}
+
+// NormalityScore returns a crude normal-likeness measure in [0,1]: how
+// closely the empirical CDF at ±0.5σ, ±1σ, ±2σ matches the Gaussian CDF.
+// Trained DNN weights score high; uniform values score low. Used to verify
+// the Sec. III-A premise on our trained models.
+func NormalityScore(xs []float32) float64 {
+	if len(xs) < 10 {
+		return 0
+	}
+	s := Summarize(xs)
+	if s.Std == 0 {
+		return 0
+	}
+	probe := []float64{-2, -1, -0.5, 0.5, 1, 2}
+	var err float64
+	for _, z := range probe {
+		x := s.Mean + z*s.Std
+		n := 0
+		for _, v := range xs {
+			if float64(v) <= x {
+				n++
+			}
+		}
+		emp := float64(n) / float64(len(xs))
+		gauss := 0.5 * (1 + math.Erf(z/math.Sqrt2))
+		err += math.Abs(emp - gauss)
+	}
+	err /= float64(len(probe))
+	score := 1 - err/0.25 // 0.25 mean abs deviation ≈ worst plausible
+	if score < 0 {
+		score = 0
+	}
+	return score
+}

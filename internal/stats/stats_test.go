@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 1 {
+			t.Errorf("bin %d count = %d, want 1", i, h.Counts[i])
+		}
+		if got := h.Fraction(i); got != 0.1 {
+			t.Errorf("Fraction(%d) = %v", i, got)
+		}
+	}
+	if c := h.BinCenter(0); c != 0.5 {
+		t.Errorf("BinCenter(0) = %v", c)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(5)
+	h.Add(0.5)
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	var in int64
+	for _, c := range h.Counts {
+		in += c
+	}
+	if in != 1 {
+		t.Errorf("in-range count = %d, want 1", in)
+	}
+}
+
+func TestHistogramEdgeValue(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.Add(0.9999999999999999) // rounds to exactly 1.0*bins in float math
+	var in int64
+	for _, c := range h.Counts {
+		in += c
+	}
+	if in+h.above != 1 {
+		t.Error("edge value lost")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Errorf("unexpected render output:\n%s", out)
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram(7)
+	for _, v := range []int{0, 1, 1, 2, 3, 3, 3, 7, 12, -4} {
+		h.Add(v)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[7] != 2 { // 7 and clamped 12
+		t.Errorf("bucket 7 = %d, want 2 (clamping)", h.Counts[7])
+	}
+	if h.Counts[0] != 2 { // 0 and clamped -4
+		t.Errorf("bucket 0 = %d, want 2", h.Counts[0])
+	}
+	if got := h.Fraction(3); got != 0.3 {
+		t.Errorf("Fraction(3) = %v", got)
+	}
+	if got := h.CumulativeFraction(3); got != 0.8 {
+		t.Errorf("CumulativeFraction(3) = %v", got)
+	}
+	if got := h.CumulativeFraction(99); got != 1.0 {
+		t.Errorf("CumulativeFraction(99) = %v", got)
+	}
+	if got := h.Max(); got != 7 {
+		t.Errorf("Max = %d", got)
+	}
+}
+
+func TestIntHistogramPercentile(t *testing.T) {
+	h := NewIntHistogram(100)
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if got := h.Percentile(0.5); got != 50 {
+		t.Errorf("P50 = %d", got)
+	}
+	if got := h.Percentile(0.99); got != 99 {
+		t.Errorf("P99 = %d", got)
+	}
+	if got := h.Percentile(1.0); got != 100 {
+		t.Errorf("P100 = %d", got)
+	}
+}
+
+func TestIntHistogramMean(t *testing.T) {
+	h := NewIntHistogram(10)
+	h.Add(2)
+	h.Add(4)
+	if got := h.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	empty := NewIntHistogram(5)
+	if empty.Mean() != 0 || empty.Percentile(0.5) != 0 || empty.Max() != 0 {
+		t.Error("empty histogram statistics should be zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float32{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("Std = %v, want sqrt(2)", s.Std)
+	}
+	if s.Median != 3 {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if s.FracNonzero != 1 {
+		t.Errorf("FracNonzero = %v", s.FracNonzero)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Error("empty Summarize should be zero value")
+	}
+}
+
+func TestNormalityScoreSeparatesDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gauss := make([]float32, 5000)
+	unif := make([]float32, 5000)
+	for i := range gauss {
+		gauss[i] = float32(rng.NormFloat64())
+		unif[i] = rng.Float32()*2 - 1
+	}
+	gs := NormalityScore(gauss)
+	us := NormalityScore(unif)
+	if gs <= us {
+		t.Errorf("gaussian score %v should exceed uniform score %v", gs, us)
+	}
+	if gs < 0.9 {
+		t.Errorf("gaussian score %v unexpectedly low", gs)
+	}
+	if NormalityScore([]float32{1, 2}) != 0 {
+		t.Error("tiny sample should score 0")
+	}
+	if NormalityScore(make([]float32, 100)) != 0 {
+		t.Error("constant sample should score 0")
+	}
+}
+
+func TestHistogramFractionAtMost(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if got := h.FractionAtMost(4.9); got != 0.5 {
+		t.Errorf("FractionAtMost(4.9) = %v, want 0.5", got)
+	}
+	if got := h.FractionAtMost(100); got != 1.0 {
+		t.Errorf("FractionAtMost(100) = %v, want 1", got)
+	}
+	h.Add(-5) // below range counts toward every cumulative fraction
+	if got := h.FractionAtMost(0.6); got != 2.0/11.0 {
+		t.Errorf("FractionAtMost with below-range = %v", got)
+	}
+	empty := NewHistogram(0, 1, 2)
+	if empty.FractionAtMost(0.5) != 0 || empty.Fraction(0) != 0 {
+		t.Error("empty histogram fractions should be 0")
+	}
+}
+
+func TestIntHistogramFractionOutOfRange(t *testing.T) {
+	h := NewIntHistogram(3)
+	h.Add(1)
+	if h.Fraction(-1) != 0 || h.Fraction(9) != 0 {
+		t.Error("out-of-range Fraction should be 0")
+	}
+	if h.CumulativeFraction(-1) != 0 {
+		t.Error("negative CumulativeFraction should be 0")
+	}
+	empty := NewIntHistogram(3)
+	if empty.CumulativeFraction(2) != 0 || empty.Fraction(1) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+}

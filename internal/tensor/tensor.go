@@ -1,0 +1,320 @@
+// Package tensor provides the dense float32 tensor type and the linear
+// algebra kernels (matmul, im2col convolution lowering, pooling windows)
+// on which the neural-network substrate is built. Layout is row-major.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 array with a shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// numel returns the element count of a shape.
+func numel(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, numel(shape))}
+}
+
+// FromSlice wraps data in a tensor of the given shape; the slice is used
+// directly (not copied) and must have exactly the right length.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	if len(data) != numel(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns an independent deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape of the same element count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if numel(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At reads the element at the given indices.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set writes the element at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for axis %d of %v", x, i, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// RandN fills the tensor with Gaussian noise of the given std.
+func (t *Tensor) RandN(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// AddInPlace accumulates o into t (shapes must have equal length).
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if len(o.Data) != len(t.Data) {
+		panic("tensor: AddInPlace length mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// MaxAbs returns the largest absolute value in the tensor.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Argmax returns the index of the largest element of a flat tensor.
+func (t *Tensor) Argmax() int {
+	best := 0
+	bestV := float32(math.Inf(-1))
+	for i, v := range t.Data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// MatMul computes C = A·B for A (m×k) and B (k×n), both 2-D.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMul requires 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*n : (l+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ for A (m×k) and B (n×k).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransB requires 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for l := 0; l < k; l++ {
+				sum += arow[l] * brow[l]
+			}
+			c.Data[i*n+j] = sum
+		}
+	}
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for A (k×m) and B (k×n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransA requires 2-D operands")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	for l := 0; l < k; l++ {
+		arow := a.Data[l*m : (l+1)*m]
+		brow := b.Data[l*n : (l+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("tensor: Transpose2D requires a 2-D operand")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return t
+}
+
+// ConvGeom describes a 2-D convolution geometry.
+type ConvGeom struct {
+	InC, InH, InW       int
+	KH, KW, Stride, Pad int
+	Groups              int // 1 for dense conv, InC for depthwise
+	OutC                int
+	OutH, OutW          int // derived by Out()
+}
+
+// Out derives the output spatial dimensions and returns the geometry.
+func (g ConvGeom) Out() ConvGeom {
+	g.OutH = (g.InH+2*g.Pad-g.KH)/g.Stride + 1
+	g.OutW = (g.InW+2*g.Pad-g.KW)/g.Stride + 1
+	return g
+}
+
+// Im2Col lowers an input image (C,H,W) into a matrix of shape
+// (C/groups·KH·KW, OutH·OutW) for one group, so a convolution becomes a
+// matmul with the (OutC/groups × C/groups·KH·KW) filter matrix.
+func Im2Col(in *Tensor, g ConvGeom, group int) *Tensor {
+	cPerG := g.InC / g.Groups
+	rows := cPerG * g.KH * g.KW
+	cols := g.OutH * g.OutW
+	out := New(rows, cols)
+	for c := 0; c < cPerG; c++ {
+		srcC := group*cPerG + c
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				dst := out.Data[row*cols:]
+				for oh := 0; oh < g.OutH; oh++ {
+					ih := oh*g.Stride + kh - g.Pad
+					if ih < 0 || ih >= g.InH {
+						continue
+					}
+					srcRow := in.Data[(srcC*g.InH+ih)*g.InW:]
+					for ow := 0; ow < g.OutW; ow++ {
+						iw := ow*g.Stride + kw - g.Pad
+						if iw < 0 || iw >= g.InW {
+							continue
+						}
+						dst[oh*g.OutW+ow] = srcRow[iw]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im scatters a column matrix gradient back into an image gradient,
+// the adjoint of Im2Col.
+func Col2Im(cols *Tensor, g ConvGeom, group int, dst *Tensor) {
+	cPerG := g.InC / g.Groups
+	colN := g.OutH * g.OutW
+	for c := 0; c < cPerG; c++ {
+		dstC := group*cPerG + c
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				src := cols.Data[row*colN:]
+				for oh := 0; oh < g.OutH; oh++ {
+					ih := oh*g.Stride + kh - g.Pad
+					if ih < 0 || ih >= g.InH {
+						continue
+					}
+					dstRow := dst.Data[(dstC*g.InH+ih)*g.InW:]
+					for ow := 0; ow < g.OutW; ow++ {
+						iw := ow*g.Stride + kw - g.Pad
+						if iw < 0 || iw >= g.InW {
+							continue
+						}
+						dstRow[iw] += src[oh*g.OutW+ow]
+					}
+				}
+			}
+		}
+	}
+}

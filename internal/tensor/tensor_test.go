@@ -1,0 +1,258 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	a := New(2, 3)
+	if a.Len() != 6 || a.Dim(0) != 2 || a.Dim(1) != 3 {
+		t.Fatalf("shape handling broken: %v", a.Shape)
+	}
+	a.Set(5, 1, 2)
+	if a.At(1, 2) != 5 {
+		t.Error("Set/At mismatch")
+	}
+	if a.Data[5] != 5 {
+		t.Error("row-major layout broken")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	a := New(2, 2)
+	for _, f := range []func(){
+		func() { a.At(2, 0) },
+		func() { a.At(0) },
+		func() { a.At(-1, 0) },
+		func() { FromSlice([]float32{1, 2}, 3) },
+		func() { a.Reshape(5) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromSliceAndReshape(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	a := FromSlice(data, 2, 3)
+	b := a.Reshape(3, 2)
+	if b.At(2, 1) != 6 {
+		t.Error("reshape view broken")
+	}
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Error("reshape should share storage")
+	}
+	c := a.Clone()
+	c.Set(-1, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Error("clone should not share storage")
+	}
+}
+
+func TestFillScaleAddMaxAbs(t *testing.T) {
+	a := New(4)
+	a.Fill(2)
+	a.Scale(-3)
+	if a.Data[0] != -6 {
+		t.Error("Fill/Scale broken")
+	}
+	b := New(4)
+	b.Fill(1)
+	a.AddInPlace(b)
+	if a.Data[3] != -5 {
+		t.Error("AddInPlace broken")
+	}
+	if a.MaxAbs() != 5 {
+		t.Errorf("MaxAbs = %v", a.MaxAbs())
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	a := FromSlice([]float32{1, 7, 3, 7}, 4)
+	if a.Argmax() != 1 {
+		t.Errorf("Argmax = %d, want first maximum", a.Argmax())
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a := New(m, k)
+		b := New(k, n)
+		a.RandN(rng, 1)
+		b.RandN(rng, 1)
+		c := MatMul(a, b)
+		cT := MatMulTransB(a, Transpose2D(b))
+		cA := MatMulTransA(Transpose2D(a), b)
+		for i := range c.Data {
+			if math.Abs(float64(c.Data[i]-cT.Data[i])) > 1e-4 {
+				t.Fatalf("MatMulTransB disagrees at %d", i)
+			}
+			if math.Abs(float64(c.Data[i]-cA.Data[i])) > 1e-4 {
+				t.Fatalf("MatMulTransA disagrees at %d", i)
+			}
+		}
+	}
+}
+
+func TestMatMulPanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 2)
+	for _, f := range []func(){
+		func() { MatMul(a, b) },
+		func() { MatMul(New(2), b) },
+		func() { MatMulTransB(a, New(2, 4)) },
+		func() { MatMulTransA(a, New(4, 2)) },
+		func() { Transpose2D(New(2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := Transpose2D(a)
+	if b.Shape[0] != 3 || b.Shape[1] != 2 {
+		t.Fatalf("shape = %v", b.Shape)
+	}
+	if b.At(2, 0) != 3 || b.At(0, 1) != 4 {
+		t.Error("transpose values wrong")
+	}
+}
+
+func TestConvGeomOut(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1, OutC: 8}.Out()
+	if g.OutH != 32 || g.OutW != 32 {
+		t.Errorf("same-pad conv out = %dx%d", g.OutH, g.OutW)
+	}
+	g2 := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 2, Pad: 1, Groups: 1, OutC: 8}.Out()
+	if g2.OutH != 16 || g2.OutW != 16 {
+		t.Errorf("strided conv out = %dx%d", g2.OutH, g2.OutW)
+	}
+}
+
+// Direct convolution reference to validate the im2col path.
+func convDirect(in *Tensor, w *Tensor, g ConvGeom) *Tensor {
+	out := New(g.OutC, g.OutH, g.OutW)
+	cPerG := g.InC / g.Groups
+	oPerG := g.OutC / g.Groups
+	for oc := 0; oc < g.OutC; oc++ {
+		grp := oc / oPerG
+		for oh := 0; oh < g.OutH; oh++ {
+			for ow := 0; ow < g.OutW; ow++ {
+				var sum float32
+				for c := 0; c < cPerG; c++ {
+					ic := grp*cPerG + c
+					for kh := 0; kh < g.KH; kh++ {
+						ih := oh*g.Stride + kh - g.Pad
+						if ih < 0 || ih >= g.InH {
+							continue
+						}
+						for kw := 0; kw < g.KW; kw++ {
+							iw := ow*g.Stride + kw - g.Pad
+							if iw < 0 || iw >= g.InW {
+								continue
+							}
+							sum += in.At(ic, ih, iw) * w.At(oc, c, kh, kw)
+						}
+					}
+				}
+				out.Set(sum, oc, oh, ow)
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []ConvGeom{
+		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 1, OutC: 4},
+		{InC: 4, InH: 7, InW: 9, KH: 3, KW: 3, Stride: 2, Pad: 1, Groups: 1, OutC: 6},
+		{InC: 6, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 6, OutC: 6}, // depthwise
+		{InC: 4, InH: 8, InW: 8, KH: 1, KW: 1, Stride: 1, Pad: 0, Groups: 1, OutC: 8}, // pointwise
+		{InC: 4, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Groups: 2, OutC: 8}, // grouped
+	}
+	for ci, g := range cases {
+		g = g.Out()
+		in := New(g.InC, g.InH, g.InW)
+		in.RandN(rng, 1)
+		cPerG := g.InC / g.Groups
+		w := New(g.OutC, cPerG, g.KH, g.KW)
+		w.RandN(rng, 1)
+		want := convDirect(in, w, g)
+
+		oPerG := g.OutC / g.Groups
+		got := New(g.OutC, g.OutH, g.OutW)
+		for grp := 0; grp < g.Groups; grp++ {
+			cols := Im2Col(in, g, grp)
+			wMat := FromSlice(
+				w.Data[grp*oPerG*cPerG*g.KH*g.KW:(grp+1)*oPerG*cPerG*g.KH*g.KW],
+				oPerG, cPerG*g.KH*g.KW)
+			res := MatMul(wMat, cols)
+			copy(got.Data[grp*oPerG*g.OutH*g.OutW:], res.Data)
+		}
+		for i := range want.Data {
+			if math.Abs(float64(want.Data[i]-got.Data[i])) > 1e-4 {
+				t.Fatalf("case %d: im2col conv disagrees with direct conv at %d: %v vs %v",
+					ci, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> for all x, y: the defining property
+	// of an adjoint, which makes conv backward correct.
+	rng := rand.New(rand.NewSource(3))
+	g := ConvGeom{InC: 3, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 2, Pad: 1, Groups: 1, OutC: 2}.Out()
+	x := New(g.InC, g.InH, g.InW)
+	x.RandN(rng, 1)
+	cols := Im2Col(x, g, 0)
+	y := New(cols.Shape[0], cols.Shape[1])
+	y.RandN(rng, 1)
+
+	var lhs float64
+	for i := range cols.Data {
+		lhs += float64(cols.Data[i]) * float64(y.Data[i])
+	}
+	back := New(g.InC, g.InH, g.InW)
+	Col2Im(y, g, 0, back)
+	var rhs float64
+	for i := range x.Data {
+		rhs += float64(x.Data[i]) * float64(back.Data[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3 {
+		t.Fatalf("adjoint property violated: %v vs %v", lhs, rhs)
+	}
+}

@@ -1,0 +1,41 @@
+package term_test
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// ExampleEncodeHESE reproduces the paper's Sec. IV-A example: 27 needs
+// four terms under radix-2 Booth but only three under HESE, the provable
+// minimum.
+func ExampleEncodeHESE() {
+	fmt.Println("binary:", term.EncodeBinary(27))
+	fmt.Println("booth: ", term.EncodeBoothRadix2(27))
+	fmt.Println("hese:  ", term.EncodeHESE(27))
+	// Output:
+	// binary: [+2^4 +2^3 +2^1 +2^0]
+	// booth:  [+2^5 -2^3 +2^2 -2^0]
+	// hese:   [+2^5 -2^2 -2^0]
+}
+
+// ExampleTopTerms shows the per-value data truncation (keep the top s
+// terms) used on activations.
+func ExampleTopTerms() {
+	e := term.EncodeHESE(119) // +2^7 -2^3 -2^0
+	top := term.TopTerms(e, 2)
+	fmt.Printf("%v -> %v = %d\n", e, top, top.Value())
+	// Output:
+	// [+2^7 -2^3 -2^0] -> [+2^7 -2^3] = 120
+}
+
+// ExampleMinimizeSDR converts a redundant signed digit representation to
+// the minimum-length form via the Sec. IV-B rewrite rules.
+func ExampleMinimizeSDR() {
+	redundant := term.EncodeBoothRadix2(27) // 4 terms
+	minimal := term.MinimizeSDR(redundant)
+	fmt.Printf("%d terms -> %d terms, value %d\n",
+		len(redundant), len(minimal), minimal.Value())
+	// Output:
+	// 4 terms -> 3 terms, value 27
+}

@@ -1,0 +1,61 @@
+package term
+
+import "testing"
+
+// FuzzEncodings fuzzes all encoders over arbitrary int32 inputs: every
+// encoding must round-trip, be well-formed, and HESE must stay minimal.
+func FuzzEncodings(f *testing.F) {
+	for _, seed := range []int32{0, 1, -1, 5, 27, 31, 127, -128, 32767, -32768, 1 << 30} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v int32) {
+		for _, enc := range []Encoding{Binary, Booth, HESE} {
+			e := Encode(v, enc)
+			if e.Value() != v {
+				t.Fatalf("%v(%d) round-trips to %d", enc, v, e.Value())
+			}
+			if !e.Valid() {
+				t.Fatalf("%v(%d) not strictly decreasing: %v", enc, v, e)
+			}
+		}
+		r2 := EncodeBoothRadix2(v)
+		if r2.Value() != v {
+			t.Fatalf("radix-2 Booth(%d) round-trips to %d", v, r2.Value())
+		}
+		if h, n := len(EncodeHESE(v)), len(EncodeNAF(v)); h != n {
+			t.Fatalf("HESE(%d) weight %d != NAF weight %d", v, h, n)
+		}
+	})
+}
+
+// FuzzMinimizeSDR fuzzes the SDR rewriter with arbitrary digit patterns.
+func FuzzMinimizeSDR(f *testing.F) {
+	f.Add(uint64(0b01_10_00_01), uint8(8))
+	f.Add(uint64(0x5555), uint8(16))
+	f.Fuzz(func(t *testing.T, pattern uint64, nRaw uint8) {
+		n := int(nRaw%24) + 1
+		var e Expansion
+		for i := n - 1; i >= 0; i-- {
+			switch (pattern >> uint(2*i)) & 3 {
+			case 1:
+				e = append(e, Term{Exp: uint8(i)})
+			case 2:
+				e = append(e, Term{Exp: uint8(i), Neg: true})
+			}
+		}
+		val := e.Value()
+		m := MinimizeSDR(e)
+		if m.Value() != val {
+			t.Fatalf("value changed: %d -> %d", val, m.Value())
+		}
+		if val == 0 {
+			if len(m) != 0 {
+				t.Fatalf("zero minimized to %v", m)
+			}
+			return
+		}
+		if want := len(EncodeNAF(val)); len(m) != want {
+			t.Fatalf("weight %d != NAF %d for %d", len(m), want, val)
+		}
+	})
+}

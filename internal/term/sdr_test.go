@@ -1,0 +1,134 @@
+package term
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigitsFromExpansionRoundTrip(t *testing.T) {
+	for v := int32(-512); v <= 512; v++ {
+		e := EncodeHESE(v)
+		d := DigitsFromExpansion(e)
+		if v == 0 {
+			if d != nil {
+				t.Fatalf("zero should give nil digits, got %v", d)
+			}
+			continue
+		}
+		if d.Value() != int64(v) {
+			t.Fatalf("digits of %d reconstruct to %d", v, d.Value())
+		}
+		if d.Weight() != len(e) {
+			t.Fatalf("weight mismatch for %d", v)
+		}
+		back := d.Expansion()
+		if back.Value() != v {
+			t.Fatalf("expansion round trip of %d gives %d", v, back.Value())
+		}
+	}
+}
+
+// Minimizing the binary expansion must reach exactly the NAF weight for
+// every value.
+func TestMinimizeSDRFromBinaryExhaustive(t *testing.T) {
+	for v := int32(1); v <= 8192; v++ {
+		m := MinimizeSDR(EncodeBinary(v))
+		if got := m.Value(); got != v {
+			t.Fatalf("MinimizeSDR changed value %d -> %d", v, got)
+		}
+		if want := len(EncodeNAF(v)); len(m) != want {
+			t.Fatalf("MinimizeSDR(%d) weight %d, NAF weight %d (%v)", v, len(m), want, m)
+		}
+	}
+}
+
+// Paper Sec. IV-A example again, through the SDR rewriter: radix-2 Booth
+// of 27 has 4 terms; minimization recovers the 3-term encoding.
+func TestMinimizeSDRBoothExample(t *testing.T) {
+	booth := EncodeBoothRadix2(27)
+	if len(booth) != 4 {
+		t.Fatalf("precondition: radix-2 Booth of 27 should have 4 terms, got %v", booth)
+	}
+	m := MinimizeSDR(booth)
+	if m.Value() != 27 || len(m) != 3 {
+		t.Fatalf("MinimizeSDR(Booth(27)) = %v, want 3 terms of value 27", m)
+	}
+}
+
+// Random redundant SDRs (digits in {-1,0,1}, possibly far from minimal)
+// minimize to NAF weight with value preserved.
+func TestMinimizeSDRRandomRedundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(12)
+		var e Expansion
+		for i := n - 1; i >= 0; i-- {
+			switch rng.Intn(3) {
+			case 0:
+				e = append(e, Term{Exp: uint8(i), Neg: false})
+			case 1:
+				e = append(e, Term{Exp: uint8(i), Neg: true})
+			}
+		}
+		val := e.Value()
+		m := MinimizeSDR(e)
+		if got := m.Value(); int64(got) != int64(val) {
+			t.Fatalf("value changed: %d -> %d (input %v)", val, got, e)
+		}
+		if val == 0 {
+			if len(m) != 0 {
+				t.Fatalf("zero value minimized to %v", m)
+			}
+			continue
+		}
+		if want := len(EncodeNAF(val)); len(m) != want {
+			t.Fatalf("weight %d != NAF weight %d for value %d (input %v, output %v)",
+				len(m), want, val, e, m)
+		}
+	}
+}
+
+// Even expansions with repeated exponents (coefficient vectors, in
+// effect) normalize and minimize correctly.
+func TestMinimizeSDRRepeatedExponents(t *testing.T) {
+	// 2^3 + 2^3 + 2^3 - 2^0 = 23; NAF(23) = 2^5 - 2^3 - 2^0 (3 terms).
+	e := Expansion{{Exp: 3}, {Exp: 3}, {Exp: 3}, {Exp: 0, Neg: true}}
+	m := MinimizeSDR(e)
+	if m.Value() != 23 {
+		t.Fatalf("value = %d, want 23", m.Value())
+	}
+	if len(m) != len(EncodeNAF(23)) {
+		t.Fatalf("weight %d, want NAF weight %d", len(m), len(EncodeNAF(23)))
+	}
+}
+
+func TestMinimizeSDRNegativeValues(t *testing.T) {
+	for v := int32(-4096); v < 0; v++ {
+		m := MinimizeSDR(EncodeBinary(v))
+		if got := m.Value(); got != v {
+			t.Fatalf("MinimizeSDR changed %d -> %d", v, got)
+		}
+		if want := len(EncodeNAF(v)); len(m) != want {
+			t.Fatalf("weight %d != NAF %d for %d", len(m), want, v)
+		}
+	}
+}
+
+func TestMinimizeSDRQuick(t *testing.T) {
+	f := func(v int32) bool {
+		if v == 0 {
+			return len(MinimizeSDR(nil)) == 0
+		}
+		// Avoid overflow of the digit-vector length guard.
+		v %= 1 << 24
+		if v == 0 {
+			v = 1
+		}
+		m := MinimizeSDR(EncodeBinary(v))
+		return m.Value() == v && len(m) == len(EncodeNAF(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package term implements power-of-two term decompositions of fixed-point
+// values, including plain binary expansion, Booth radix-4 recoding, and the
+// paper's HESE (Hybrid Encoding for Shortened Expressions) one-pass encoder
+// that produces minimum-length signed digit representations (SDRs).
+//
+// A "term" is a signed power of two. The 8-bit value 5 (00000101) is
+// composed of two terms, 2^2 + 2^0; the value 30 is four binary terms
+// (2^4+2^3+2^2+2^1) but only two signed terms (2^5 - 2^1). Term Revealing
+// (package core) operates on these decompositions.
+package term
+
+import "fmt"
+
+// Term is a single signed power-of-two term: ±2^Exp.
+type Term struct {
+	Exp uint8 // exponent, 0..30
+	Neg bool  // true for -2^Exp
+}
+
+// Value returns the integer value of the term.
+func (t Term) Value() int32 {
+	v := int32(1) << t.Exp
+	if t.Neg {
+		return -v
+	}
+	return v
+}
+
+// String renders the term as "+2^e" or "-2^e".
+func (t Term) String() string {
+	sign := "+"
+	if t.Neg {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s2^%d", sign, t.Exp)
+}
+
+// Expansion is a term decomposition of an integer, ordered by strictly
+// decreasing exponent. The zero-length expansion represents the value 0.
+type Expansion []Term
+
+// Value reconstructs the integer represented by the expansion.
+func (e Expansion) Value() int32 {
+	var v int32
+	for _, t := range e {
+		v += t.Value()
+	}
+	return v
+}
+
+// Count reports the number of terms (the weight of the representation).
+func (e Expansion) Count() int { return len(e) }
+
+// MaxExp returns the largest exponent in the expansion, or -1 if empty.
+func (e Expansion) MaxExp() int {
+	if len(e) == 0 {
+		return -1
+	}
+	return int(e[0].Exp)
+}
+
+// Clone returns an independent copy of the expansion.
+func (e Expansion) Clone() Expansion {
+	c := make(Expansion, len(e))
+	copy(c, e)
+	return c
+}
+
+// Valid reports whether the expansion is well formed: exponents strictly
+// decreasing (hence no duplicate exponents).
+func (e Expansion) Valid() bool {
+	for i := 1; i < len(e); i++ {
+		if e[i].Exp >= e[i-1].Exp {
+			return false
+		}
+	}
+	return true
+}
+
+// Encoding selects a term decomposition scheme.
+type Encoding int
+
+const (
+	// Binary is the conventional nonnegative power-of-two expansion of the
+	// magnitude; for negative inputs every term is negated (sign-magnitude
+	// semantics, matching the paper's 8-bit fixed point with sign bit).
+	Binary Encoding = iota
+	// Booth is radix-4 Booth recoding, bounding an n-bit value to n/2+1
+	// terms.
+	Booth
+	// HESE is the paper's one-pass hybrid encoder producing a
+	// minimum-length SDR.
+	HESE
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case Binary:
+		return "binary"
+	case Booth:
+		return "booth"
+	case HESE:
+		return "hese"
+	default:
+		return fmt.Sprintf("Encoding(%d)", int(e))
+	}
+}
+
+// Encode decomposes v using the selected encoding. The result is ordered by
+// strictly decreasing exponent and reconstructs exactly to v.
+func Encode(v int32, enc Encoding) Expansion {
+	switch enc {
+	case Binary:
+		return EncodeBinary(v)
+	case Booth:
+		return EncodeBooth(v)
+	case HESE:
+		return EncodeHESE(v)
+	default:
+		panic("term: unknown encoding " + enc.String())
+	}
+}
+
+// CountTerms reports the number of terms v requires under enc without
+// building the expansion.
+func CountTerms(v int32, enc Encoding) int {
+	switch enc {
+	case Binary:
+		return popcount32(magnitude(v))
+	case Booth:
+		return len(EncodeBooth(v))
+	case HESE:
+		return heseWeight(v)
+	default:
+		panic("term: unknown encoding " + enc.String())
+	}
+}
+
+func magnitude(v int32) uint32 {
+	if v < 0 {
+		return uint32(-int64(v))
+	}
+	return uint32(v)
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// EncodeBinary returns the conventional binary expansion of v. Negative
+// values are decomposed by magnitude with all terms negated.
+func EncodeBinary(v int32) Expansion {
+	mag := magnitude(v)
+	neg := v < 0
+	var e Expansion
+	for exp := 31; exp >= 0; exp-- {
+		if mag&(1<<uint(exp)) != 0 {
+			e = append(e, Term{Exp: uint8(exp), Neg: neg})
+		}
+	}
+	return e
+}
+
+// EncodeBooth returns the radix-4 Booth recoding of v as power-of-two
+// terms. Each nonzero radix-4 digit d ∈ {±1, ±2} at position i contributes
+// one term: ±2^(2i) for d=±1 and ±2^(2i+1) for d=±2. The recoding operates
+// on the magnitude with a global sign, matching the sign-magnitude storage
+// used throughout the paper.
+func EncodeBooth(v int32) Expansion {
+	mag := int64(magnitude(v))
+	neg := v < 0
+	// Collect digits low to high: d_i = -2*b_{2i+1} + b_{2i} + b_{2i-1}.
+	var terms []Term
+	bit := func(k int) int64 {
+		if k < 0 {
+			return 0
+		}
+		return (mag >> uint(k)) & 1
+	}
+	for i := 0; 2*i-1 < 33; i++ {
+		d := -2*bit(2*i+1) + bit(2*i) + bit(2*i-1)
+		if d == 0 {
+			continue
+		}
+		exp := uint8(2 * i)
+		if d == 2 || d == -2 {
+			exp++
+		}
+		// The term sign is the digit sign times the value sign.
+		terms = append(terms, Term{Exp: exp, Neg: (d < 0) != neg})
+	}
+	// Reverse to strictly decreasing exponent order.
+	for i, j := 0, len(terms)-1; i < j; i, j = i+1, j-1 {
+		terms[i], terms[j] = terms[j], terms[i]
+	}
+	return terms
+}
+
+// EncodeBoothRadix2 returns the classic (radix-2) Booth recoding of v,
+// where digit i is b_{i-1} - b_i over the magnitude bits. This is the
+// variant behind the paper's worked example 27 = 11011 -> 10-110-1; the
+// radix-4 variant (EncodeBooth) is what bounds terms to n/2+1.
+func EncodeBoothRadix2(v int32) Expansion {
+	mag := int64(magnitude(v))
+	neg := v < 0
+	var terms []Term
+	bit := func(k int) int64 {
+		if k < 0 {
+			return 0
+		}
+		return (mag >> uint(k)) & 1
+	}
+	for i := 0; i <= 32; i++ {
+		d := bit(i-1) - bit(i)
+		if d == 0 {
+			continue
+		}
+		terms = append(terms, Term{Exp: uint8(i), Neg: (d < 0) != neg})
+	}
+	for i, j := 0, len(terms)-1; i < j; i, j = i+1, j-1 {
+		terms[i], terms[j] = terms[j], terms[i]
+	}
+	return terms
+}
+
+// EncodeHESE returns the HESE encoding of v: a minimum-length signed digit
+// representation computed in one pass over the bits of the magnitude,
+// looking at two bits at a time (the current bit plus one bit of
+// lookahead), exactly as the finite state machine in Fig. 8(b) of the
+// paper. The machine starts NOT-IN-A-RUN; seeing the start of a run of 1s
+// emits a -1 and enters IN-A-RUN (a pending carry), and a 00 window ends
+// the run by emitting the closing +1. Isolated 0s inside runs are rewritten
+// per the paper's second rule (e.g. 11011 -> 100-10-1), yielding strictly
+// no more terms than binary or Booth.
+func EncodeHESE(v int32) Expansion {
+	mag := int64(magnitude(v))
+	neg := v < 0
+	var terms []Term // built low exponent first
+	inRun := false   // IN-A-RUN <=> a carry is pending
+	for exp := 0; mag != 0 || inRun; exp++ {
+		cur := mag & 1
+		next := (mag >> 1) & 1
+		if inRun {
+			cur++
+		}
+		switch cur {
+		case 0:
+			inRun = false
+		case 2:
+			inRun = true
+		case 1:
+			if next == 1 {
+				// A run of 1s begins (or resumes across an isolated 0):
+				// emit the negative end of the run and carry upward.
+				terms = append(terms, Term{Exp: uint8(exp), Neg: !neg})
+				inRun = true
+			} else {
+				terms = append(terms, Term{Exp: uint8(exp), Neg: neg})
+				inRun = false
+			}
+		}
+		mag >>= 1
+	}
+	// Reverse to strictly decreasing exponent order.
+	for i, j := 0, len(terms)-1; i < j; i, j = i+1, j-1 {
+		terms[i], terms[j] = terms[j], terms[i]
+	}
+	return terms
+}
+
+// heseWeight computes the HESE term count without allocating.
+func heseWeight(v int32) int {
+	mag := int64(magnitude(v))
+	n := 0
+	inRun := false
+	for mag != 0 || inRun {
+		cur := mag & 1
+		next := (mag >> 1) & 1
+		if inRun {
+			cur++
+		}
+		switch cur {
+		case 0:
+			inRun = false
+		case 2:
+			inRun = true
+		case 1:
+			n++
+			inRun = next == 1
+		}
+		mag >>= 1
+	}
+	return n
+}
+
+// EncodeNAF returns the non-adjacent form of v computed by the classical
+// mod-4 algorithm. NAF is the canonical minimum-weight SDR; it serves as an
+// independent reference implementation for validating EncodeHESE (the two
+// must always agree in weight, and for sign-magnitude inputs in digits).
+func EncodeNAF(v int32) Expansion {
+	mag := int64(magnitude(v))
+	neg := v < 0
+	var terms []Term
+	for exp := 0; mag != 0; exp++ {
+		if mag&1 == 1 {
+			d := 2 - (mag & 3) // +1 if v≡1 (mod 4), -1 if v≡3 (mod 4)
+			terms = append(terms, Term{Exp: uint8(exp), Neg: (d < 0) != neg})
+			mag -= d
+		}
+		mag >>= 1
+	}
+	for i, j := 0, len(terms)-1; i < j; i, j = i+1, j-1 {
+		terms[i], terms[j] = terms[j], terms[i]
+	}
+	return terms
+}
+
+// TopTerms returns the expansion truncated to its n largest-exponent terms.
+// It is the per-value ("group size 1") truncation used for data values,
+// where HESE keeps the top s terms (Sec. V-A of the paper).
+func TopTerms(e Expansion, n int) Expansion {
+	if n >= len(e) {
+		return e
+	}
+	if n < 0 {
+		n = 0
+	}
+	return e[:n]
+}
+
+// TruncateValue encodes v, keeps the top n terms, and reconstructs the
+// truncated value.
+func TruncateValue(v int32, enc Encoding, n int) int32 {
+	return TopTerms(Encode(v, enc), n).Value()
+}

@@ -1,0 +1,411 @@
+package term
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermValue(t *testing.T) {
+	cases := []struct {
+		term Term
+		want int32
+	}{
+		{Term{Exp: 0, Neg: false}, 1},
+		{Term{Exp: 0, Neg: true}, -1},
+		{Term{Exp: 3, Neg: false}, 8},
+		{Term{Exp: 7, Neg: true}, -128},
+		{Term{Exp: 14, Neg: false}, 16384},
+	}
+	for _, c := range cases {
+		if got := c.term.Value(); got != c.want {
+			t.Errorf("%v.Value() = %d, want %d", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if s := (Term{Exp: 2, Neg: false}).String(); s != "+2^2" {
+		t.Errorf("String = %q, want +2^2", s)
+	}
+	if s := (Term{Exp: 5, Neg: true}).String(); s != "-2^5" {
+		t.Errorf("String = %q, want -2^5", s)
+	}
+}
+
+func TestExpansionValueZero(t *testing.T) {
+	var e Expansion
+	if v := e.Value(); v != 0 {
+		t.Errorf("empty expansion value = %d, want 0", v)
+	}
+	if e.MaxExp() != -1 {
+		t.Errorf("empty expansion MaxExp = %d, want -1", e.MaxExp())
+	}
+}
+
+// Paper Sec. I: "the 8-bit value 5 (00000101) is composed of two terms:
+// 2^2 + 2^0".
+func TestBinaryPaperExample5(t *testing.T) {
+	e := EncodeBinary(5)
+	want := Expansion{{Exp: 2}, {Exp: 0}}
+	if len(e) != 2 || e[0] != want[0] || e[1] != want[1] {
+		t.Fatalf("EncodeBinary(5) = %v, want %v", e, want)
+	}
+}
+
+// Paper Sec. III-B: 12 = 2^3 + 2^2.
+func TestBinaryPaperExample12(t *testing.T) {
+	e := EncodeBinary(12)
+	if len(e) != 2 || e[0].Exp != 3 || e[1].Exp != 2 {
+		t.Fatalf("EncodeBinary(12) = %v, want [+2^3 +2^2]", e)
+	}
+}
+
+// Paper Sec. III-A: 6 = 2^2 + 2^1, and 127 has 7 terms.
+func TestBinaryTermCounts(t *testing.T) {
+	if n := CountTerms(6, Binary); n != 2 {
+		t.Errorf("CountTerms(6, Binary) = %d, want 2", n)
+	}
+	if n := CountTerms(127, Binary); n != 7 {
+		t.Errorf("CountTerms(127, Binary) = %d, want 7", n)
+	}
+}
+
+// Paper Sec. IV-A: Booth converts 30 = 2^4+2^3+2^2+2^1 into 2^5 - 2^1.
+func TestBoothPaperExample30(t *testing.T) {
+	e := EncodeBooth(30)
+	if e.Value() != 30 {
+		t.Fatalf("EncodeBooth(30).Value() = %d", e.Value())
+	}
+	if len(e) != 2 {
+		t.Fatalf("EncodeBooth(30) = %v, want 2 terms", e)
+	}
+	if e[0] != (Term{Exp: 5, Neg: false}) || e[1] != (Term{Exp: 1, Neg: true}) {
+		t.Fatalf("EncodeBooth(30) = %v, want [+2^5 -2^1]", e)
+	}
+}
+
+// Paper Sec. IV-A: 27 (11011) becomes 10-110-1 in Booth (4 terms:
+// 2^5-2^3+2^2-2^0) — that worked example is classic radix-2 Booth — while
+// the minimum-length encoding is 100-10-1 (3 terms: 2^5-2^2-2^0), which
+// HESE produces.
+func TestBoothVsHESEPaperExample27(t *testing.T) {
+	r2 := EncodeBoothRadix2(27)
+	if r2.Value() != 27 {
+		t.Fatalf("BoothRadix2(27).Value() = %d", r2.Value())
+	}
+	if len(r2) != 4 {
+		t.Fatalf("BoothRadix2(27) = %v, want 4 terms (paper's 10-110-1)", r2)
+	}
+	wantR2 := Expansion{{Exp: 5}, {Exp: 3, Neg: true}, {Exp: 2}, {Exp: 0, Neg: true}}
+	for i := range wantR2 {
+		if r2[i] != wantR2[i] {
+			t.Fatalf("BoothRadix2(27) = %v, want %v", r2, wantR2)
+		}
+	}
+	booth := EncodeBooth(27)
+	if booth.Value() != 27 {
+		t.Fatalf("Booth(27).Value() = %d", booth.Value())
+	}
+	hese := EncodeHESE(27)
+	if hese.Value() != 27 {
+		t.Fatalf("HESE(27).Value() = %d", hese.Value())
+	}
+	want := Expansion{{Exp: 5}, {Exp: 2, Neg: true}, {Exp: 0, Neg: true}}
+	if len(hese) != 3 || hese[0] != want[0] || hese[1] != want[1] || hese[2] != want[2] {
+		t.Fatalf("HESE(27) = %v, want %v", hese, want)
+	}
+}
+
+// Paper Fig. 8(a) first rewrite rule: a run of five 1s (11111 = 31)
+// becomes 100001- i.e. 2^5 - 2^0 (two terms). Also the HESE encoder
+// hardware example in Sec. V-D: 31 = 2^5 - 2^0.
+func TestHESEPaperExample31(t *testing.T) {
+	e := EncodeHESE(31)
+	if e.Value() != 31 {
+		t.Fatalf("HESE(31).Value() = %d", e.Value())
+	}
+	want := Expansion{{Exp: 5}, {Exp: 0, Neg: true}}
+	if len(e) != 2 || e[0] != want[0] || e[1] != want[1] {
+		t.Fatalf("HESE(31) = %v, want %v", e, want)
+	}
+}
+
+func TestHESEIsolatedOnesPassThrough(t *testing.T) {
+	// Isolated 1s in the input remain single positive terms.
+	for _, v := range []int32{1, 2, 4, 8, 64, 5, 9, 17, 73} {
+		e := EncodeHESE(v)
+		b := EncodeBinary(v)
+		if len(e) != len(b) {
+			t.Errorf("HESE(%d) = %v, want same %d terms as binary %v", v, e, len(b), b)
+		}
+		for i := range e {
+			if e[i] != b[i] {
+				t.Errorf("HESE(%d)[%d] = %v, want %v", v, i, e[i], b[i])
+			}
+		}
+	}
+}
+
+func TestEncodeRoundTripExhaustive8Bit(t *testing.T) {
+	for v := int32(-128); v <= 127; v++ {
+		for _, enc := range []Encoding{Binary, Booth, HESE} {
+			e := Encode(v, enc)
+			if got := e.Value(); got != v {
+				t.Fatalf("%v(%d).Value() = %d", enc, v, got)
+			}
+			if !e.Valid() {
+				t.Fatalf("%v(%d) = %v not strictly decreasing", enc, v, e)
+			}
+			if n := CountTerms(v, enc); n != len(e) {
+				t.Fatalf("CountTerms(%d,%v) = %d, want %d", v, enc, n, len(e))
+			}
+		}
+	}
+}
+
+func TestEncodeRoundTripExhaustive16Bit(t *testing.T) {
+	for v := int32(-32768); v <= 32767; v++ {
+		for _, enc := range []Encoding{Binary, Booth, HESE} {
+			if got := Encode(v, enc).Value(); got != v {
+				t.Fatalf("%v(%d).Value() = %d", enc, v, got)
+			}
+		}
+	}
+}
+
+// HESE must produce a minimum-length SDR: its weight equals the NAF weight
+// for every value (NAF is the canonical minimum-weight SDR).
+func TestHESEMinimalityExhaustive16Bit(t *testing.T) {
+	for v := int32(-32768); v <= 32767; v++ {
+		h := len(EncodeHESE(v))
+		n := len(EncodeNAF(v))
+		if h != n {
+			t.Fatalf("HESE(%d) has %d terms, NAF has %d", v, h, n)
+		}
+	}
+}
+
+// HESE weight is never above binary or Booth weight (paper Sec. IV-C:
+// "HESE encodings have strictly equal or fewer terms than binary and Booth
+// radix-4"). Booth itself is not always <= binary (the paper notes radix-4
+// can be worse than binary for small-valued data), but HESE is <= both.
+func TestHESENeverWorseExhaustive16Bit(t *testing.T) {
+	for v := int32(-32768); v <= 32767; v++ {
+		h := len(EncodeHESE(v))
+		if b := len(EncodeBinary(v)); h > b {
+			t.Fatalf("HESE(%d)=%d terms > binary %d", v, h, b)
+		}
+		if bo := len(EncodeBooth(v)); h > bo {
+			t.Fatalf("HESE(%d)=%d terms > booth %d", v, h, bo)
+		}
+		if b2 := len(EncodeBoothRadix2(v)); h > b2 {
+			t.Fatalf("HESE(%d)=%d terms > booth radix-2 %d", v, h, b2)
+		}
+	}
+}
+
+// Radix-4 Booth can require more terms than binary for some values (e.g.
+// 9 = 1001 becomes 2^4-2^3+2^0), which is the behaviour Fig. 8(c) of the
+// paper reports for DNN data distributions.
+func TestBoothRadix4WorseThanBinaryExists(t *testing.T) {
+	e := EncodeBooth(9)
+	if e.Value() != 9 {
+		t.Fatalf("Booth(9).Value() = %d", e.Value())
+	}
+	if len(e) <= len(EncodeBinary(9)) {
+		t.Fatalf("expected Booth(9)=%v to be longer than binary", e)
+	}
+}
+
+func TestBoothRadix2RoundTripExhaustive16Bit(t *testing.T) {
+	for v := int32(-32768); v <= 32767; v++ {
+		e := EncodeBoothRadix2(v)
+		if got := e.Value(); got != v {
+			t.Fatalf("BoothRadix2(%d).Value() = %d", v, got)
+		}
+		if !e.Valid() {
+			t.Fatalf("BoothRadix2(%d) = %v not strictly decreasing", v, e)
+		}
+	}
+}
+
+// Booth radix-4 bounds an n-bit value to n/2+1 terms (Sec. IV-A).
+func TestBoothTermBound(t *testing.T) {
+	for v := int32(-128); v <= 127; v++ {
+		if n := len(EncodeBooth(v)); n > 8/2+1 {
+			t.Fatalf("Booth(%d) has %d terms, bound is 5", v, n)
+		}
+	}
+	for v := int32(-32768); v <= 32767; v += 7 {
+		if n := len(EncodeBooth(v)); n > 16/2+1 {
+			t.Fatalf("Booth(%d) has %d terms, bound is 9", v, n)
+		}
+	}
+}
+
+// NAF never has two adjacent nonzero digits.
+func TestNAFNonAdjacency(t *testing.T) {
+	for v := int32(-4096); v <= 4096; v++ {
+		e := EncodeNAF(v)
+		for i := 1; i < len(e); i++ {
+			if e[i-1].Exp-e[i].Exp < 2 {
+				t.Fatalf("NAF(%d) = %v has adjacent nonzeros", v, e)
+			}
+		}
+	}
+}
+
+// HESE output is also non-adjacent (it equals NAF digit-for-digit on
+// sign-magnitude input).
+func TestHESEEqualsNAFExhaustive(t *testing.T) {
+	for v := int32(-32768); v <= 32767; v++ {
+		h := EncodeHESE(v)
+		n := EncodeNAF(v)
+		if len(h) != len(n) {
+			t.Fatalf("HESE(%d)=%v NAF=%v", v, h, n)
+		}
+		for i := range h {
+			if h[i] != n[i] {
+				t.Fatalf("HESE(%d)=%v NAF=%v differ at %d", v, h, n, i)
+			}
+		}
+	}
+}
+
+func TestEncodeRoundTripQuick(t *testing.T) {
+	for _, enc := range []Encoding{Binary, Booth, HESE} {
+		enc := enc
+		f := func(v int32) bool {
+			return Encode(v, enc).Value() == v
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%v: %v", enc, err)
+		}
+	}
+}
+
+func TestHESEMinimalQuick(t *testing.T) {
+	f := func(v int32) bool {
+		return len(EncodeHESE(v)) == len(EncodeNAF(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeExtremes(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 127, -128, 32767, -32768, math.MaxInt32, math.MinInt32 + 1} {
+		for _, enc := range []Encoding{Binary, Booth, HESE} {
+			e := Encode(v, enc)
+			if got := e.Value(); got != v {
+				t.Errorf("%v(%d).Value() = %d", enc, v, got)
+			}
+		}
+	}
+}
+
+func TestEncodeZero(t *testing.T) {
+	for _, enc := range []Encoding{Binary, Booth, HESE} {
+		if e := Encode(0, enc); len(e) != 0 {
+			t.Errorf("%v(0) = %v, want empty", enc, e)
+		}
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	e := EncodeBinary(127) // 7 terms: 2^6 .. 2^0
+	top3 := TopTerms(e, 3)
+	if len(top3) != 3 {
+		t.Fatalf("TopTerms len = %d", len(top3))
+	}
+	if got := top3.Value(); got != 64+32+16 {
+		t.Errorf("TopTerms(127,3).Value() = %d, want 112", got)
+	}
+	if got := TopTerms(e, 99); len(got) != 7 {
+		t.Errorf("TopTerms over-length = %v", got)
+	}
+	if got := TopTerms(e, 0); len(got) != 0 {
+		t.Errorf("TopTerms zero = %v", got)
+	}
+	if got := TopTerms(e, -1); len(got) != 0 {
+		t.Errorf("TopTerms negative = %v", got)
+	}
+}
+
+func TestTruncateValue(t *testing.T) {
+	// Paper Fig. 6: after TR, w3 is quantized from 81 to 80 — truncating
+	// 81 = 2^6+2^4+2^0 at the 2^3 waterline drops only the 2^0 term.
+	if got := TruncateValue(81, Binary, 2); got != 80 {
+		t.Errorf("TruncateValue(81, Binary, 2) = %d, want 80", got)
+	}
+	// With HESE, truncation keeps the largest signed terms.
+	if got := TruncateValue(31, HESE, 1); got != 32 {
+		t.Errorf("TruncateValue(31, HESE, 1) = %d, want 32", got)
+	}
+}
+
+// Truncation error of keeping the top n binary terms is bounded by the
+// value of the dropped tail, which is < 2^(exp of last kept term).
+func TestTruncationErrorBoundQuick(t *testing.T) {
+	f := func(raw int16, nRaw uint8) bool {
+		v := int32(raw)
+		n := int(nRaw%7) + 1
+		e := EncodeBinary(v)
+		kept := TopTerms(e, n)
+		if len(e) <= n {
+			return kept.Value() == v
+		}
+		diff := int64(v) - int64(kept.Value())
+		if diff < 0 {
+			diff = -diff
+		}
+		lastKept := kept[len(kept)-1].Exp
+		return diff < int64(1)<<lastKept
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpansionClone(t *testing.T) {
+	e := EncodeBinary(21)
+	c := e.Clone()
+	c[0].Neg = true
+	if e[0].Neg {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestExpansionValid(t *testing.T) {
+	good := Expansion{{Exp: 5}, {Exp: 2}, {Exp: 0}}
+	if !good.Valid() {
+		t.Error("strictly decreasing expansion reported invalid")
+	}
+	bad := Expansion{{Exp: 2}, {Exp: 5}}
+	if bad.Valid() {
+		t.Error("increasing expansion reported valid")
+	}
+	dup := Expansion{{Exp: 3}, {Exp: 3, Neg: true}}
+	if dup.Valid() {
+		t.Error("duplicate exponents reported valid")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if Binary.String() != "binary" || Booth.String() != "booth" || HESE.String() != "hese" {
+		t.Error("Encoding.String mismatch")
+	}
+	if Encoding(42).String() != "Encoding(42)" {
+		t.Error("unknown Encoding.String mismatch")
+	}
+}
+
+func TestEncodeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode with unknown encoding did not panic")
+		}
+	}()
+	Encode(1, Encoding(42))
+}
