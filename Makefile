@@ -1,0 +1,21 @@
+# Verification tiers for the term-revealing reproduction.
+#
+#   make tier1   build + full test suite (the repo's gate; ROADMAP.md)
+#   make tier2   vet + race-enabled tests: exercises InferBatchParallel
+#                and the intra-layer GEMM/GEMV row fan-out under the
+#                race detector (see TestParallelPathsUnderContention)
+#   make bench   integer-inference benchmarks + results/BENCH_intinfer.json
+
+GO ?= go
+
+.PHONY: tier1 tier2 bench
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+tier2:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkIntegerInference' -benchmem .
+	$(GO) run ./cmd/trbench -bench

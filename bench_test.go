@@ -17,6 +17,7 @@ import (
 	"repro/internal/hw/tmac"
 	"repro/internal/intinfer"
 	"repro/internal/models"
+	"repro/internal/qsim"
 	"repro/internal/term"
 )
 
@@ -273,6 +274,28 @@ func BenchmarkIntegerInferenceMLP(b *testing.B) {
 	cfg := models.DefaultTrain
 	cfg.Epochs = 2
 	models.Train(m, train, cfg)
+	plan, err := intinfer.Build(m, intinfer.Options{
+		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.InferBatch(test.Images); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntegerInferenceCNN(b *testing.B) {
+	g := models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
+	all := datasets.ImageClassesHard(120, g.Classes, g.InC, g.InH, g.InW, 0.4, 0.4, 96)
+	train, test := all.Split(88)
+	m := models.NewResNetStyle(g, 97)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 1
+	models.Train(m, train, cfg)
+	qsim.FoldBatchNorm(m)
 	plan, err := intinfer.Build(m, intinfer.Options{
 		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12})
 	if err != nil {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/intinfer"
+	"repro/internal/models"
+	"repro/internal/qsim"
+)
+
+// benchResult is one machine-readable row of BENCH_intinfer.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	ImagesPerOp int     `json:"images_per_op"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	NsPerImage  float64 `json:"ns_per_image"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	NumCPU  int           `json:"num_cpu"`
+	Results []benchResult `json:"results"`
+}
+
+// runInferenceBench measures the integer deployment runtime with the
+// same model geometries as the repo's BenchmarkIntegerInference* and
+// writes results/BENCH_intinfer.json for machine consumption.
+func runInferenceBench(outPath string) error {
+	report := benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU()}
+
+	mlpPlan, mlpImages, err := benchMLPPlan()
+	if err != nil {
+		return fmt.Errorf("mlp setup: %w", err)
+	}
+	report.Results = append(report.Results,
+		measurePlan("IntegerInferenceMLP", mlpPlan, mlpImages))
+
+	cnnPlan, cnnImages, err := benchCNNPlan()
+	if err != nil {
+		return fmt.Errorf("cnn setup: %w", err)
+	}
+	report.Results = append(report.Results,
+		measurePlan("IntegerInferenceCNN", cnnPlan, cnnImages))
+
+	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%-22s %12d ns/op  %8.0f ns/image  %3d allocs/op\n",
+			r.Name, r.NsPerOp, r.NsPerImage, r.AllocsPerOp)
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
+func measurePlan(name string, plan *intinfer.Plan, images [][]float32) benchResult {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.InferBatch(images); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return benchResult{
+		Name:        name,
+		ImagesPerOp: len(images),
+		NsPerOp:     res.NsPerOp(),
+		NsPerImage:  float64(res.NsPerOp()) / float64(len(images)),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+func benchMLPPlan() (*intinfer.Plan, [][]float32, error) {
+	train := datasets.DigitsNoisy(400, 0.2, 91)
+	test := datasets.DigitsNoisy(64, 0.2, 92)
+	m := models.NewMLP(64, 93)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 2
+	models.Train(m, train, cfg)
+	plan, err := intinfer.Build(m, intinfer.Options{
+		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, test.Images, nil
+}
+
+func benchCNNPlan() (*intinfer.Plan, [][]float32, error) {
+	g := models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
+	all := datasets.ImageClassesHard(120, g.Classes, g.InC, g.InH, g.InW, 0.4, 0.4, 96)
+	train, test := all.Split(88)
+	m := models.NewResNetStyle(g, 97)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 1
+	models.Train(m, train, cfg)
+	qsim.FoldBatchNorm(m)
+	plan, err := intinfer.Build(m, intinfer.Options{
+		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, test.Images, nil
+}

@@ -8,6 +8,8 @@
 //	trbench -exp fig15      # one artifact
 //	trbench -exp fig19,tab4 # several
 //	trbench -quick          # smaller datasets / fewer epochs
+//	trbench -bench          # time the integer inference runtime, write
+//	                        # results/BENCH_intinfer.json
 package main
 
 import (
@@ -23,7 +25,17 @@ func main() {
 	exp := flag.String("exp", "", "comma-separated experiments to run (fig3 fig5 fig8c fig15 fig16 fig17 fig18 fig19 tab1 tab2 tab3 tab4 ablations); empty = all")
 	quick := flag.Bool("quick", false, "use reduced dataset and training sizes")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
+	bench := flag.Bool("bench", false, "benchmark the integer inference runtime and write results/BENCH_intinfer.json")
+	benchOut := flag.String("bench-out", "results/BENCH_intinfer.json", "output path for -bench")
 	flag.Parse()
+
+	if *bench {
+		if err := runInferenceBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *quick {
 		experiments.SetScale(experiments.Scale{

@@ -60,6 +60,24 @@ func (c Config) String() string {
 		c.GroupSize, c.GroupBudget, c.DataTerms, c.WeightEncoding, c.DataEncoding)
 }
 
+// smallGroup is the largest group size served by the stack-allocated
+// fast paths in Reveal and Waterline — covers every group size the paper
+// evaluates (g ≤ 16).
+const smallGroup = 16
+
+// groupStats returns the total term count and the largest exponent
+// present across a group — the shared prologue of Reveal and Waterline.
+func groupStats(group []term.Expansion) (total, maxExp int) {
+	maxExp = -1
+	for _, e := range group {
+		total += len(e)
+		if me := e.MaxExp(); me > maxExp {
+			maxExp = me
+		}
+	}
+	return total, maxExp
+}
+
 // Reveal applies the receding-water algorithm to a group of expansions,
 // returning for each member the prefix that survives the group budget.
 // The scan proceeds one waterline level at a time from the highest
@@ -72,19 +90,20 @@ func (c Config) String() string {
 // that need independent storage should Clone.
 func Reveal(group []term.Expansion, budget int) []term.Expansion {
 	out := make([]term.Expansion, len(group))
-	total := 0
-	maxExp := -1
-	for _, e := range group {
-		total += len(e)
-		if me := e.MaxExp(); me > maxExp {
-			maxExp = me
-		}
-	}
+	total, maxExp := groupStats(group)
 	if total <= budget {
 		copy(out, group)
 		return out
 	}
-	kept := make([]int, len(group))
+	// Paper-scale groups (g ≤ 16) track per-member cursors in a stack
+	// array; only oversized groups pay for a heap slice.
+	var keptBuf [smallGroup]int
+	var kept []int
+	if len(group) <= smallGroup {
+		kept = keptBuf[:len(group)]
+	} else {
+		kept = make([]int, len(group))
+	}
 	remaining := budget
 scan:
 	for exp := maxExp; exp >= 0; exp-- {
@@ -109,19 +128,18 @@ scan:
 // returned level are guaranteed pruned. It returns -1 when no pruning
 // occurs (the group fits its budget).
 func Waterline(group []term.Expansion, budget int) int {
-	total := 0
-	maxExp := -1
-	for _, e := range group {
-		total += len(e)
-		if me := e.MaxExp(); me > maxExp {
-			maxExp = me
-		}
-	}
+	total, maxExp := groupStats(group)
 	if total <= budget {
 		return -1
 	}
 	remaining := budget
-	idx := make([]int, len(group))
+	var idxBuf [smallGroup]int
+	var idx []int
+	if len(group) <= smallGroup {
+		idx = idxBuf[:len(group)]
+	} else {
+		idx = make([]int, len(group))
+	}
 	for exp := maxExp; exp >= 0; exp-- {
 		for i, e := range group {
 			if idx[i] < len(e) && int(e[idx[i]].Exp) == exp {
@@ -142,10 +160,14 @@ func Waterline(group []term.Expansion, budget int) int {
 // values they reconstruct to. A tail group shorter than groupSize receives
 // a proportionally scaled budget (rounded up), so α is preserved at the
 // boundary.
+//
+// Encoding goes through the term package's int8 lookup table, so the
+// returned expansions alias shared read-only storage: re-slice freely,
+// but Clone before modifying terms in place.
 func RevealValues(vals []int32, enc term.Encoding, groupSize, budget int) ([]term.Expansion, []int32) {
 	exps := make([]term.Expansion, len(vals))
 	for i, v := range vals {
-		exps[i] = term.Encode(v, enc)
+		exps[i] = term.EncodeCached(v, enc)
 	}
 	out := make([]int32, len(vals))
 	for start := 0; start < len(vals); start += groupSize {
@@ -166,12 +188,13 @@ func RevealValues(vals []int32, enc term.Encoding, groupSize, budget int) ([]ter
 
 // TruncateData encodes each value with enc and keeps its top s terms (the
 // per-value truncation applied to data under HESE; Sec. V-A). s <= 0
-// leaves values untouched.
+// leaves values untouched. Like RevealValues, the returned expansions
+// alias the term package's shared encode cache and are read-only.
 func TruncateData(vals []int32, enc term.Encoding, s int) ([]term.Expansion, []int32) {
 	exps := make([]term.Expansion, len(vals))
 	out := make([]int32, len(vals))
 	for i, v := range vals {
-		e := term.Encode(v, enc)
+		e := term.EncodeCached(v, enc)
 		if s > 0 {
 			e = term.TopTerms(e, s)
 		}

@@ -52,12 +52,12 @@ func StragglerAnalysis() ([]StragglerRow, error) {
 			} else {
 				wExp = make([]term.Expansion, g)
 				for i, c := range wCodes {
-					wExp[i] = term.Encode(c, term.HESE)
+					wExp[i] = term.EncodeCached(c, term.HESE)
 				}
 			}
 			pairs := 0
 			for i := 0; i < g; i++ {
-				d := term.Encode(acts[start+i], term.HESE)
+				d := term.EncodeCached(acts[start+i], term.HESE)
 				if s > 0 {
 					d = term.TopTerms(d, s)
 				}
@@ -83,7 +83,7 @@ func StragglerAnalysis() ([]StragglerRow, error) {
 func revealGroup(codes []int32, budget int) []term.Expansion {
 	exps := make([]term.Expansion, len(codes))
 	for i, c := range codes {
-		exps[i] = term.Encode(c, term.HESE)
+		exps[i] = term.EncodeCached(c, term.HESE)
 	}
 	return core.Reveal(exps, budget)
 }

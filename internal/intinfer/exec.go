@@ -5,6 +5,9 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernels"
 )
 
 // activation is the integer tensor flowing between steps: int32 codes at
@@ -15,24 +18,144 @@ type activation struct {
 	flat    bool
 }
 
+// scratch is the per-worker arena a Plan's inference loop runs out of:
+// a free list of equally sized activation buffers, the im2col patch
+// buffer, and the logits buffer. One scratch serves one in-flight Infer;
+// Plan recycles them through a sync.Pool so steady-state inference
+// performs no heap allocations after warmup.
+//
+// Buffer discipline inside exec: in-place steps (ReLU, flatten) return
+// their input buffer; every other step gets an output buffer from the
+// arena, computes, and puts its input buffer back. On an execution error
+// the whole scratch is discarded instead of repaired.
+type scratch struct {
+	free    [][]int32 // available activation buffers, each cap bufCap
+	bufCap  int
+	im2col  []int32
+	xf, yf  []float64 // ping-pong float64 code buffers (GemvF64 path)
+	logits  []float32
+	wg      sync.WaitGroup
+	workers int // intra-image worker budget for this inference
+}
+
+func (p *Plan) newScratch() *scratch {
+	s := &scratch{free: make([][]int32, p.bufCount), bufCap: p.maxAct,
+		im2col: make([]int32, p.maxCol), xf: make([]float64, p.maxLin),
+		yf: make([]float64, p.maxLin), logits: make([]float32, p.classes)}
+	for i := range s.free {
+		s.free[i] = make([]int32, p.maxAct)
+	}
+	return s
+}
+
+// get pops an activation buffer. The arena is sized at build time so the
+// free list never runs dry; the allocating branch is a safety net that
+// preserves correctness if a future step type miscounts.
+func (s *scratch) get(n int) []int32 {
+	if len(s.free) == 0 {
+		return make([]int32, n)
+	}
+	b := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	return b[:n]
+}
+
+func (s *scratch) put(b []int32) {
+	if cap(b) < s.bufCap {
+		return // safety-net buffer; don't poison the arena
+	}
+	s.free = append(s.free, b[:cap(b)])
+}
+
+// scratch fetches a recycled arena from the pool and arms it with the
+// intra-image worker budget for this call.
+func (p *Plan) scratch(workers int) *scratch {
+	s := p.arena.Get().(*scratch)
+	s.workers = workers
+	return s
+}
+
+// run quantizes the image and executes the step chain, returning the
+// final activation (owned by the scratch arena).
+func (p *Plan) run(img []float32, s *scratch) (activation, error) {
+	if len(img) != p.inC*p.inH*p.inW {
+		return activation{}, fmt.Errorf("intinfer: image has %d values, want %d",
+			len(img), p.inC*p.inH*p.inW)
+	}
+	if p.express {
+		return p.runExpress(img, s)
+	}
+	// Input quantizer: the only float-to-int boundary. Dividing by the
+	// scale is hoisted to a reciprocal multiply, and rounding uses the
+	// 2^52 magic-constant trick (see roundMagic).
+	act := activation{data: s.get(len(img)), c: p.inC, h: p.inH, w: p.inW}
+	dst := act.data[:len(img)]
+	inv := 1 / float64(p.inScale)
+	for i, v := range img {
+		c := float64(v)*inv + roundMagic - roundMagic
+		if c > 127 {
+			c = 127
+		} else if c < -127 {
+			c = -127
+		}
+		dst[i] = int32(c)
+	}
+	for i := range p.steps {
+		var err error
+		act, err = p.exec(p.steps[i], act, s)
+		if err != nil {
+			return activation{}, fmt.Errorf("intinfer: step %s: %w", p.steps[i].name, err)
+		}
+	}
+	return act, nil
+}
+
+// runExpress is the lane for plans whose every step is a flatten or a
+// float64-path linear (fused ReLUs included): codes stay in the
+// scratch's float64 ping-pong buffers from the input quantizer to the
+// logits, so no int conversions happen between layers. The code values
+// at every step are identical to the general path's.
+func (p *Plan) runExpress(img []float32, s *scratch) (activation, error) {
+	cur, nxt := s.xf, s.yf
+	x := cur[:len(img)]
+	inv := 1 / float64(p.inScale)
+	for i, v := range img {
+		c := float64(v)*inv + roundMagic - roundMagic
+		if c > 127 {
+			c = 127
+		} else if c < -127 {
+			c = -127
+		}
+		x[i] = c
+	}
+	for i := range p.steps {
+		st := &p.steps[i]
+		if st.kind != kindLinear {
+			continue // flatten: shape-only
+		}
+		if len(x) != st.cols {
+			return activation{}, fmt.Errorf("intinfer: step %s: linear input %d values, want %d",
+				st.name, len(x), st.cols)
+		}
+		p.gemvF64(s, nxt[:st.rows], st.wf64, x, st.bf64, st.rows, st.cols,
+			st.mult, float64(st.lo), float64(st.hi))
+		cur, nxt = nxt, cur
+		x = cur[:st.rows]
+	}
+	out := activation{data: s.get(len(x)), flat: true}
+	for i, v := range x {
+		out.data[i] = int32(v)
+	}
+	return out, nil
+}
+
 // Infer runs one image through the plan and returns the logits in float
 // form (codes times the output scale) plus the predicted class.
 func (p *Plan) Infer(img []float32) ([]float32, int, error) {
-	if len(img) != p.inC*p.inH*p.inW {
-		return nil, 0, fmt.Errorf("intinfer: image has %d values, want %d",
-			len(img), p.inC*p.inH*p.inW)
-	}
-	// Input quantizer: the only float-to-int boundary.
-	act := activation{data: make([]int32, len(img)), c: p.inC, h: p.inH, w: p.inW}
-	for i, v := range img {
-		act.data[i] = clamp8(int32(math.RoundToEven(float64(v) / float64(p.inScale))))
-	}
-	for _, st := range p.steps {
-		var err error
-		act, err = p.exec(st, act)
-		if err != nil {
-			return nil, 0, fmt.Errorf("intinfer: step %s: %w", st.name, err)
-		}
+	s := p.scratch(p.intraWorkers)
+	act, err := p.run(img, s)
+	if err != nil {
+		return nil, 0, err
 	}
 	logits := make([]float32, len(act.data))
 	best := 0
@@ -42,19 +165,56 @@ func (p *Plan) Infer(img []float32) ([]float32, int, error) {
 			best = i
 		}
 	}
+	s.put(act.data)
+	p.arena.Put(s)
 	return logits, best, nil
 }
 
-// InferBatch classifies a batch and returns predictions.
+// Classify returns only the predicted class, skipping the logits
+// allocation: with a warm arena it performs zero heap allocations, which
+// is the form the batch paths use. The output scale is positive, so the
+// argmax over codes equals the argmax over logits.
+func (p *Plan) Classify(img []float32) (int, error) {
+	return p.classify(img, p.intraWorkers)
+}
+
+func (p *Plan) classify(img []float32, workers int) (int, error) {
+	s := p.scratch(workers)
+	act, err := p.run(img, s)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for i, c := range act.data {
+		if c > act.data[best] {
+			best = i
+		}
+	}
+	s.put(act.data)
+	p.arena.Put(s)
+	return best, nil
+}
+
+// InferBatch classifies a batch and returns predictions, holding one
+// scratch arena for the whole batch.
 func (p *Plan) InferBatch(images [][]float32) ([]int, error) {
 	preds := make([]int, len(images))
+	s := p.scratch(p.intraWorkers)
 	for i, img := range images {
-		_, cls, err := p.Infer(img)
+		act, err := p.run(img, s)
 		if err != nil {
-			return nil, err
+			return nil, err // scratch dropped: exec errors may strand buffers
 		}
-		preds[i] = cls
+		best := 0
+		for j, c := range act.data {
+			if c > act.data[best] {
+				best = j
+			}
+		}
+		preds[i] = best
+		s.put(act.data)
 	}
+	p.arena.Put(s)
 	return preds, nil
 }
 
@@ -73,6 +233,12 @@ func (p *Plan) Accuracy(images [][]float32, labels []int) (float64, error) {
 	return float64(correct) / float64(len(preds)), nil
 }
 
+// roundMagic implements round-half-to-even without the ROUNDSD latency:
+// adding and subtracting 1.5·2^52 forces the FPU (in its default
+// round-to-nearest-even mode) to round at the unit boundary. Exact for
+// |v| < 2^51; anything larger lands outside the clamp range anyway.
+const roundMagic = 1.5 * (1 << 52)
+
 func clamp8(v int32) int32 {
 	if v > 127 {
 		return 127
@@ -83,12 +249,12 @@ func clamp8(v int32) int32 {
 	return v
 }
 
-func (p *Plan) exec(st step, in activation) (activation, error) {
+func (p *Plan) exec(st step, in activation, s *scratch) (activation, error) {
 	switch st.kind {
 	case kindConv:
-		return execConv(st, in)
+		return p.execConv(st, in, s)
 	case kindLinear:
-		return execLinear(st, in)
+		return p.execLinear(st, in, s)
 	case kindReLU:
 		for i, v := range in.data {
 			if v < 0 {
@@ -99,11 +265,11 @@ func (p *Plan) exec(st step, in activation) (activation, error) {
 		}
 		return in, nil
 	case kindMaxPool:
-		return execMaxPool(st, in)
+		return execMaxPool(st, in, s)
 	case kindGAP:
-		return execGAP(in)
+		return execGAP(in, s)
 	case kindResidual:
-		return p.execResidual(st, in)
+		return p.execResidual(st, in, s)
 	case kindFlatten:
 		in.flat = true
 		return in, nil
@@ -115,23 +281,25 @@ func (p *Plan) exec(st step, in activation) (activation, error) {
 // execResidual runs both branches (at the same target scale) and adds
 // their codes; the identity shortcut rescales from the input scale to the
 // target. Saturating to int8 matches the requantizer on the main path.
-func (p *Plan) execResidual(st step, in activation) (activation, error) {
+// The skip-add happens in place in the body's buffer.
+func (p *Plan) execResidual(st step, in activation, s *scratch) (activation, error) {
 	// Branches consume independent copies of the activation (steps may
 	// mutate in place, e.g. ReLU).
-	bodyIn := activation{data: append([]int32(nil), in.data...), c: in.c, h: in.h, w: in.w}
+	body := activation{data: s.get(len(in.data)), c: in.c, h: in.h, w: in.w}
+	copy(body.data, in.data)
 	var err error
-	body := bodyIn
-	for _, s := range st.body {
-		body, err = p.exec(s, body)
+	for _, sub := range st.body {
+		body, err = p.exec(sub, body, s)
 		if err != nil {
 			return in, err
 		}
 	}
 	var skip activation
 	if st.proj != nil {
-		skip = activation{data: append([]int32(nil), in.data...), c: in.c, h: in.h, w: in.w}
-		for _, s := range st.proj {
-			skip, err = p.exec(s, skip)
+		skip = activation{data: s.get(len(in.data)), c: in.c, h: in.h, w: in.w}
+		copy(skip.data, in.data)
+		for _, sub := range st.proj {
+			skip, err = p.exec(sub, skip, s)
 			if err != nil {
 				return in, err
 			}
@@ -139,7 +307,7 @@ func (p *Plan) execResidual(st step, in activation) (activation, error) {
 	} else {
 		// Identity shortcut: rescale codes to the target scale.
 		ratio := float64(st.shortcutScale) / float64(st.targetScale)
-		skip = activation{data: make([]int32, len(in.data)), c: in.c, h: in.h, w: in.w}
+		skip = activation{data: s.get(len(in.data)), c: in.c, h: in.h, w: in.w}
 		for i, v := range in.data {
 			skip.data[i] = clamp8(int32(math.RoundToEven(float64(v) * ratio)))
 		}
@@ -148,21 +316,22 @@ func (p *Plan) execResidual(st step, in activation) (activation, error) {
 		return in, fmt.Errorf("residual branches disagree: %d vs %d values",
 			len(body.data), len(skip.data))
 	}
-	out := activation{data: make([]int32, len(body.data)), c: body.c, h: body.h, w: body.w}
-	for i := range out.data {
-		out.data[i] = clamp8(body.data[i] + skip.data[i])
+	for i := range body.data {
+		body.data[i] = clamp8(body.data[i] + skip.data[i])
 	}
-	return out, nil
+	s.put(skip.data)
+	s.put(in.data)
+	return body, nil
 }
 
 // execGAP averages each channel plane with round-half-even; the scale is
 // unchanged, so no requantization is needed.
-func execGAP(in activation) (activation, error) {
+func execGAP(in activation, s *scratch) (activation, error) {
 	if in.h == 0 || in.w == 0 {
 		return in, fmt.Errorf("GAP on non-spatial activation")
 	}
 	spatial := in.h * in.w
-	out := activation{data: make([]int32, in.c), flat: true}
+	out := activation{data: s.get(in.c), flat: true}
 	for c := 0; c < in.c; c++ {
 		var sum int64
 		for i := 0; i < spatial; i++ {
@@ -170,28 +339,174 @@ func execGAP(in activation) (activation, error) {
 		}
 		out.data[c] = int32(math.RoundToEven(float64(sum) / float64(spatial)))
 	}
+	s.put(in.data)
 	return out, nil
 }
 
 // requant converts a 32-bit accumulator at scale sw·sx to an 8-bit code
-// at scale sy: code = round(acc · sw·sx / sy). This is the per-layer
+// at scale sy: code = round(acc · sw·sx / sy), clamped to the step's
+// [lo, hi] window. The window is [-127, 127] for a bare layer; a folded
+// ReLU raises lo to 0 (see fuseActivations). This is the per-layer
 // requantization every integer deployment performs.
-func requant(acc int64, m float64) int32 {
-	return clamp8(int32(math.RoundToEven(float64(acc) * m)))
+func requant(acc int64, m float64, lo, hi int32) int32 {
+	v := float64(acc)*m + roundMagic - roundMagic
+	if v > float64(hi) {
+		return hi
+	}
+	if v < float64(lo) {
+		return lo
+	}
+	return int32(v)
 }
 
-func execConv(st step, in activation) (activation, error) {
+// intraMinWork is the multiply-accumulate count above which a single
+// layer's GEMM rows are partitioned across goroutines. A variable so the
+// race tests can force the parallel path on small models.
+var intraMinWork = 1 << 21
+
+// gemm runs the blocked GEMM, splitting output rows across workers when
+// the layer is large enough to amortize the fan-out. Workers write
+// disjoint row ranges of dst, so no synchronization beyond the
+// WaitGroup (owned by the scratch, so the fan-out itself is
+// allocation-free) is needed.
+func (p *Plan) gemm(s *scratch, dst, a, b, bias []int32, m, n, k int) {
+	workers := s.workers
+	if max := m / 4; workers > max {
+		workers = max // keep at least four rows (one block) per worker
+	}
+	if workers <= 1 || m*n*k < intraMinWork {
+		kernels.Gemm(dst, a, b, bias, m, n, k)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	chunk = (chunk + 3) &^ 3 // whole 4-row blocks keep the kernel hot
+	for r0 := 0; r0 < m; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		var bc []int32
+		if bias != nil {
+			bc = bias[r0:r1]
+		}
+		s.wg.Add(1)
+		go gemmChunk(&s.wg, dst[r0*n:r1*n], a[r0*k:r1*k], b, bc, r1-r0, n, k)
+	}
+	s.wg.Wait()
+}
+
+func gemmChunk(wg *sync.WaitGroup, dst, a, b, bias []int32, m, n, k int) {
+	kernels.Gemm(dst, a, b, bias, m, n, k)
+	wg.Done()
+}
+
+// gemv is the n=1 analogue for linear layers.
+func (p *Plan) gemv(s *scratch, dst, a, x, bias []int32, m, k int) {
+	workers := s.workers
+	if max := m / 8; workers > max {
+		workers = max
+	}
+	if workers <= 1 || m*k < intraMinWork {
+		kernels.GemvRows(dst, a, x, bias, 0, m, k)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	for r0 := 0; r0 < m; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		s.wg.Add(1)
+		go gemvChunk(&s.wg, dst, a, x, bias, r0, r1, k)
+	}
+	s.wg.Wait()
+}
+
+func gemvChunk(wg *sync.WaitGroup, dst, a, x, bias []int32, r0, r1, k int) {
+	kernels.GemvRows(dst, a, x, bias, r0, r1, k)
+	wg.Done()
+}
+
+// gemvF64 mirrors gemv for the float64-carried linear fast path; workers
+// write disjoint row ranges of dst and share the read-only x.
+func (p *Plan) gemvF64(s *scratch, dst, a, x, bias []float64,
+	m, k int, mult, lo, hi float64) {
+	workers := s.workers
+	if max := m / 8; workers > max {
+		workers = max
+	}
+	if workers <= 1 || m*k < intraMinWork {
+		kernels.GemvF64(dst, a, x, bias, 0, m, k, mult, lo, hi)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	for r0 := 0; r0 < m; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		s.wg.Add(1)
+		go gemvF64Chunk(&s.wg, dst, a, x, bias, r0, r1, k, mult, lo, hi)
+	}
+	s.wg.Wait()
+}
+
+func gemvF64Chunk(wg *sync.WaitGroup, dst, a, x, bias []float64,
+	r0, r1, k int, mult, lo, hi float64) {
+	kernels.GemvF64(dst, a, x, bias, r0, r1, k, mult, lo, hi)
+	wg.Done()
+}
+
+// execConv lowers the convolution to im2col + per-group GEMM when the
+// build-time overflow check admitted the int32 accumulator (st.gemmOK);
+// otherwise it falls back to the direct 7-deep loop with 64-bit
+// accumulation. 1×1 stride-1 unpadded convolutions skip im2col entirely
+// — the input layout already is the patch matrix.
+func (p *Plan) execConv(st step, in activation, s *scratch) (activation, error) {
 	g := st.geom
 	if in.c != g.inC || in.h != g.inH || in.w != g.inW {
 		return in, fmt.Errorf("conv input %dx%dx%d, want %dx%dx%d",
 			in.c, in.h, in.w, g.inC, g.inH, g.inW)
 	}
-	m := float64(st.wScale) * float64(st.inScale) / float64(st.outScale)
+	out := activation{data: s.get(g.outC * g.outH * g.outW),
+		c: g.outC, h: g.outH, w: g.outW}
 	cPerG := g.inC / g.groups
 	oPerG := g.outC / g.groups
 	kk := cPerG * g.kh * g.kw
-	out := activation{data: make([]int32, g.outC*g.outH*g.outW),
-		c: g.outC, h: g.outH, w: g.outW}
+	n := g.outH * g.outW
+	if !st.gemmOK {
+		execConvDirect(st, in, out)
+		s.put(in.data)
+		return out, nil
+	}
+	pointwise := g.kh == 1 && g.kw == 1 && g.stride == 1 && g.pad == 0
+	for grp := 0; grp < g.groups; grp++ {
+		b := in.data[grp*cPerG*g.inH*g.inW:][:cPerG*g.inH*g.inW]
+		if !pointwise {
+			col := s.im2col[:kk*n]
+			kernels.Im2col(col, b, cPerG, g.inH, g.inW, g.kh, g.kw,
+				g.stride, g.pad, g.outH, g.outW)
+			b = col
+		}
+		p.gemm(s, out.data[grp*oPerG*n:][:oPerG*n],
+			st.weights[grp*oPerG*kk:][:oPerG*kk], b,
+			st.bias[grp*oPerG:][:oPerG], oPerG, n, kk)
+	}
+	for i, acc := range out.data {
+		out.data[i] = requant(int64(acc), st.mult, st.lo, st.hi)
+	}
+	s.put(in.data)
+	return out, nil
+}
+
+// execConvDirect is the reference implementation the GEMM path is tested
+// bit-exact against, and the fallback for geometries whose dot products
+// could overflow an int32 accumulator.
+func execConvDirect(st step, in, out activation) {
+	g := st.geom
+	cPerG := g.inC / g.groups
+	oPerG := g.outC / g.groups
+	kk := cPerG * g.kh * g.kw
 	for oc := 0; oc < g.outC; oc++ {
 		grp := oc / oPerG
 		wRow := st.weights[oc*kk : (oc+1)*kk]
@@ -216,34 +531,61 @@ func execConv(st step, in activation) (activation, error) {
 						}
 					}
 				}
-				out.data[(oc*g.outH+oh)*g.outW+ow] = requant(acc, m)
+				out.data[(oc*g.outH+oh)*g.outW+ow] = requant(acc, st.mult, st.lo, st.hi)
 			}
 		}
 	}
-	return out, nil
 }
 
-func execLinear(st step, in activation) (activation, error) {
+func (p *Plan) execLinear(st step, in activation, s *scratch) (activation, error) {
 	if len(in.data) != st.cols {
 		return in, fmt.Errorf("linear input %d values, want %d", len(in.data), st.cols)
 	}
-	m := float64(st.wScale) * float64(st.inScale) / float64(st.outScale)
-	out := activation{data: make([]int32, st.rows), flat: true}
+	out := activation{data: s.get(st.rows), flat: true}
+	switch {
+	case st.wf64 != nil:
+		// Fast path: float64-carried MACs with the requant fused into the
+		// kernel. Exactness is proven at build time, so this is
+		// bit-identical to the int32 path below (and the direct one).
+		xf := s.xf[:st.cols]
+		for i, v := range in.data {
+			xf[i] = float64(v)
+		}
+		yf := s.yf[:st.rows]
+		p.gemvF64(s, yf, st.wf64, xf, st.bf64, st.rows, st.cols,
+			st.mult, float64(st.lo), float64(st.hi))
+		for i, v := range yf {
+			out.data[i] = int32(v)
+		}
+	case st.gemmOK:
+		p.gemv(s, out.data, st.weights, in.data, st.bias, st.rows, st.cols)
+		for i, acc := range out.data {
+			out.data[i] = requant(int64(acc), st.mult, st.lo, st.hi)
+		}
+	default:
+		execLinearDirect(st, in, out)
+	}
+	s.put(in.data)
+	return out, nil
+}
+
+// execLinearDirect is the 64-bit fallback and golden reference for the
+// GEMV paths.
+func execLinearDirect(st step, in, out activation) {
 	for r := 0; r < st.rows; r++ {
 		acc := int64(st.bias[r])
 		row := st.weights[r*st.cols : (r+1)*st.cols]
 		for i, w := range row {
 			acc += int64(w) * int64(in.data[i])
 		}
-		out.data[r] = requant(acc, m)
+		out.data[r] = requant(acc, st.mult, st.lo, st.hi)
 	}
-	return out, nil
 }
 
-func execMaxPool(st step, in activation) (activation, error) {
+func execMaxPool(st step, in activation, s *scratch) (activation, error) {
 	oh := (in.h-st.k)/st.stride + 1
 	ow := (in.w-st.k)/st.stride + 1
-	out := activation{data: make([]int32, in.c*oh*ow), c: in.c, h: oh, w: ow}
+	out := activation{data: s.get(in.c * oh * ow), c: in.c, h: oh, w: ow}
 	for c := 0; c < in.c; c++ {
 		plane := in.data[c*in.h*in.w:]
 		for py := 0; py < oh; py++ {
@@ -261,27 +603,47 @@ func execMaxPool(st step, in activation) (activation, error) {
 			}
 		}
 	}
+	s.put(in.data)
 	return out, nil
 }
 
 // InferBatchParallel classifies a batch with a worker pool; a Plan is
-// immutable after Build, so concurrent Infer calls are safe. workers < 1
-// selects GOMAXPROCS.
+// immutable after Build, so concurrent inference is safe. workers < 1
+// selects GOMAXPROCS. The first error stops all workers: each checks a
+// shared atomic flag before starting an image, so a failure early in the
+// batch does not let the remaining workers grind through the rest.
+// The intra-image worker budget is divided by the batch workers so the
+// two levels of parallelism compose instead of oversubscribing.
 func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(images) && len(images) > 0 {
+		workers = len(images)
+	}
+	intra := p.intraWorkers / workers
+	if intra < 1 {
+		intra = 1
+	}
 	preds := make([]int, len(images))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
+	var (
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
 			for i := wkr; i < len(images); i += workers {
-				_, cls, err := p.Infer(images[i])
+				if stop.Load() {
+					return
+				}
+				cls, err := p.classify(images[i], intra)
 				if err != nil {
-					errs[wkr] = err
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
 					return
 				}
 				preds[i] = cls
@@ -289,10 +651,8 @@ func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error
 		}(wkr)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return preds, nil
 }

@@ -16,8 +16,11 @@ package intinfer
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/kernels"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/quant"
@@ -35,6 +38,11 @@ type Options struct {
 	// Calibration images (flat, model geometry) for the static
 	// activation scales; at least one is required.
 	Calibration [][]float32
+	// IntraWorkers bounds the goroutines a single Infer may fan a large
+	// layer's GEMM rows out to (0 = GOMAXPROCS). InferBatchParallel
+	// divides this budget by its batch workers so the two levels of
+	// parallelism compose.
+	IntraWorkers int
 }
 
 // step kinds.
@@ -63,6 +71,18 @@ type step struct {
 	wScale     float32 // sw
 	outScale   float32 // sy: static output scale
 	rows, cols int     // linear dims (rows=out, cols=in)
+	mult       float64 // requant multiplier sw·sx/sy, fixed at build
+	gemmOK     bool    // int32 accumulation proven overflow-free
+	// Post-requant clamp bounds. [-127, 127] by default; a ReLU folded
+	// into this step at compile time raises lo to 0 (and lowers hi to the
+	// relu6-style cap), which is bit-identical to running the ReLU as its
+	// own pass over the requantized codes.
+	lo, hi int32
+	// Float64 copies of the codes for the linear fast path: float64
+	// multiplies dual-issue on the FP ports while int32 multiplies are
+	// confined to one, and kernels.ExactF64 proves the arithmetic stays
+	// integer-exact, so results are bit-identical to the int32 kernel.
+	wf64, bf64 []float64
 
 	// max pool
 	k, stride int
@@ -81,13 +101,25 @@ type convGeom struct {
 	inC, inH, inW, outC, kh, kw, stride, pad, groups, outH, outW int
 }
 
-// Plan is a compiled integer inference program.
+// Plan is a compiled integer inference program. A Plan is immutable
+// after Build; all mutable inference state lives in scratch arenas
+// recycled through the internal pool, so any number of goroutines may
+// run Infer/Classify concurrently.
 type Plan struct {
 	steps         []step
 	inC, inH, inW int
 	classes       int
 	inScale       float32
 	outScale      float32
+
+	// Arena geometry, fixed by finalize at build time.
+	maxAct       int // largest activation (elements) any step produces
+	maxCol       int // largest per-group im2col patch matrix (elements)
+	maxLin       int  // widest buffer a float64-path linear step touches
+	express      bool // whole plan is flatten + float64-path linears
+	bufCount     int  // activation buffers one inference needs concurrently
+	intraWorkers int
+	arena        sync.Pool // of *scratch
 }
 
 // Build compiles the model. The model itself is left unmodified.
@@ -125,8 +157,189 @@ func Build(m *models.ImageModel, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.steps = steps
+	p.steps = fuseActivations(steps)
+	p.finalize(opts)
 	return p, nil
+}
+
+// fuseActivations folds a ReLU that immediately follows a conv or linear
+// step into that step's requantization clamp, eliminating one pass over
+// the activation. Requantizing to [-127, 127] and then applying
+// ReLU/ReLU-cap is pointwise identical to a single clamp to
+// [0, min(cap, 127)], so the fusion is bit-exact. Residual branches are
+// fused recursively; a ReLU that follows any other step kind (pool,
+// residual add) stays a standalone pass.
+func fuseActivations(steps []step) []step {
+	out := steps[:0]
+	for i := 0; i < len(steps); i++ {
+		st := steps[i]
+		if st.kind == kindResidual {
+			st.body = fuseActivations(st.body)
+			if st.proj != nil {
+				st.proj = fuseActivations(st.proj)
+			}
+		}
+		if (st.kind == kindConv || st.kind == kindLinear) &&
+			i+1 < len(steps) && steps[i+1].kind == kindReLU {
+			relu := steps[i+1]
+			st.lo = 0
+			if relu.capCode > 0 && relu.capCode < st.hi {
+				st.hi = relu.capCode
+			}
+			i++
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// finalize sizes the scratch arena: it simulates the step chain's shapes
+// to find the largest activation and im2col buffer, counts how many
+// activation buffers one inference holds concurrently (residual branches
+// pin extra buffers), and arms the pool.
+func (p *Plan) finalize(opts Options) {
+	p.maxAct = p.inC * p.inH * p.inW
+	p.sizeChain(p.steps, p.inC, p.inH, p.inW)
+	p.bufCount = chainBufs(p.steps, 0)
+	p.prepareF64(p.steps)
+	p.express = expressible(p.steps)
+	if p.maxCol == 0 {
+		p.maxCol = 1 // keep the slice non-nil paths trivial
+	}
+	p.intraWorkers = opts.IntraWorkers
+	if p.intraWorkers < 1 {
+		p.intraWorkers = runtime.GOMAXPROCS(0)
+	}
+	p.arena.New = func() any { return p.newScratch() }
+}
+
+// prepareF64 materializes float64 copies of every admissible linear
+// step's codes and records the widest such input for the scratch arena's
+// conversion buffer. Admission requires the dot product to stay exactly
+// representable in float64 (kernels.ExactF64) — a strictly weaker bound
+// than the int32 one, so every gemmOK linear step qualifies.
+func (p *Plan) prepareF64(steps []step) {
+	for i := range steps {
+		st := &steps[i]
+		switch st.kind {
+		case kindLinear:
+			if !st.gemmOK ||
+				!kernels.ExactF64(st.cols, maxAbs32(st.weights), 127, maxAbs32(st.bias)) {
+				continue
+			}
+			st.wf64 = make([]float64, len(st.weights))
+			for j, w := range st.weights {
+				st.wf64[j] = float64(w)
+			}
+			st.bf64 = make([]float64, len(st.bias))
+			for j, b := range st.bias {
+				st.bf64[j] = float64(b)
+			}
+			if st.cols > p.maxLin {
+				p.maxLin = st.cols
+			}
+			if st.rows > p.maxLin {
+				p.maxLin = st.rows
+			}
+		case kindResidual:
+			p.prepareF64(st.body)
+			if st.proj != nil {
+				p.prepareF64(st.proj)
+			}
+		}
+	}
+}
+
+// expressible reports whether a plan can run entirely on the float64
+// express lane: nothing but shape-only flattens and float64-path linear
+// steps, with at least one linear. Such plans keep the activation as
+// integral float64 codes from the quantizer through the logits.
+func expressible(steps []step) bool {
+	linears := 0
+	for i := range steps {
+		switch steps[i].kind {
+		case kindFlatten:
+		case kindLinear:
+			if steps[i].wf64 == nil {
+				return false
+			}
+			linears++
+		default:
+			return false
+		}
+	}
+	return linears > 0
+}
+
+func (p *Plan) noteAct(n int) {
+	if n > p.maxAct {
+		p.maxAct = n
+	}
+}
+
+// sizeChain mirrors the shape propagation of exec, recording every
+// intermediate activation size and im2col footprint. It returns the
+// chain's output shape.
+func (p *Plan) sizeChain(steps []step, c, h, w int) (int, int, int) {
+	for i := range steps {
+		st := &steps[i]
+		switch st.kind {
+		case kindConv:
+			g := st.geom
+			c, h, w = g.outC, g.outH, g.outW
+			p.noteAct(c * h * w)
+			if st.gemmOK && !(g.kh == 1 && g.kw == 1 && g.stride == 1 && g.pad == 0) {
+				kk := (g.inC / g.groups) * g.kh * g.kw
+				if col := kk * g.outH * g.outW; col > p.maxCol {
+					p.maxCol = col
+				}
+			}
+		case kindLinear:
+			c, h, w = st.rows, 1, 1
+			p.noteAct(st.rows)
+		case kindMaxPool:
+			h = (h-st.k)/st.stride + 1
+			w = (w-st.k)/st.stride + 1
+			p.noteAct(c * h * w)
+		case kindGAP:
+			h, w = 1, 1
+			p.noteAct(c)
+		case kindResidual:
+			bc, bh, bw := p.sizeChain(st.body, c, h, w)
+			if st.proj != nil {
+				p.sizeChain(st.proj, c, h, w)
+			}
+			c, h, w = bc, bh, bw
+		}
+	}
+	return c, h, w
+}
+
+// chainBufs returns the peak number of arena buffers live while a chain
+// executes, given `held` buffers pinned by enclosing residuals. A chain
+// always owns its current activation (+1); out-of-place steps briefly
+// hold input and output together (+2); a residual pins its input while
+// its branches run, then holds input, body result and skip at the add.
+func chainBufs(steps []step, held int) int {
+	peak := held + 2 // current activation + one out-of-place output
+	for i := range steps {
+		st := &steps[i]
+		if st.kind != kindResidual {
+			continue
+		}
+		if b := chainBufs(st.body, held+1); b > peak {
+			peak = b
+		}
+		if st.proj != nil {
+			// input + body result pinned while the projection runs
+			if b := chainBufs(st.proj, held+2); b > peak {
+				peak = b
+			}
+		} else if held+3 > peak { // input + body + identity skip
+			peak = held + 3
+		}
+	}
+	return peak
 }
 
 // compiler threads the calibration scales through the recursive chain
@@ -358,6 +571,29 @@ func quantizeWeightRows(w []float32, rows, cols, bits, g, k int) ([]int32, float
 	return codes, p.Scale
 }
 
+// maxAbs32 returns the largest magnitude in a code slice.
+func maxAbs32(v []int32) int64 {
+	var m int64
+	for _, c := range v {
+		a := int64(c)
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// admitGemm decides at build time whether a k-deep dot product over the
+// step's weight codes can accumulate in int32 (activation codes are
+// always clamped to |x| ≤ 127). If not, exec falls back to the direct
+// 64-bit loops.
+func admitGemm(weights, bias []int32, k int) bool {
+	return kernels.AccumFits(k, maxAbs32(weights), 127, maxAbs32(bias))
+}
+
 func compileConv(v *nn.Conv2D, opts Options, sx, sy float32) (step, error) {
 	g := v.Geom
 	kk := (g.InC / g.Groups) * g.KH * g.KW
@@ -367,7 +603,8 @@ func compileConv(v *nn.Conv2D, opts Options, sx, sy float32) (step, error) {
 		geom: &convGeom{inC: g.InC, inH: g.InH, inW: g.InW, outC: g.OutC,
 			kh: g.KH, kw: g.KW, stride: g.Stride, pad: g.Pad,
 			groups: g.Groups, outH: g.OutH, outW: g.OutW},
-		weights: codes, inScale: sx, wScale: sw, outScale: sy}
+		weights: codes, inScale: sx, wScale: sw, outScale: sy,
+		mult: float64(sw) * float64(sx) / float64(sy), lo: -127, hi: 127}
 	st.bias = make([]int32, g.OutC)
 	if v.Bias != nil {
 		acc := float64(sw) * float64(sx)
@@ -375,6 +612,7 @@ func compileConv(v *nn.Conv2D, opts Options, sx, sy float32) (step, error) {
 			st.bias[i] = int32(math.Round(float64(b) / acc))
 		}
 	}
+	st.gemmOK = admitGemm(st.weights, st.bias, kk)
 	return st, nil
 }
 
@@ -382,11 +620,13 @@ func compileLinear(v *nn.Linear, opts Options, sx, sy float32) (step, error) {
 	codes, sw := quantizeWeightRows(v.Weight.W.Data, v.Out, v.In,
 		opts.WeightBits, opts.GroupSize, opts.GroupBudget)
 	st := step{kind: kindLinear, name: v.Name(), rows: v.Out, cols: v.In,
-		weights: codes, inScale: sx, wScale: sw, outScale: sy}
+		weights: codes, inScale: sx, wScale: sw, outScale: sy,
+		mult: float64(sw) * float64(sx) / float64(sy), lo: -127, hi: 127}
 	st.bias = make([]int32, v.Out)
 	acc := float64(sw) * float64(sx)
 	for i, b := range v.Bias.W.Data {
 		st.bias[i] = int32(math.Round(float64(b) / acc))
 	}
+	st.gemmOK = admitGemm(st.weights, st.bias, v.In)
 	return st, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package intinfer
+
+const raceEnabled = false

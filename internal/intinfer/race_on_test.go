@@ -1,0 +1,7 @@
+//go:build race
+
+package intinfer
+
+// The race detector makes sync.Pool deliberately drop items to widen
+// its schedule coverage, so allocation-count pins cannot hold under it.
+const raceEnabled = true

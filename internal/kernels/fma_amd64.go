@@ -1,0 +1,17 @@
+//go:build amd64
+
+package kernels
+
+// Implemented in fma_amd64.s.
+
+// cpuHasAVX2FMA reports whether the CPU and OS support the AVX2+FMA
+// microkernel (YMM state saved, FMA and AVX2 present).
+func cpuHasAVX2FMA() bool
+
+// gemv4fma writes the raw dot products of four consecutive length-k
+// rows (starting at a, stride k) with x[0:k] into dst[0:4].
+//
+//go:noescape
+func gemv4fma(dst, a, x *float64, k int)
+
+var haveFMA = cpuHasAVX2FMA()

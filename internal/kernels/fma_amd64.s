@@ -1,0 +1,141 @@
+// AVX2+FMA microkernel for the float64 GEMV fast path. Safe to use only
+// after cpuHasAVX2FMA reports true; GemvF64 falls back to the portable
+// scalar loop otherwise. Reassociating the sum across eight vector
+// lanes is exact here because every operand is an integer code and
+// every partial sum stays below 2^53 (kernels.ExactF64), so no float64
+// addition in any order ever rounds.
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+//
+// CPUID.1:ECX must report FMA(12), OSXSAVE(27) and AVX(28); XCR0 must
+// have the x87/SSE/AVX state bits (1 and 2) set, meaning the OS saves
+// the YMM registers; CPUID.7.0:EBX must report AVX2(5).
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVQ $1, AX
+	XORQ CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<27 | 1<<28 | 1<<12), R8
+	CMPL R8, $(1<<27 | 1<<28 | 1<<12)
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVQ $7, AX
+	XORQ CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemv4fma(dst, a, x *float64, k int)
+//
+// dst[0:4] receive the raw dot products of the four consecutive
+// length-k rows starting at a with x[0:k]. Eight YMM accumulators (two
+// per row) cover an 8-element stride per iteration so the loop is
+// bound by loads and FMA throughput, not FMA latency.
+TEXT ·gemv4fma(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), R9
+	MOVQ x+16(FP), DX
+	MOVQ k+24(FP), CX
+
+	MOVQ CX, R8
+	SHLQ $3, R8              // row stride in bytes
+	LEAQ (R9)(R8*1), R10     // row 1
+	LEAQ (R10)(R8*1), R11    // row 2
+	LEAQ (R11)(R8*1), R12    // row 3
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ CX, R13
+	SHRQ $3, R13             // k/8 vector iterations
+	JZ   reduce
+
+loop8:
+	VMOVUPD (DX), Y8
+	VMOVUPD 32(DX), Y9
+	VMOVUPD (R9), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VMOVUPD 32(R9), Y11
+	VFMADD231PD Y9, Y11, Y4
+	VMOVUPD (R10), Y12
+	VFMADD231PD Y8, Y12, Y1
+	VMOVUPD 32(R10), Y13
+	VFMADD231PD Y9, Y13, Y5
+	VMOVUPD (R11), Y14
+	VFMADD231PD Y8, Y14, Y2
+	VMOVUPD 32(R11), Y15
+	VFMADD231PD Y9, Y15, Y6
+	VMOVUPD (R12), Y10
+	VFMADD231PD Y8, Y10, Y3
+	VMOVUPD 32(R12), Y11
+	VFMADD231PD Y9, Y11, Y7
+	ADDQ $64, DX
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	ADDQ $64, R12
+	DECQ R13
+	JNZ  loop8
+
+reduce:
+	VADDPD Y4, Y0, Y0
+	VADDPD Y5, Y1, Y1
+	VADDPD Y6, Y2, Y2
+	VADDPD Y7, Y3, Y3
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	VEXTRACTF128 $1, Y1, X9
+	VADDPD X9, X1, X1
+	VHADDPD X1, X1, X1
+	VEXTRACTF128 $1, Y2, X10
+	VADDPD X10, X2, X2
+	VHADDPD X2, X2, X2
+	VEXTRACTF128 $1, Y3, X11
+	VADDPD X11, X3, X3
+	VHADDPD X3, X3, X3
+
+	ANDQ $7, CX              // scalar tail, after the lanes are folded
+	JZ   store
+tail:
+	VMOVSD (DX), X8
+	VMOVSD (R9), X9
+	VFMADD231SD X8, X9, X0
+	VMOVSD (R10), X9
+	VFMADD231SD X8, X9, X1
+	VMOVSD (R11), X9
+	VFMADD231SD X8, X9, X2
+	VMOVSD (R12), X9
+	VFMADD231SD X8, X9, X3
+	ADDQ $8, DX
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $8, R12
+	DECQ CX
+	JNZ  tail
+
+store:
+	VMOVSD X0, (DI)
+	VMOVSD X1, 8(DI)
+	VMOVSD X2, 16(DI)
+	VMOVSD X3, 24(DI)
+	VZEROUPPER
+	RET

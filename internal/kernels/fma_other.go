@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package kernels
+
+const haveFMA = false
+
+func gemv4fma(dst, a, x *float64, k int) {
+	panic("kernels: gemv4fma without FMA support")
+}

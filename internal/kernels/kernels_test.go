@@ -1,0 +1,140 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveConv is the reference the GEMM lowering must match bit-for-bit:
+// the direct 6-deep convolution loop over a single group.
+func naiveConv(src, w, bias []int32, c, h, wid, outC, kh, kw, stride, pad, outH, outW int) []int32 {
+	out := make([]int32, outC*outH*outW)
+	kk := c * kh * kw
+	for oc := 0; oc < outC; oc++ {
+		row := w[oc*kk : (oc+1)*kk]
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				acc := bias[oc]
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= wid {
+								continue
+							}
+							acc += row[(ci*kh+ky)*kw+kx] * src[(ci*h+iy)*wid+ix]
+						}
+					}
+				}
+				out[(oc*outH+oy)*outW+ox] = acc
+			}
+		}
+	}
+	return out
+}
+
+func randCodes(rng *rand.Rand, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(rng.Intn(255) - 127)
+	}
+	return out
+}
+
+func TestIm2colGemmMatchesNaiveConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type geom struct{ c, h, w, outC, kh, kw, stride, pad int }
+	cases := []geom{
+		{1, 5, 5, 3, 3, 3, 1, 1},
+		{3, 8, 8, 8, 3, 3, 1, 1},
+		{4, 7, 9, 5, 3, 3, 2, 1}, // non-square, strided
+		{2, 6, 6, 4, 1, 1, 1, 0}, // 1x1
+		{3, 9, 7, 6, 5, 3, 2, 2}, // non-square kernel, big pad
+		{1, 4, 4, 2, 3, 3, 1, 0}, // no pad
+	}
+	for _, g := range cases {
+		outH := (g.h+2*g.pad-g.kh)/g.stride + 1
+		outW := (g.w+2*g.pad-g.kw)/g.stride + 1
+		kk := g.c * g.kh * g.kw
+		n := outH * outW
+		src := randCodes(rng, g.c*g.h*g.w)
+		w := randCodes(rng, g.outC*kk)
+		bias := randCodes(rng, g.outC)
+		want := naiveConv(src, w, bias, g.c, g.h, g.w, g.outC, g.kh, g.kw, g.stride, g.pad, outH, outW)
+
+		col := make([]int32, kk*n)
+		Im2col(col, src, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, outH, outW)
+		got := make([]int32, g.outC*n)
+		Gemm(got, w, col, bias, g.outC, n, kk)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("geom %+v: element %d: gemm %d, naive %d", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGemmNilBiasAndOddRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, m := range []int{1, 2, 3, 4, 5, 7, 8} {
+		n, k := 6, 9
+		a := randCodes(rng, m*k)
+		b := randCodes(rng, k*n)
+		got := make([]int32, m*n)
+		Gemm(got, a, b, nil, m, n, k)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var want int32
+				for q := 0; q < k; q++ {
+					want += a[i*k+q] * b[q*n+j]
+				}
+				if got[i*n+j] != want {
+					t.Fatalf("m=%d (%d,%d): got %d want %d", m, i, j, got[i*n+j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDotAndGemvRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range []int{0, 1, 3, 4, 5, 8, 17, 144} {
+		a := randCodes(rng, k)
+		x := randCodes(rng, k)
+		var want int32
+		for i := range a {
+			want += a[i] * x[i]
+		}
+		if got := Dot(a, x); got != want {
+			t.Fatalf("Dot k=%d: got %d want %d", k, got, want)
+		}
+	}
+	m, k := 7, 17
+	a := randCodes(rng, m*k)
+	x := randCodes(rng, k)
+	bias := randCodes(rng, m)
+	dst := make([]int32, m)
+	GemvRows(dst, a, x, bias, 0, m, k)
+	for r := 0; r < m; r++ {
+		want := bias[r]
+		for q := 0; q < k; q++ {
+			want += a[r*k+q] * x[q]
+		}
+		if dst[r] != want {
+			t.Fatalf("GemvRows row %d: got %d want %d", r, dst[r], want)
+		}
+	}
+}
+
+func TestAccumFits(t *testing.T) {
+	if !AccumFits(1<<16, 127, 127, 1<<20) {
+		t.Error("64K-deep int8 dot should fit int32")
+	}
+	if AccumFits(1<<18, 32767, 127, 0) {
+		t.Error("deep 16-bit-weight dot must not claim to fit")
+	}
+}

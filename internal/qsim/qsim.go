@@ -166,7 +166,7 @@ func (e *Engine) lutFor(spec Spec) []dataEntry {
 	qmax := int32(1)<<(spec.DataBits-1) - 1
 	lut := make([]dataEntry, 2*qmax+1)
 	for code := -qmax; code <= qmax; code++ {
-		exp := term.Encode(code, spec.DataEncoding)
+		exp := term.EncodeCached(code, spec.DataEncoding)
 		if spec.DataTerms > 0 {
 			exp = term.TopTerms(exp, spec.DataTerms)
 		}
@@ -316,7 +316,7 @@ func (e *Engine) quantizeWeights(spec Spec, w []float32, rows, k int) []int {
 		} else {
 			exps = make([]term.Expansion, k)
 			for i, c := range codes {
-				exps[i] = term.Encode(c, spec.WeightEncoding)
+				exps[i] = term.EncodeCached(c, spec.WeightEncoding)
 			}
 		}
 		for i, c := range codes {
@@ -381,7 +381,7 @@ func (e *Engine) quantizeData(spec Spec, x *tensor.Tensor) (*tensor.Tensor, []in
 	}
 	for i, v := range x.Data {
 		code := p.Quantize(v)
-		exp := term.Encode(code, spec.DataEncoding)
+		exp := term.EncodeCached(code, spec.DataEncoding)
 		if spec.DataTerms > 0 {
 			exp = term.TopTerms(exp, spec.DataTerms)
 		}

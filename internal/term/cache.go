@@ -1,0 +1,38 @@
+package term
+
+import "sync"
+
+// The Fig. 15/16 sweeps and the deployment engine encode the same 8-bit
+// codes millions of times; a per-encoding lookup table over the full
+// int8 code range turns that into an array index. Tables are built
+// lazily, once per encoding.
+const (
+	cacheMin = -128
+	cacheMax = 127
+)
+
+var encCache [3]struct {
+	once sync.Once
+	tab  [cacheMax - cacheMin + 1]Expansion
+}
+
+// EncodeCached returns the term expansion of v under enc, serving values
+// in the int8 code range [-128, 127] from a precomputed table and
+// falling back to Encode otherwise.
+//
+// The returned expansion is SHARED and must be treated as read-only:
+// callers may re-slice it (prefix truncation, as TopTerms and
+// core.Reveal do) but must not modify its terms in place or append to
+// it. Callers that need private storage should Clone.
+func EncodeCached(v int32, enc Encoding) Expansion {
+	if v < cacheMin || v > cacheMax || enc < Binary || enc > HESE {
+		return Encode(v, enc)
+	}
+	c := &encCache[enc]
+	c.once.Do(func() {
+		for i := range c.tab {
+			c.tab[i] = Encode(int32(i+cacheMin), enc)
+		}
+	})
+	return c.tab[v-cacheMin]
+}

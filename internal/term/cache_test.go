@@ -1,0 +1,35 @@
+package term
+
+import "testing"
+
+func TestEncodeCachedMatchesEncode(t *testing.T) {
+	for _, enc := range []Encoding{Binary, Booth, HESE} {
+		for v := int32(-300); v <= 300; v++ { // covers in-range and fallback
+			got := EncodeCached(v, enc)
+			want := Encode(v, enc)
+			if len(got) != len(want) {
+				t.Fatalf("%v(%d): cached %v, direct %v", enc, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v(%d): cached %v, direct %v", enc, v, got, want)
+				}
+			}
+			if got.Value() != v {
+				t.Fatalf("%v(%d): cached expansion reconstructs to %d", enc, v, got.Value())
+			}
+		}
+	}
+}
+
+func TestEncodeCachedZeroAllocsInRange(t *testing.T) {
+	EncodeCached(0, HESE) // build the table outside the measurement
+	allocs := testing.AllocsPerRun(200, func() {
+		for v := int32(-127); v <= 127; v++ {
+			_ = EncodeCached(v, HESE)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EncodeCached allocated %.1f times per sweep, want 0", allocs)
+	}
+}
