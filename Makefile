@@ -4,17 +4,40 @@
 #   make tier2   vet + race-enabled tests: exercises InferBatchParallel
 #                and the intra-layer GEMM/GEMV row fan-out under the
 #                race detector (see TestParallelPathsUnderContention)
+#   make tier3   vet + trlint (the custom static-invariant suite,
+#                DESIGN.md §8) + race-enabled tests
+#   make lint    trlint alone: quantnarrow, poolarena, asmparity,
+#                floatcmp, errpropagate over every module package
 #   make bench   integer-inference benchmarks + results/BENCH_intinfer.json
 
 GO ?= go
 
-.PHONY: tier1 tier2 bench
+.PHONY: tier1 tier2 tier3 lint bench
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
+# The race tiers skip internal/experiments: that package regenerates
+# the paper's evaluation serially end to end (model training + sweeps),
+# which race instrumentation stretches past 45 minutes while adding no
+# interleaving coverage. Every concurrent surface — the intinfer batch
+# and intra-image fan-outs, the kernels chunk goroutines — has its own
+# race-enabled suite in its own package. The explicit timeout keeps the
+# slower race packages (models, intinfer, qsim) clear of go test's
+# default 10-minute per-package alarm.
+RACE_TIMEOUT ?= 20m
+RACE_PKGS = $$($(GO) list ./... | grep -v /internal/experiments)
+
 tier2:
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) test -race -timeout $(RACE_TIMEOUT) $(RACE_PKGS)
+
+tier3:
+	$(GO) vet ./...
+	$(GO) run ./cmd/trlint ./...
+	$(GO) test -race -timeout $(RACE_TIMEOUT) $(RACE_PKGS)
+
+lint:
+	$(GO) run ./cmd/trlint ./...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIntegerInference' -benchmem .

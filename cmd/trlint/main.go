@@ -1,0 +1,90 @@
+// Command trlint drives the repository's static-analysis suite: five
+// analyzers enforcing the quantization-safety, kernel-parity, and
+// arena-lifetime invariants the inference runtime is built on (see
+// DESIGN.md §8). It is the offline stand-in for an x/tools
+// multichecker: same analyzer contract, same exit discipline.
+//
+// Usage:
+//
+//	trlint [-analyzers a,b,...] [-list] [packages]
+//
+// With no packages, ./... is analyzed. The exit status is 1 when any
+// unsuppressed finding is reported, 2 on operational failure. A finding
+// is suppressed only by a //trlint:checked comment on its line or the
+// line above — the audited escape hatch for invariants a human has
+// proven by hand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/asmparity"
+	"repro/internal/analysis/errpropagate"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/poolarena"
+	"repro/internal/analysis/quantnarrow"
+)
+
+var all = []*analysis.Analyzer{
+	quantnarrow.Analyzer,
+	poolarena.Analyzer,
+	asmparity.Analyzer,
+	floatcmp.Analyzer,
+	errpropagate.Analyzer,
+}
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *names != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "trlint: unknown analyzer %q\n", n)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trlint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "trlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

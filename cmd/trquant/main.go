@@ -73,6 +73,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			//trlint:checked read-only close: nothing buffered, failure cannot lose data
 			defer f.Close()
 			r = f
 		}

@@ -1,3 +1,8 @@
 module repro
 
 go 1.22
+
+// No requirements: the build environment is offline (no module proxy),
+// so the trlint suite (internal/analysis) mirrors the
+// golang.org/x/tools/go/analysis API on the standard library alone
+// instead of depending on it. See DESIGN.md §8.

@@ -1,0 +1,90 @@
+// Package analysis is a self-contained micro-framework for writing and
+// driving static analyzers over this module, mirroring the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) so the
+// trlint suite can migrate to the upstream framework mechanically once a
+// module proxy is reachable. The build environment for this repository is
+// offline, so vendoring x/tools is not an option; everything here rides on
+// the standard library plus the go tool itself (`go list -export`).
+//
+// The framework deliberately keeps the upstream contract:
+//
+//   - an Analyzer is a named value with a Run func over a Pass;
+//   - a Pass hands the analyzer one type-checked package (syntax with
+//     comments, *types.Package, *types.Info) plus the file lists the build
+//     excluded (IgnoredFiles, used by asmparity to see !amd64 siblings);
+//   - diagnostics are reported through pass.Report / pass.Reportf.
+//
+// On top of that, the runner implements one repo-wide convention the
+// upstream framework leaves to drivers: a diagnostic whose source line (or
+// the line immediately above it) carries a "//trlint:checked" comment is
+// suppressed. The comment is the audited escape hatch for findings a human
+// has proven safe; see DESIGN.md §8.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and driver flags. By
+	// convention it is a short lower-case word (e.g. "quantnarrow").
+	Name string
+	// Doc is the analyzer's documentation: first line is a summary.
+	Doc string
+	// Run applies the analyzer to one package. Results (the interface{}
+	// return of the upstream API) are unused by this driver, so Run only
+	// returns an error: a hard failure of the analyzer itself, distinct
+	// from any diagnostics it reported.
+	Run func(*Pass) error
+}
+
+// Pass provides an analyzer with the unit of work: one type-checked
+// package and a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments, build-selected files only
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// GoFiles are the absolute paths of the build-selected .go files
+	// (parallel to Files). IgnoredFiles are .go files present in the
+	// package directory but excluded by build constraints for the current
+	// platform — the asmparity analyzer reads portable siblings from
+	// here. OtherFiles are non-Go files (e.g. *.s assembly sources).
+	GoFiles      []string
+	IgnoredFiles []string
+	OtherFiles   []string
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned inside the package's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic as the driver surfaces it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}

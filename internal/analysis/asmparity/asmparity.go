@@ -1,0 +1,226 @@
+// Package asmparity keeps the assembly microkernels honest. Every
+// //go:noescape stub declared in a *_amd64.go file is an AVX2/FMA (or
+// similar) symbol whose behaviour the rest of the runtime treats as
+// bit-exact with portable Go; the analyzer enforces the three artifacts
+// that make that claim checkable:
+//
+//  1. a portable sibling of the same name and signature in a *_other.go
+//     file of the same package (selected under !amd64 build tags), so the
+//     package compiles and runs everywhere;
+//  2. signature equality between stub and sibling, parameter names aside
+//     — a drifted signature means the two builds call different shapes;
+//  3. a differential test in the package referencing the stub symbol, so
+//     the asm path is exercised against the portable reference in CI.
+//
+// The analyzer reads the build-excluded sibling files (Pass.IgnoredFiles)
+// and the package's *_test.go sources directly from the package
+// directory: both are invisible to the type-checked build it runs under,
+// which is precisely why the invariant needs a dedicated check.
+package asmparity
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the asmparity pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "asmparity",
+	Doc:  "every //go:noescape asm stub in *_amd64.go needs a matching portable sibling in *_other.go and a differential test",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	stubs := collectStubs(pass)
+	if len(stubs) == 0 {
+		return nil
+	}
+	siblings, err := collectSiblings(pass)
+	if err != nil {
+		return err
+	}
+	for _, stub := range stubs {
+		sib, ok := siblings[stub.name]
+		if !ok {
+			pass.Reportf(stub.pos, "asm stub %s has no portable sibling in a *_other.go file", stub.name)
+		} else if sib.sig != stub.sig {
+			pass.Reportf(stub.pos, "asm stub %s signature %q differs from portable sibling %q",
+				stub.name, stub.sig, sib.sig)
+		}
+		tested, err := referencedInTests(pass, stub.name)
+		if err != nil {
+			return err
+		}
+		if !tested {
+			pass.Reportf(stub.pos, "asm stub %s has no differential test: no *_test.go in the package references it", stub.name)
+		}
+	}
+	return nil
+}
+
+type funcSig struct {
+	name string
+	sig  string // normalized signature, parameter names stripped
+	pos  token.Pos
+}
+
+// collectStubs finds //go:noescape body-less declarations in *_amd64.go
+// files, whether build-selected (this platform is amd64) or ignored (it
+// is not). Ignored files are parsed into the pass FileSet so diagnostics
+// carry real positions either way.
+func collectStubs(pass *analysis.Pass) []funcSig {
+	var stubs []funcSig
+	for i, f := range pass.Files {
+		if !strings.HasSuffix(pass.GoFiles[i], "_amd64.go") {
+			continue
+		}
+		stubs = append(stubs, stubsInFile(f)...)
+	}
+	for _, path := range pass.IgnoredFiles {
+		if !strings.HasSuffix(path, "_amd64.go") {
+			continue
+		}
+		f, err := parser.ParseFile(pass.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			continue // unparseable ignored file: not this analyzer's business
+		}
+		stubs = append(stubs, stubsInFile(f)...)
+	}
+	return stubs
+}
+
+func stubsInFile(f *ast.File) []funcSig {
+	var out []funcSig
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body != nil || fd.Recv != nil {
+			continue
+		}
+		if !hasNoescape(fd) {
+			continue
+		}
+		out = append(out, funcSig{name: fd.Name.Name, sig: sigString(fd), pos: fd.Pos()})
+	}
+	return out
+}
+
+func hasNoescape(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//go:noescape") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSiblings gathers function declarations with bodies from every
+// *_other.go file of the package, looking in both the selected and the
+// build-excluded file lists so the check works on any host platform.
+func collectSiblings(pass *analysis.Pass) (map[string]funcSig, error) {
+	out := make(map[string]funcSig)
+	add := func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			out[fd.Name.Name] = funcSig{name: fd.Name.Name, sig: sigString(fd), pos: fd.Pos()}
+		}
+	}
+	for i, f := range pass.Files {
+		if strings.HasSuffix(pass.GoFiles[i], "_other.go") {
+			add(f)
+		}
+	}
+	for _, path := range pass.IgnoredFiles {
+		if !strings.HasSuffix(path, "_other.go") {
+			continue
+		}
+		f, err := parser.ParseFile(pass.Fset, path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		add(f)
+	}
+	return out, nil
+}
+
+// sigString renders a function's parameter and result types with names
+// stripped, so `dst, a *float64` and `p, q *float64` compare equal.
+func sigString(fd *ast.FuncDecl) string {
+	var parts []string
+	expand := func(fl *ast.FieldList) []string {
+		if fl == nil {
+			return nil
+		}
+		var ts []string
+		for _, field := range fl.List {
+			t := typeString(field.Type)
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				ts = append(ts, t)
+			}
+		}
+		return ts
+	}
+	parts = append(parts, "("+strings.Join(expand(fd.Type.Params), ", ")+")")
+	if rs := expand(fd.Type.Results); len(rs) > 0 {
+		parts = append(parts, "("+strings.Join(rs, ", ")+")")
+	}
+	return "func" + strings.Join(parts, " ")
+}
+
+func typeString(e ast.Expr) string {
+	var b strings.Builder
+	fset := token.NewFileSet()
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}
+
+// referencedInTests reports whether any *_test.go file in the package
+// directory mentions the symbol name.
+func referencedInTests(pass *analysis.Pass, name string) (bool, error) {
+	if len(pass.GoFiles) == 0 && len(pass.IgnoredFiles) == 0 {
+		return false, nil
+	}
+	dir := ""
+	if len(pass.GoFiles) > 0 {
+		dir = filepath.Dir(pass.GoFiles[0])
+	} else {
+		dir = filepath.Dir(pass.IgnoredFiles[0])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	word := regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return false, err
+		}
+		if word.Match(data) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,128 @@
+// Package errpropagate forbids silently discarded errors in internal/
+// and cmd/. The batch inference paths stop on the first error through a
+// shared flag; that protocol only works if every error actually
+// propagates — an error dropped inside a worker goroutine (or behind a
+// bare `_ =`) leaves the batch running on garbage. The same rule applied
+// uniformly keeps file I/O honest: a Save that ignores Close reports
+// success for data the kernel never flushed.
+//
+// Print-style calls whose error contract is conventionally ignored
+// (fmt.Print*/Fprint*) and the never-failing in-memory writers
+// (strings.Builder, bytes.Buffer) are exempt. Anything else needs
+// handling or a //trlint:checked justification.
+package errpropagate
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errpropagate pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpropagate",
+	Doc:  "forbid discarded error returns (including via _ =) in internal/ and cmd/",
+	Run:  run,
+}
+
+// scope: all production code of this module (tests are not loaded), plus
+// this analyzer's fixtures. Other analyzers' fixtures stay out.
+var scope = regexp.MustCompile(`^repro(/internal/|/cmd/)|testdata/src/errpropagate/`)
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if strings.Contains(path, "testdata/src/") && !strings.Contains(path, "testdata/src/errpropagate/") {
+		return nil
+	}
+	if !scope.MatchString(path) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, v)
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				checkDropped(pass, call, "")
+			}
+		case *ast.DeferStmt:
+			checkDropped(pass, v.Call, "defer ")
+		case *ast.GoStmt:
+			checkDropped(pass, v.Call, "go ")
+		}
+		return true
+	})
+	return nil
+}
+
+// checkAssign flags blank identifiers absorbing an error-typed value.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	rhsTypes := make([]types.Type, len(as.Lhs))
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Multi-value call: component types come from the tuple.
+		if tuple, ok := pass.TypesInfo.Types[as.Rhs[0]].Type.(*types.Tuple); ok {
+			for i := 0; i < tuple.Len() && i < len(rhsTypes); i++ {
+				rhsTypes[i] = tuple.At(i).Type()
+			}
+		}
+	} else if len(as.Rhs) == len(as.Lhs) {
+		for i, r := range as.Rhs {
+			rhsTypes[i] = pass.TypesInfo.Types[r].Type
+		}
+	}
+	for i, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" || rhsTypes[i] == nil || !isError(rhsTypes[i]) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "error result discarded via _; propagate it (batch workers must reach the first-error stop) or annotate //trlint:checked")
+	}
+}
+
+// checkDropped flags statement-position calls whose error results vanish.
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr, prefix string) {
+	t := pass.TypesInfo.Types[call].Type
+	if t == nil || !returnsError(t) || exemptCallee(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall drops its error result; handle it or annotate //trlint:checked", prefix)
+}
+
+func returnsError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isError(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isError(t)
+}
+
+func isError(t types.Type) bool {
+	return t != nil && t.String() == "error" && types.IsInterface(t)
+}
+
+// exemptCallee recognizes the conventional always-ignored error sources.
+func exemptCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	full := fn.FullName()
+	if strings.HasPrefix(full, "fmt.Print") || strings.HasPrefix(full, "fmt.Fprint") {
+		return true
+	}
+	if strings.HasPrefix(full, "(*strings.Builder).") || strings.HasPrefix(full, "(*bytes.Buffer).") {
+		return true
+	}
+	return false
+}

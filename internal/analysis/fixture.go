@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRE matches the fixture expectation comment: // want "regexp" — the
+// same convention as x/tools' analysistest. Each fixture line carrying a
+// want comment must produce exactly the diagnostics whose messages match
+// the quoted regular expressions, and every diagnostic must be claimed by
+// a want.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// quotedRE extracts the double-quoted patterns from a want comment.
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunFixture loads the fixture package at dir (a go list pattern,
+// typically ./testdata/src/<analyzer>/<case>), runs the analyzer over it,
+// and matches the findings against the fixture's want comments. It is the
+// offline stand-in for analysistest.Run.
+func RunFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	findings, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[lineKey][]*want)
+	for _, pkg := range pkgs {
+		for _, path := range pkg.GoFiles {
+			for ln, text := range fixtureLines(t, path) {
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				qs := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(qs) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", path, ln+1, text)
+				}
+				for _, q := range qs {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", path, ln+1, q[1], err)
+					}
+					key := lineKey{path, ln + 1}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := lineKey{f.Pos.Filename, f.Pos.Line}
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	var missing []string
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q",
+					key.file, key.line, w.re.String()))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+// fixtureLines reads a fixture file and returns its lines (0-indexed).
+func fixtureLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture %s: %v", path, err)
+	}
+	return strings.Split(string(data), "\n")
+}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/asmparity"
+	"repro/internal/analysis/errpropagate"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/poolarena"
+	"repro/internal/analysis/quantnarrow"
+)
+
+// Each analyzer ships two fixture packages: <name>/a carries the
+// violations (every line annotated with an analysistest-style want
+// comment) and <name>/b the idioms the analyzer must accept, including
+// the //trlint:checked escape hatch. RunFixture fails on both unexpected
+// and missing diagnostics, so a/ proves sensitivity and b/ specificity.
+
+func TestQuantnarrowFixtures(t *testing.T) {
+	analysis.RunFixture(t, quantnarrow.Analyzer, "./testdata/src/quantnarrow/a")
+	analysis.RunFixture(t, quantnarrow.Analyzer, "./testdata/src/quantnarrow/b")
+}
+
+func TestPoolarenaFixtures(t *testing.T) {
+	analysis.RunFixture(t, poolarena.Analyzer, "./testdata/src/poolarena/a")
+	analysis.RunFixture(t, poolarena.Analyzer, "./testdata/src/poolarena/b")
+}
+
+func TestAsmparityFixtures(t *testing.T) {
+	analysis.RunFixture(t, asmparity.Analyzer, "./testdata/src/asmparity/a")
+	analysis.RunFixture(t, asmparity.Analyzer, "./testdata/src/asmparity/b")
+}
+
+func TestFloatcmpFixtures(t *testing.T) {
+	analysis.RunFixture(t, floatcmp.Analyzer, "./testdata/src/floatcmp/a")
+	analysis.RunFixture(t, floatcmp.Analyzer, "./testdata/src/floatcmp/b")
+}
+
+func TestErrpropagateFixtures(t *testing.T) {
+	analysis.RunFixture(t, errpropagate.Analyzer, "./testdata/src/errpropagate/a")
+	analysis.RunFixture(t, errpropagate.Analyzer, "./testdata/src/errpropagate/b")
+}

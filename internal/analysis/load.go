@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath   string
+	Dir          string
+	Fset         *token.FileSet
+	Files        []*ast.File
+	GoFiles      []string // absolute paths, parallel to Files
+	IgnoredFiles []string // build-excluded .go files (absolute paths)
+	OtherFiles   []string // non-Go files, e.g. *.s (absolute paths)
+	Types        *types.Package
+	TypesInfo    *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath     string
+	Dir            string
+	Export         string
+	Standard       bool
+	DepOnly        bool
+	GoFiles        []string
+	IgnoredGoFiles []string
+	SFiles         []string
+	Imports        []string
+	ImportMap      map[string]string
+	Error          *struct{ Err string }
+}
+
+// Load resolves the patterns with the go tool and type-checks every
+// matched (non-dependency) package from source. Dependencies — the
+// standard library and sibling packages of this module — are consumed as
+// compiler export data, which `go list -export` builds offline through
+// the ordinary build cache. This is the same division of labour as an
+// x/tools driver running in "export data" mode.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list failed: %v\n%s", err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := make(map[string]string) // import path -> export data file
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Error != nil && !strings.Contains(lp.ImportPath, "testdata/") {
+			// Fixture packages under testdata/ are allowed to be broken in
+			// interesting ways (e.g. an asm stub with no .s backing cannot
+			// link); they are still parsed and type-checked from source.
+			// Real packages must build, or dependents would fail later with
+			// an opaque missing-export-data error.
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range targets {
+		p, err := typeCheck(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses the package's build-selected files with comments and
+// runs the standard type checker over them, importing dependencies from
+// export data.
+func typeCheck(fset *token.FileSet, lp *listPackage, exports map[string]string) (*Package, error) {
+	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+	for _, f := range lp.GoFiles {
+		path := abs(lp.Dir, f)
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", path, err)
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	for _, f := range lp.IgnoredGoFiles {
+		pkg.IgnoredFiles = append(pkg.IgnoredFiles, abs(lp.Dir, f))
+	}
+	for _, f := range lp.SFiles {
+		pkg.OtherFiles = append(pkg.OtherFiles, abs(lp.Dir, f))
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect the first hard error below instead
+	}
+	pkg.TypesInfo = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tp, err := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.TypesInfo)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tp
+	return pkg, nil
+}
+
+func abs(dir, name string) string {
+	if strings.HasPrefix(name, "/") {
+		return name
+	}
+	return dir + string(os.PathSeparator) + name
+}

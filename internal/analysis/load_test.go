@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestLoadTypeChecksModulePackages exercises the whole loader pipeline
+// offline: go list -export resolves and builds export data for the
+// dependencies, and the type checker consumes it while checking the
+// target from source.
+func TestLoadTypeChecksModulePackages(t *testing.T) {
+	pkgs, err := Load("repro/internal/kernels", "repro/internal/term")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	k := byPath["repro/internal/kernels"]
+	if k == nil {
+		t.Fatal("kernels package not loaded")
+	}
+	if k.Types == nil || k.Types.Scope().Lookup("Gemm") == nil {
+		t.Fatal("kernels not type-checked: Gemm not in scope")
+	}
+	// Types must be recorded for expressions (analyzers depend on it).
+	typed := 0
+	for _, f := range k.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if _, ok := k.TypesInfo.Types[e]; ok {
+					typed++
+				}
+			}
+			return true
+		})
+	}
+	if typed == 0 {
+		t.Fatal("no expression types recorded")
+	}
+	// On any platform exactly one of fma_amd64.go / fma_other.go is
+	// build-selected and the other must surface via IgnoredFiles.
+	sel := strings.Join(k.GoFiles, " ")
+	ign := strings.Join(k.IgnoredFiles, " ")
+	if !strings.Contains(sel+ign, "fma_amd64.go") || !strings.Contains(sel+ign, "fma_other.go") {
+		t.Fatalf("fma siblings not surfaced: selected %q ignored %q", sel, ign)
+	}
+}
+
+// TestLoadExplicitTestdataPath checks that fixture packages under
+// testdata/src (invisible to ./... wildcards) load when named explicitly
+// — the property RunFixture depends on.
+func TestLoadExplicitTestdataPath(t *testing.T) {
+	pkgs, err := Load("./testdata/src/smoke/a")
+	if err != nil {
+		t.Fatalf("Load testdata: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].Types.Scope().Lookup("F") == nil {
+		t.Fatal("fixture not type-checked: F not in scope")
+	}
+}

@@ -1,0 +1,335 @@
+// Package poolarena enforces the scratch-arena ownership discipline that
+// backs the runtime's zero-allocation guarantee. An object taken from a
+// sync.Pool (directly via Get, or through a same-package helper whose doc
+// comment carries the //trlint:arena-acquire directive) must be handed
+// back on every return path — either a Put on the same pool before the
+// return, a deferred Put, or an explicit ownership transfer by returning
+// the object from a function that is itself an annotated acquirer.
+// Dropping the object on an error path is sometimes the right call (a
+// poisoned arena must not be repaired); those sites carry a
+// //trlint:checked justification. Pooled objects must never leak into a
+// goroutine launched by the holder: the pool may recycle the object the
+// moment the function returns.
+//
+// The activation free list inside a scratch (s.get/s.put) is out of this
+// analyzer's reach by design: its buffers travel between exec steps with
+// an ownership protocol that is inter-procedural (inputs are released by
+// the callee, outputs by the caller), which a per-function pairing check
+// cannot express. DESIGN.md §8 records that boundary.
+package poolarena
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolarena pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolarena",
+	Doc:  "pair every sync.Pool Get / arena acquisition with a Put on all return paths; forbid escapes via goroutines",
+	Run:  run,
+}
+
+// AcquireDirective marks a helper function whose calls hand ownership of
+// a pooled object to the caller.
+const AcquireDirective = "//trlint:arena-acquire"
+
+func run(pass *analysis.Pass) error {
+	acquirers := annotatedAcquirers(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, acquirers)
+		}
+	}
+	return nil
+}
+
+// annotatedAcquirers collects the *types.Func objects of this package's
+// functions marked //trlint:arena-acquire.
+func annotatedAcquirers(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), AcquireDirective) {
+					if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// acquisition is one pooled-object takeout inside a function.
+type acquisition struct {
+	pos  token.Pos
+	obj  types.Object // variable holding the pooled object (nil if unassigned)
+	expr string       // printable source of the acquiring call, for messages
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[types.Object]bool) {
+	checkBody(pass, fd.Name.Name, fd.Body, acquirers[pass.TypesInfo.Defs[fd.Name]], acquirers)
+}
+
+// checkBody analyzes one function scope. Nested function literals are
+// separate scopes: their statements must not count as the enclosing
+// function's releases or returns, so they are pruned here and recursed
+// into afterwards.
+func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquirer bool, acquirers map[types.Object]bool) {
+	var acqs []acquisition
+	var puts []struct {
+		pos      token.Pos
+		deferred bool
+		args     map[types.Object]bool
+	}
+	var rets []*ast.ReturnStmt
+	var lits []*ast.FuncLit
+
+	// First pass: collect acquisitions (with the variable they land in),
+	// Put calls, and return statements. Function literals are pruned and
+	// queued for their own scope check.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, v)
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				call := acquiringCall(pass, rhs, acquirers)
+				if call == nil {
+					continue
+				}
+				var obj types.Object
+				// With a single multi-value RHS the positions still line
+				// up one-to-one for the single-value calls we track.
+				if i < len(v.Lhs) {
+					if id, ok := v.Lhs[i].(*ast.Ident); ok {
+						obj = pass.TypesInfo.Defs[id]
+						if obj == nil {
+							obj = pass.TypesInfo.Uses[id]
+						}
+					}
+				}
+				acqs = append(acqs, acquisition{pos: call.Pos(), obj: obj, expr: exprString(call.Fun)})
+			}
+		case *ast.DeferStmt:
+			if p := putCall(pass, v.Call); p != nil {
+				puts = append(puts, struct {
+					pos      token.Pos
+					deferred bool
+					args     map[types.Object]bool
+				}{v.Pos(), true, p})
+			}
+			return false // a deferred non-Put call is not a release
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				if p := putCall(pass, call); p != nil {
+					puts = append(puts, struct {
+						pos      token.Pos
+						deferred bool
+						args     map[types.Object]bool
+					}{call.Pos(), false, p})
+				}
+			}
+		case *ast.ReturnStmt:
+			rets = append(rets, v)
+		}
+		return true
+	})
+
+	for _, lit := range lits {
+		checkBody(pass, name+" func literal", lit.Body, false, acquirers)
+	}
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Goroutine captures: the pool may recycle the object once this
+	// function returns, so a goroutine holding it is a use-after-put bug.
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for _, a := range acqs {
+			if a.obj == nil {
+				continue
+			}
+			if pos, used := usesObject(pass, lit.Body, a.obj); used {
+				pass.Reportf(pos, "pooled object %s (from %s) captured by goroutine; the pool may recycle it after %s returns",
+					a.obj.Name(), a.expr, name)
+			}
+		}
+		return true
+	})
+
+	for _, a := range acqs {
+		deferredPut := false
+		for _, p := range puts {
+			if p.deferred && (a.obj == nil || p.args[a.obj]) {
+				deferredPut = true
+			}
+		}
+		if deferredPut {
+			continue
+		}
+		if len(rets) == 0 {
+			if len(puts) == 0 {
+				pass.Reportf(a.pos, "%s acquires a pooled object but %s never calls Put",
+					a.expr, name)
+			}
+			continue
+		}
+		for _, ret := range rets {
+			if ret.Pos() < a.pos {
+				continue
+			}
+			if returnsObject(pass, ret, a.obj) {
+				if !selfAcquirer {
+					pass.Reportf(ret.Pos(), "pooled object from %s escapes via return; only //trlint:arena-acquire helpers may transfer ownership",
+						a.expr)
+				}
+				continue
+			}
+			released := false
+			for _, p := range puts {
+				if !p.deferred && p.pos > a.pos && p.pos < ret.Pos() &&
+					(a.obj == nil || p.args[a.obj]) {
+					released = true
+					break
+				}
+			}
+			if !released {
+				pass.Reportf(ret.Pos(), "return path drops pooled object from %s without Put (acquired at line %d)",
+					a.expr, pass.Fset.Position(a.pos).Line)
+			}
+		}
+	}
+}
+
+// acquiringCall unwraps rhs and returns the call expression if it is a
+// pooled-object acquisition: x.Get() on a sync.Pool (possibly through a
+// type assertion) or a call to an annotated acquirer.
+func acquiringCall(pass *analysis.Pass, rhs ast.Expr, acquirers map[types.Object]bool) *ast.CallExpr {
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ta.X
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Get" && isSyncPool(pass.TypesInfo.Types[sel.X].Type) {
+			return call
+		}
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && acquirers[obj] {
+			return call
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && acquirers[obj] {
+			return call
+		}
+	}
+	return nil
+}
+
+// putCall reports whether call is a Put on a sync.Pool; if so it returns
+// the set of variable objects passed as arguments.
+func putCall(pass *analysis.Pass, call *ast.CallExpr) map[types.Object]bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || !isSyncPool(pass.TypesInfo.Types[sel.X].Type) {
+		return nil
+	}
+	args := make(map[types.Object]bool)
+	for _, a := range call.Args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					args[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return args
+}
+
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// usesObject reports whether the subtree references obj, returning the
+// first use position.
+func usesObject(pass *analysis.Pass, node ast.Node, obj types.Object) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			pos, found = id.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// returnsObject reports whether the return statement's results reference
+// the pooled variable (ownership transfer to the caller).
+func returnsObject(pass *analysis.Pass, ret *ast.ReturnStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	for _, r := range ret.Results {
+		if _, used := usesObject(pass, r, obj); used {
+			return true
+		}
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun)
+	case *ast.IndexExpr:
+		return exprString(v.X)
+	}
+	return "?"
+}

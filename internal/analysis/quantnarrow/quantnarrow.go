@@ -1,0 +1,212 @@
+// Package quantnarrow flags implicit-overflow narrowing conversions in
+// the quantized data path. The inference runtime's correctness argument
+// is that every int8-range code and every int32 accumulator provably
+// fits its storage (kernels.AccumFits / kernels.ExactF64); a bare
+// int8(x) or int32(x) on a wider value silently truncates the moment
+// that argument breaks, which is exactly the class of bit-level hazard
+// the paper's encodings manage explicitly. A conversion is accepted only
+// when the operand is statically bounded: a representable constant, a
+// mask (x & c) that fits the destination, or a clamp/saturate call.
+// Anything else needs a //trlint:checked justification.
+package quantnarrow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the quantnarrow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "quantnarrow",
+	Doc:  "flag implicit narrowing conversions on quantized values unless clamped, masked, or //trlint:checked",
+	Run:  run,
+}
+
+// scope restricts the analyzer to the packages whose arithmetic carries
+// the paper's quantization invariants (plus this analyzer's fixtures).
+var scope = regexp.MustCompile(`internal/(kernels|intinfer|core|term)$|testdata/src/quantnarrow/`)
+
+// clampRE matches callee names that bound their result by construction.
+var clampRE = regexp.MustCompile(`(?i)clamp|saturat|^sat[0-9]|^code8$`)
+
+func run(pass *analysis.Pass) error {
+	if !scope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		dst, ok := basicKind(tv.Type)
+		if !ok {
+			return true
+		}
+		arg := call.Args[0]
+		atv := pass.TypesInfo.Types[arg]
+		src, ok := basicKind(atv.Type)
+		if !ok {
+			return true
+		}
+		hazard, detail := narrows(dst, src)
+		if !hazard {
+			return true
+		}
+		if atv.Value != nil && representable(atv.Value, dst) {
+			return true // constant, provably in range
+		}
+		if boundedExpr(pass, arg, dst) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "implicit %s conversion %s -> %s may truncate; clamp or mask the operand first, or annotate //trlint:checked",
+			detail, basicName(src), basicName(dst))
+		return true
+	})
+	return nil
+}
+
+// kindInfo captures the width and family of a basic numeric type.
+type kindInfo struct {
+	kind   types.BasicKind
+	bits   int
+	signed bool
+	float  bool
+}
+
+func basicKind(t types.Type) (kindInfo, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return kindInfo{}, false
+	}
+	switch b.Kind() {
+	case types.Int, types.UntypedInt:
+		return kindInfo{b.Kind(), 64, true, false}, true
+	case types.Int8:
+		return kindInfo{b.Kind(), 8, true, false}, true
+	case types.Int16:
+		return kindInfo{b.Kind(), 16, true, false}, true
+	case types.Int32, types.UntypedRune:
+		return kindInfo{b.Kind(), 32, true, false}, true
+	case types.Int64:
+		return kindInfo{b.Kind(), 64, true, false}, true
+	case types.Uint:
+		return kindInfo{b.Kind(), 64, false, false}, true
+	case types.Uint8:
+		return kindInfo{b.Kind(), 8, false, false}, true
+	case types.Uint16:
+		return kindInfo{b.Kind(), 16, false, false}, true
+	case types.Uint32:
+		return kindInfo{b.Kind(), 32, false, false}, true
+	case types.Uint64:
+		return kindInfo{b.Kind(), 64, false, false}, true
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return kindInfo{b.Kind(), 64, true, true}, true
+	}
+	return kindInfo{}, false
+}
+
+func basicName(k kindInfo) string {
+	switch {
+	case k.float:
+		return "float"
+	case k.signed:
+		return intName("int", k.bits)
+	default:
+		return intName("uint", k.bits)
+	}
+}
+
+func intName(prefix string, bits int) string {
+	switch bits {
+	case 8:
+		return prefix + "8"
+	case 16:
+		return prefix + "16"
+	case 32:
+		return prefix + "32"
+	default:
+		return prefix + "64"
+	}
+}
+
+// narrows reports whether converting src to dst can silently lose
+// integer range: a float truncated to an integer, or a wider integer cut
+// down to fewer bits. Pure sign reinterpretation at equal width and all
+// widenings are out of scope (they are value-preserving for the
+// magnitudes this code handles, and flagging them would bury the real
+// hazards in noise).
+func narrows(dst, src kindInfo) (bool, string) {
+	if dst.float {
+		return false, ""
+	}
+	if src.float {
+		return true, "float-to-integer"
+	}
+	if dst.bits < src.bits {
+		return true, "narrowing"
+	}
+	return false, ""
+}
+
+// representable reports whether constant v fits dst exactly.
+func representable(v constant.Value, dst kindInfo) bool {
+	iv := constant.ToInt(v)
+	if iv.Kind() != constant.Int {
+		return false
+	}
+	if dst.signed {
+		lo := constant.MakeInt64(-1 << (dst.bits - 1))
+		hi := constant.MakeInt64(1<<(dst.bits-1) - 1)
+		return constant.Compare(iv, token.GEQ, lo) && constant.Compare(iv, token.LEQ, hi)
+	}
+	lo := constant.MakeInt64(0)
+	hi := constant.MakeUint64(^uint64(0))
+	if dst.bits < 64 {
+		hi = constant.MakeUint64(uint64(1)<<uint(dst.bits) - 1)
+	}
+	return constant.Compare(iv, token.GEQ, lo) && constant.Compare(iv, token.LEQ, hi)
+}
+
+// boundedExpr reports whether the conversion operand is bounded by
+// construction: a mask with a constant that fits dst, or a call to a
+// clamp/saturate helper.
+func boundedExpr(pass *analysis.Pass, e ast.Expr, dst kindInfo) bool {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return boundedExpr(pass, v.X, dst)
+	case *ast.BinaryExpr:
+		if v.Op != token.AND {
+			return false
+		}
+		for _, side := range []ast.Expr{v.X, v.Y} {
+			if tv := pass.TypesInfo.Types[side]; tv.Value != nil && representable(tv.Value, dst) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return clampRE.MatchString(calleeName(v))
+	}
+	return false
+}
+
+// calleeName returns the last identifier of the call's function
+// expression ("clamp8" in p.clamp8(x), "Clamp" in quant.Clamp(x)).
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

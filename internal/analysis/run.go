@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// CheckedDirective is the audited escape hatch: a diagnostic whose source
+// line, or the line immediately above it, carries a comment containing
+// this directive is suppressed. The directive should always be followed
+// by a short justification, e.g.
+//
+//	return int32(v) //trlint:checked clamped to [lo, hi] above
+const CheckedDirective = "//trlint:checked"
+
+// Run applies every analyzer to every package and returns the surviving
+// findings, sorted by position. Suppressed findings (CheckedDirective)
+// are dropped centrally so analyzers stay oblivious to the convention. A
+// non-nil error reports an analyzer crash, not a finding.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		checked := checkedLines(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:     a,
+				Fset:         pkg.Fset,
+				Files:        pkg.Files,
+				Pkg:          pkg.Types,
+				TypesInfo:    pkg.TypesInfo,
+				GoFiles:      pkg.GoFiles,
+				IgnoredFiles: pkg.IgnoredFiles,
+				OtherFiles:   pkg.OtherFiles,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if checked[lineKey{pos.Filename, pos.Line}] {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return findings, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// checkedLines collects every line a CheckedDirective comment blesses:
+// the comment's own line and the line below it (so the directive can sit
+// on its own line above a long statement).
+func checkedLines(pkg *Package) map[lineKey]bool {
+	lines := make(map[lineKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, strings.TrimPrefix(CheckedDirective, "//")) {
+					continue
+				}
+				if !strings.HasPrefix(strings.TrimSpace(c.Text), CheckedDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines[lineKey{pos.Filename, pos.Line}] = true
+				lines[lineKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return lines
+}
+
+// Inspect walks every file in the pass in depth-first order, calling fn
+// for each node; fn returning false prunes the subtree. It is the
+// minimal stand-in for x/tools' inspect pass.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

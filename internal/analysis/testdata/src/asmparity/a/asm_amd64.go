@@ -1,0 +1,14 @@
+// Fixture: asm stubs asmparity must flag. The package deliberately has
+// no .s backing — the loader type-checks fixtures from source, so the
+// missing bodies never reach a linker.
+package a
+
+// dotAsm has no portable sibling anywhere in the package.
+//
+//go:noescape
+func dotAsm(a, b *float64, n int) float64 // want "no portable sibling" "no differential test"
+
+// scaleAsm has a sibling whose signature drifted (int vs int64).
+//
+//go:noescape
+func scaleAsm(dst *float64, n int) // want "differs from portable sibling" "no differential test"

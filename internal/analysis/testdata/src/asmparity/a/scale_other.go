@@ -1,0 +1,5 @@
+//go:build !amd64
+
+package a
+
+func scaleAsm(dst *float64, n int64) {}

@@ -1,0 +1,7 @@
+// Fixture: the complete asm-parity triple asmparity must accept — a
+// stub, a signature-identical portable sibling, and a differential test
+// referencing the symbol.
+package b
+
+//go:noescape
+func sumAsm(p *float64, n int) float64

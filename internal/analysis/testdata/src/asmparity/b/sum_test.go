@@ -1,0 +1,9 @@
+package b
+
+import "testing"
+
+// TestSumDifferential is the differential test asmparity looks for: it
+// references sumAsm by name from a *_test.go file in the package.
+func TestSumDifferential(t *testing.T) {
+	t.Skip("fixture: a real suite would compare sumAsm against the portable sibling")
+}

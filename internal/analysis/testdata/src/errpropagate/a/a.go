@@ -1,0 +1,17 @@
+// Fixture: discarded errors errpropagate must flag.
+package a
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, errors.New("boom") }
+
+func bad() {
+	work()          // want "call drops its error result"
+	_ = work()      // want "error result discarded via _"
+	defer work()    // want "defer call drops its error result"
+	go work()       // want "go call drops its error result"
+	n, _ := multi() // want "error result discarded via _"
+	_ = n
+}

@@ -1,0 +1,23 @@
+// Fixture: error flows errpropagate must accept — propagation, the
+// conventionally-ignored print and in-memory-writer families, and the
+// //trlint:checked escape hatch.
+package b
+
+import (
+	"fmt"
+	"strings"
+)
+
+func work() error { return nil }
+
+func good() error {
+	if err := work(); err != nil {
+		return err
+	}
+	fmt.Println("print-family errors are conventionally ignored")
+	var sb strings.Builder
+	sb.WriteString("in-memory writers never fail")
+	//trlint:checked fixture: the suppression directive is honoured
+	work()
+	return nil
+}

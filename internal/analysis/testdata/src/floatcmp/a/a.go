@@ -1,0 +1,9 @@
+// Fixture: float comparisons floatcmp must flag.
+package a
+
+func bad(x, y float64, s []float32) bool {
+	if x == y { // want "== on floating-point operands is bit-inexact"
+		return true
+	}
+	return s[0] != float32(y) // want "!= on floating-point operands is bit-inexact"
+}

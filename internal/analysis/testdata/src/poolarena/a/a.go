@@ -1,0 +1,38 @@
+// Fixture: arena-lifetime violations poolarena must flag.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+func use(b *[]byte) {}
+
+func leakOnErrorPath(fail bool) error {
+	b := pool.Get().(*[]byte)
+	if fail {
+		return errors.New("boom") // want "return path drops pooled object"
+	}
+	pool.Put(b)
+	return nil
+}
+
+func escapes() *[]byte {
+	b := pool.Get().(*[]byte)
+	return b // want "escapes via return"
+}
+
+func capturedByGoroutine() {
+	b := pool.Get().(*[]byte)
+	go func() {
+		use(b) // want "captured by goroutine"
+	}()
+	pool.Put(b)
+}
+
+func neverReleases() {
+	b := pool.Get().(*[]byte) // want "never calls Put"
+	use(b)
+}

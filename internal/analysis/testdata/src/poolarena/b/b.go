@@ -1,0 +1,37 @@
+// Fixture: arena usage poolarena must accept — paired Put on every
+// path, a deferred Put, ownership transfer through an annotated
+// acquirer, and a justified drop on a poisoned-arena error path.
+package b
+
+import (
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+func use(b *[]byte) error { return nil }
+
+// acquire hands the pooled object to its caller by contract.
+//
+//trlint:arena-acquire
+func acquire() *[]byte {
+	b := pool.Get().(*[]byte)
+	return b // ownership transfer: legal from an annotated acquirer
+}
+
+func pairedOnAllPaths(fail bool) error {
+	b := acquire()
+	if fail {
+		//trlint:checked fixture: deliberate drop, a poisoned arena is not repaired
+		return errors.New("boom")
+	}
+	pool.Put(b)
+	return nil
+}
+
+func releasedByDefer() error {
+	b := pool.Get().(*[]byte)
+	defer pool.Put(b)
+	return use(b)
+}

@@ -1,0 +1,11 @@
+// Fixture: conversions quantnarrow must flag.
+package a
+
+func sink(vs ...interface{}) {}
+
+func hazards(acc int32, f float64, u uint16, wide int64) {
+	sink(int8(acc))   // want "implicit narrowing conversion int32 -> int8 may truncate"
+	sink(int32(f))    // want "implicit float-to-integer conversion float -> int32 may truncate"
+	sink(uint8(u))    // want "implicit narrowing conversion uint16 -> uint8 may truncate"
+	sink(int16(wide)) // want "implicit narrowing conversion int64 -> int16 may truncate"
+}

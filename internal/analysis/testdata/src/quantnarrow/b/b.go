@@ -1,0 +1,25 @@
+// Fixture: conversions quantnarrow must accept — bounded by a clamp
+// call, a mask, a representable constant, a widening, or an explicit
+// //trlint:checked justification.
+package b
+
+func sink(vs ...interface{}) {}
+
+func clamp8(v int32) int32 {
+	if v > 127 {
+		return 127
+	}
+	if v < -127 {
+		return -127
+	}
+	return v
+}
+
+func bounded(acc int32, bits uint32) {
+	sink(int8(clamp8(acc)))  // clamp-named callee bounds its result
+	sink(uint8(bits & 0xff)) // mask provably fits the destination
+	sink(int8(127))          // representable constant
+	sink(int64(acc))         // widening is value-preserving
+	x := int8(acc)           //trlint:checked fixture: the suppression directive is honoured
+	sink(x)
+}

@@ -1,0 +1,8 @@
+// Package a is a loader smoke-test fixture.
+package a
+
+import "math"
+
+// F exists so the loader test can look it up, and imports a stdlib
+// package so export-data importing is exercised.
+func F(x float64) float64 { return math.Abs(x) }

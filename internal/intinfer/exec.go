@@ -1,6 +1,7 @@
 package intinfer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -35,7 +36,8 @@ type scratch struct {
 	xf, yf  []float64 // ping-pong float64 code buffers (GemvF64 path)
 	logits  []float32
 	wg      sync.WaitGroup
-	workers int // intra-image worker budget for this inference
+	workers int          // intra-image worker budget for this inference
+	stop    *atomic.Bool // cooperative cancellation flag; nil when unused
 }
 
 func (p *Plan) newScratch() *scratch {
@@ -68,12 +70,28 @@ func (s *scratch) put(b []int32) {
 }
 
 // scratch fetches a recycled arena from the pool and arms it with the
-// intra-image worker budget for this call.
-func (p *Plan) scratch(workers int) *scratch {
+// intra-image worker budget and the (possibly nil) cancellation flag for
+// this call. Both fields are overwritten on every acquisition, so a flag
+// left set by a cancelled inference cannot leak into the next one.
+//
+//trlint:arena-acquire
+func (p *Plan) scratch(workers int, stop *atomic.Bool) *scratch {
 	s := p.arena.Get().(*scratch)
 	s.workers = workers
+	s.stop = stop
 	return s
 }
+
+// errStopped reports that the shared cancellation flag was observed
+// mid-inference. Batch drivers translate it into a silent early exit —
+// it never surfaces to callers of the public API.
+var errStopped = errors.New("intinfer: inference stopped")
+
+// stopped polls the cooperative cancellation flag. It is checked between
+// plan steps and between GEMM/GEMV row partitions, so a batch failure
+// interrupts even a single large in-flight layer instead of waiting for
+// the whole image to finish.
+func (s *scratch) stopped() bool { return s.stop != nil && s.stop.Load() }
 
 // run quantizes the image and executes the step chain, returning the
 // final activation (owned by the scratch arena).
@@ -98,9 +116,12 @@ func (p *Plan) run(img []float32, s *scratch) (activation, error) {
 		} else if c < -127 {
 			c = -127
 		}
-		dst[i] = int32(c)
+		dst[i] = int32(c) //trlint:checked clamped to the code window above
 	}
 	for i := range p.steps {
+		if s.stopped() {
+			return activation{}, errStopped
+		}
 		var err error
 		act, err = p.exec(p.steps[i], act, s)
 		if err != nil {
@@ -129,6 +150,9 @@ func (p *Plan) runExpress(img []float32, s *scratch) (activation, error) {
 		x[i] = c
 	}
 	for i := range p.steps {
+		if s.stopped() {
+			return activation{}, errStopped
+		}
 		st := &p.steps[i]
 		if st.kind != kindLinear {
 			continue // flatten: shape-only
@@ -144,6 +168,7 @@ func (p *Plan) runExpress(img []float32, s *scratch) (activation, error) {
 	}
 	out := activation{data: s.get(len(x)), flat: true}
 	for i, v := range x {
+		//trlint:checked GemvF64 clamps every code to the step's [lo, hi]
 		out.data[i] = int32(v)
 	}
 	return out, nil
@@ -152,9 +177,10 @@ func (p *Plan) runExpress(img []float32, s *scratch) (activation, error) {
 // Infer runs one image through the plan and returns the logits in float
 // form (codes times the output scale) plus the predicted class.
 func (p *Plan) Infer(img []float32) ([]float32, int, error) {
-	s := p.scratch(p.intraWorkers)
+	s := p.scratch(p.intraWorkers, nil)
 	act, err := p.run(img, s)
 	if err != nil {
+		//trlint:checked scratch deliberately dropped: exec errors may strand arena buffers
 		return nil, 0, err
 	}
 	logits := make([]float32, len(act.data))
@@ -175,13 +201,14 @@ func (p *Plan) Infer(img []float32) ([]float32, int, error) {
 // is the form the batch paths use. The output scale is positive, so the
 // argmax over codes equals the argmax over logits.
 func (p *Plan) Classify(img []float32) (int, error) {
-	return p.classify(img, p.intraWorkers)
+	return p.classify(img, p.intraWorkers, nil)
 }
 
-func (p *Plan) classify(img []float32, workers int) (int, error) {
-	s := p.scratch(workers)
+func (p *Plan) classify(img []float32, workers int, stop *atomic.Bool) (int, error) {
+	s := p.scratch(workers, stop)
 	act, err := p.run(img, s)
 	if err != nil {
+		//trlint:checked scratch deliberately dropped: exec errors may strand arena buffers
 		return 0, err
 	}
 	best := 0
@@ -199,11 +226,12 @@ func (p *Plan) classify(img []float32, workers int) (int, error) {
 // scratch arena for the whole batch.
 func (p *Plan) InferBatch(images [][]float32) ([]int, error) {
 	preds := make([]int, len(images))
-	s := p.scratch(p.intraWorkers)
+	s := p.scratch(p.intraWorkers, nil)
 	for i, img := range images {
 		act, err := p.run(img, s)
 		if err != nil {
-			return nil, err // scratch dropped: exec errors may strand buffers
+			//trlint:checked scratch deliberately dropped: exec errors may strand arena buffers
+			return nil, fmt.Errorf("intinfer: image %d: %w", i, err)
 		}
 		best := 0
 		for j, c := range act.data {
@@ -247,6 +275,33 @@ func clamp8(v int32) int32 {
 		return -127
 	}
 	return v
+}
+
+// code8 clamps an integral float64 to the int8 code window and converts.
+// Clamping happens in the float domain, so a value beyond int32 range
+// (e.g. an extreme shortcut rescale) saturates instead of hitting Go's
+// implementation-defined float-to-int overflow.
+func code8(v float64) int32 {
+	if v > 127 {
+		return 127
+	}
+	if v < -127 {
+		return -127
+	}
+	return int32(v) //trlint:checked clamped to the code window above
+}
+
+// sat32 converts an integral float64 to int32, saturating at the type
+// bounds: used for bias codes that live at the accumulator scale, where
+// a silent wrap would corrupt every dot product that folds them in.
+func sat32(v float64) int32 {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(v) //trlint:checked clamped to int32 bounds above
 }
 
 func (p *Plan) exec(st step, in activation, s *scratch) (activation, error) {
@@ -309,7 +364,7 @@ func (p *Plan) execResidual(st step, in activation, s *scratch) (activation, err
 		ratio := float64(st.shortcutScale) / float64(st.targetScale)
 		skip = activation{data: s.get(len(in.data)), c: in.c, h: in.h, w: in.w}
 		for i, v := range in.data {
-			skip.data[i] = clamp8(int32(math.RoundToEven(float64(v) * ratio)))
+			skip.data[i] = code8(math.RoundToEven(float64(v) * ratio))
 		}
 	}
 	if len(body.data) != len(skip.data) {
@@ -337,7 +392,8 @@ func execGAP(in activation, s *scratch) (activation, error) {
 		for i := 0; i < spatial; i++ {
 			sum += int64(in.data[c*spatial+i])
 		}
-		out.data[c] = int32(math.RoundToEven(float64(sum) / float64(spatial)))
+		// The mean of int8-range codes stays in the code window.
+		out.data[c] = code8(math.RoundToEven(float64(sum) / float64(spatial)))
 	}
 	s.put(in.data)
 	return out, nil
@@ -356,7 +412,7 @@ func requant(acc int64, m float64, lo, hi int32) int32 {
 	if v < float64(lo) {
 		return lo
 	}
-	return int32(v)
+	return int32(v) //trlint:checked clamped to [lo, hi] by the branches above
 }
 
 // intraMinWork is the multiply-accumulate count above which a single
@@ -390,14 +446,21 @@ func (p *Plan) gemm(s *scratch, dst, a, b, bias []int32, m, n, k int) {
 			bc = bias[r0:r1]
 		}
 		s.wg.Add(1)
-		go gemmChunk(&s.wg, dst[r0*n:r1*n], a[r0*k:r1*k], b, bc, r1-r0, n, k)
+		go gemmChunk(&s.wg, s.stop, dst[r0*n:r1*n], a[r0*k:r1*k], b, bc, r1-r0, n, k)
 	}
 	s.wg.Wait()
 }
 
-func gemmChunk(wg *sync.WaitGroup, dst, a, b, bias []int32, m, n, k int) {
+// Chunk workers poll the cancellation flag before touching the kernel:
+// once it is set their output rows are never read (run aborts at the
+// next step boundary), so skipping the compute is safe and lets a batch
+// failure cut short even a large in-flight layer.
+func gemmChunk(wg *sync.WaitGroup, stop *atomic.Bool, dst, a, b, bias []int32, m, n, k int) {
+	defer wg.Done()
+	if stop != nil && stop.Load() {
+		return
+	}
 	kernels.Gemm(dst, a, b, bias, m, n, k)
-	wg.Done()
 }
 
 // gemv is the n=1 analogue for linear layers.
@@ -417,14 +480,17 @@ func (p *Plan) gemv(s *scratch, dst, a, x, bias []int32, m, k int) {
 			r1 = m
 		}
 		s.wg.Add(1)
-		go gemvChunk(&s.wg, dst, a, x, bias, r0, r1, k)
+		go gemvChunk(&s.wg, s.stop, dst, a, x, bias, r0, r1, k)
 	}
 	s.wg.Wait()
 }
 
-func gemvChunk(wg *sync.WaitGroup, dst, a, x, bias []int32, r0, r1, k int) {
+func gemvChunk(wg *sync.WaitGroup, stop *atomic.Bool, dst, a, x, bias []int32, r0, r1, k int) {
+	defer wg.Done()
+	if stop != nil && stop.Load() {
+		return
+	}
 	kernels.GemvRows(dst, a, x, bias, r0, r1, k)
-	wg.Done()
 }
 
 // gemvF64 mirrors gemv for the float64-carried linear fast path; workers
@@ -446,15 +512,18 @@ func (p *Plan) gemvF64(s *scratch, dst, a, x, bias []float64,
 			r1 = m
 		}
 		s.wg.Add(1)
-		go gemvF64Chunk(&s.wg, dst, a, x, bias, r0, r1, k, mult, lo, hi)
+		go gemvF64Chunk(&s.wg, s.stop, dst, a, x, bias, r0, r1, k, mult, lo, hi)
 	}
 	s.wg.Wait()
 }
 
-func gemvF64Chunk(wg *sync.WaitGroup, dst, a, x, bias []float64,
+func gemvF64Chunk(wg *sync.WaitGroup, stop *atomic.Bool, dst, a, x, bias []float64,
 	r0, r1, k int, mult, lo, hi float64) {
+	defer wg.Done()
+	if stop != nil && stop.Load() {
+		return
+	}
 	kernels.GemvF64(dst, a, x, bias, r0, r1, k, mult, lo, hi)
-	wg.Done()
 }
 
 // execConv lowers the convolution to im2col + per-group GEMM when the
@@ -555,6 +624,7 @@ func (p *Plan) execLinear(st step, in activation, s *scratch) (activation, error
 		p.gemvF64(s, yf, st.wf64, xf, st.bf64, st.rows, st.cols,
 			st.mult, float64(st.lo), float64(st.hi))
 		for i, v := range yf {
+			//trlint:checked GemvF64 clamps every code to the step's [lo, hi]
 			out.data[i] = int32(v)
 		}
 	case st.gemmOK:
@@ -610,8 +680,12 @@ func execMaxPool(st step, in activation, s *scratch) (activation, error) {
 // InferBatchParallel classifies a batch with a worker pool; a Plan is
 // immutable after Build, so concurrent inference is safe. workers < 1
 // selects GOMAXPROCS. The first error stops all workers: each checks a
-// shared atomic flag before starting an image, so a failure early in the
-// batch does not let the remaining workers grind through the rest.
+// shared atomic flag before starting an image, and the flag is threaded
+// into every in-flight inference, where it is re-checked between plan
+// steps and between GEMM/GEMV row partitions — so a failure early in
+// the batch interrupts even a large half-finished layer instead of
+// letting the remaining workers grind through the rest. The returned
+// error wraps the index of the image that failed.
 // The intra-image worker budget is divided by the batch workers so the
 // two levels of parallelism compose instead of oversubscribing.
 func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error) {
@@ -640,9 +714,12 @@ func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error
 				if stop.Load() {
 					return
 				}
-				cls, err := p.classify(images[i], intra)
+				cls, err := p.classify(images[i], intra, &stop)
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
+					if errors.Is(err, errStopped) {
+						return // another worker already failed and set the flag
+					}
+					errOnce.Do(func() { firstErr = fmt.Errorf("intinfer: image %d: %w", i, err) })
 					stop.Store(true)
 					return
 				}

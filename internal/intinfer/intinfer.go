@@ -113,8 +113,8 @@ type Plan struct {
 	outScale      float32
 
 	// Arena geometry, fixed by finalize at build time.
-	maxAct       int // largest activation (elements) any step produces
-	maxCol       int // largest per-group im2col patch matrix (elements)
+	maxAct       int  // largest activation (elements) any step produces
+	maxCol       int  // largest per-group im2col patch matrix (elements)
 	maxLin       int  // widest buffer a float64-path linear step touches
 	express      bool // whole plan is flatten + float64-path linears
 	bufCount     int  // activation buffers one inference needs concurrently
@@ -460,7 +460,9 @@ func (c *compiler) compileChain(chain []nn.Layer, inScale, outScale float32) ([]
 		case *nn.ReLU:
 			st := step{kind: kindReLU, name: v.Name()}
 			if v.Cap > 0 {
-				st.capCode = int32(math.Round(float64(v.Cap) / float64(cur)))
+				// Codes clamp at 127 anyway, so saturating the cap there
+				// is behaviour-preserving even for tiny scales.
+				st.capCode = code8(math.Round(float64(v.Cap) / float64(cur)))
 			}
 			steps = append(steps, st)
 		case *nn.MaxPool2D:
@@ -609,7 +611,7 @@ func compileConv(v *nn.Conv2D, opts Options, sx, sy float32) (step, error) {
 	if v.Bias != nil {
 		acc := float64(sw) * float64(sx)
 		for i, b := range v.Bias.W.Data {
-			st.bias[i] = int32(math.Round(float64(b) / acc))
+			st.bias[i] = sat32(math.Round(float64(b) / acc))
 		}
 	}
 	st.gemmOK = admitGemm(st.weights, st.bias, kk)
@@ -625,7 +627,7 @@ func compileLinear(v *nn.Linear, opts Options, sx, sy float32) (step, error) {
 	st.bias = make([]int32, v.Out)
 	acc := float64(sw) * float64(sx)
 	for i, b := range v.Bias.W.Data {
-		st.bias[i] = int32(math.Round(float64(b) / acc))
+		st.bias[i] = sat32(math.Round(float64(b) / acc))
 	}
 	st.gemmOK = admitGemm(st.weights, st.bias, v.In)
 	return st, nil

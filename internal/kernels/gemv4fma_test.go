@@ -1,0 +1,38 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGemv4FMADifferential exercises the gemv4fma assembly microkernel
+// directly against a serial float64 dot product. All inputs are integral
+// codes, so every partial sum is exact and the lane-parallel summation
+// order of the AVX2 kernel must agree bit for bit with the scalar order.
+// On hardware without AVX2+FMA the test is skipped: haveFMA is false
+// there, so GemvF64 never dispatches to the stub and the portable
+// sibling's guard panic is unreachable by construction.
+func TestGemv4FMADifferential(t *testing.T) {
+	if !haveFMA {
+		t.Skip("kernels: no AVX2+FMA; gemv4fma never dispatched on this CPU")
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, k := range []int{8, 9, 15, 16, 31, 64, 257} {
+		a := make([]float64, 4*k)
+		for i := range a {
+			a[i] = float64(rng.Intn(255) - 127)
+		}
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = float64(rng.Intn(255) - 127)
+		}
+		var got [4]float64
+		gemv4fma(&got[0], &a[0], &x[0], k)
+		for r := 0; r < 4; r++ {
+			want := DotF64(a[r*k:(r+1)*k], x)
+			if got[r] != want {
+				t.Fatalf("k=%d row %d: gemv4fma=%v, scalar=%v", k, r, got[r], want)
+			}
+		}
+	}
+}

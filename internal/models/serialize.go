@@ -108,13 +108,19 @@ func Load(r io.Reader) (*ImageModel, error) {
 	return m, nil
 }
 
-// SaveFile writes the model to path.
-func SaveFile(m *ImageModel, hidden int, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// SaveFile writes the model to path. The Close error is propagated: on a
+// write path a failed close can be the only signal that buffered data
+// never reached the disk.
+func SaveFile(m *ImageModel, hidden int, path string) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
 	}
-	defer f.Close()
+	defer func() {
+		if e := f.Close(); e != nil && err == nil {
+			err = e
+		}
+	}()
 	if err := Save(m, hidden, f); err != nil {
 		return err
 	}
@@ -127,6 +133,7 @@ func LoadFile(path string) (*ImageModel, error) {
 	if err != nil {
 		return nil, err
 	}
+	//trlint:checked read-only close: nothing buffered, failure cannot lose data
 	defer f.Close()
 	return Load(f)
 }

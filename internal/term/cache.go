@@ -1,6 +1,9 @@
 package term
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // The Fig. 15/16 sweeps and the deployment engine encode the same 8-bit
 // codes millions of times; a per-encoding lookup table over the full
@@ -16,23 +19,46 @@ var encCache [3]struct {
 	tab  [cacheMax - cacheMin + 1]Expansion
 }
 
-// EncodeCached returns the term expansion of v under enc, serving values
-// in the int8 code range [-128, 127] from a precomputed table and
-// falling back to Encode otherwise.
+// EncodeCachedChecked returns the term expansion of v under enc, serving
+// values in the int8 code range [-128, 127] from a precomputed table and
+// falling back to Encode otherwise. Unlike Encode (which panics), an
+// unknown encoding is reported as an error; the table index is bounds-
+// guarded explicitly so a future change to the cache window surfaces as
+// a diagnosable error rather than a slice-index panic.
 //
 // The returned expansion is SHARED and must be treated as read-only:
 // callers may re-slice it (prefix truncation, as TopTerms and
 // core.Reveal do) but must not modify its terms in place or append to
 // it. Callers that need private storage should Clone.
-func EncodeCached(v int32, enc Encoding) Expansion {
-	if v < cacheMin || v > cacheMax || enc < Binary || enc > HESE {
-		return Encode(v, enc)
+func EncodeCachedChecked(v int32, enc Encoding) (Expansion, error) {
+	if enc < Binary || enc > HESE {
+		return nil, fmt.Errorf("term: unknown encoding %d", int(enc))
 	}
+	if v < cacheMin || v > cacheMax {
+		return Encode(v, enc), nil
+	}
+	idx := int(v) - cacheMin
 	c := &encCache[enc]
+	if idx < 0 || idx >= len(c.tab) {
+		return nil, fmt.Errorf("term: cache index %d for value %d outside [0, %d)",
+			idx, v, len(c.tab))
+	}
 	c.once.Do(func() {
 		for i := range c.tab {
+			//trlint:checked table index i+cacheMin spans exactly [-128, 127]
 			c.tab[i] = Encode(int32(i+cacheMin), enc)
 		}
 	})
-	return c.tab[v-cacheMin]
+	return c.tab[idx], nil
+}
+
+// EncodeCached is EncodeCachedChecked for callers on the hot path that
+// have already validated enc; it preserves Encode's panic behaviour on
+// an unknown encoding.
+func EncodeCached(v int32, enc Encoding) Expansion {
+	e, err := EncodeCachedChecked(v, enc)
+	if err != nil {
+		panic(err.Error())
+	}
+	return e
 }

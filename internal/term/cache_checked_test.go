@@ -1,0 +1,70 @@
+package term
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEncodeCachedCheckedFullInt8Domain sweeps every value the cache
+// window serves — the full int8 code domain — under every encoding, and
+// pins the checked path to the direct encoder term by term.
+func TestEncodeCachedCheckedFullInt8Domain(t *testing.T) {
+	for _, enc := range []Encoding{Binary, Booth, HESE} {
+		for v := int32(-128); v <= 127; v++ {
+			got, err := EncodeCachedChecked(v, enc)
+			if err != nil {
+				t.Fatalf("%v(%d): unexpected error %v", enc, v, err)
+			}
+			want := Encode(v, enc)
+			if len(got) != len(want) {
+				t.Fatalf("%v(%d): cached %v, direct %v", enc, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v(%d): cached %v, direct %v", enc, v, got, want)
+				}
+			}
+			if got.Value() != v {
+				t.Fatalf("%v(%d): reconstructs to %d", enc, v, got.Value())
+			}
+		}
+	}
+}
+
+// TestEncodeCachedCheckedOutOfWindowFallsBack covers values outside the
+// int8 table: they must be served by the direct encoder, not an error.
+func TestEncodeCachedCheckedOutOfWindowFallsBack(t *testing.T) {
+	for _, v := range []int32{-129, 128, -4096, 4095, 1 << 20, -(1 << 30)} {
+		for _, enc := range []Encoding{Binary, Booth, HESE} {
+			got, err := EncodeCachedChecked(v, enc)
+			if err != nil {
+				t.Fatalf("%v(%d): unexpected error %v", enc, v, err)
+			}
+			if got.Value() != v {
+				t.Fatalf("%v(%d): reconstructs to %d", enc, v, got.Value())
+			}
+		}
+	}
+}
+
+// TestEncodeCachedCheckedRejectsUnknownEncoding is the behaviour that
+// distinguishes the checked entry point: an invalid encoding comes back
+// as a diagnosable error rather than a panic.
+func TestEncodeCachedCheckedRejectsUnknownEncoding(t *testing.T) {
+	for _, enc := range []Encoding{Encoding(-1), Encoding(3), Encoding(99)} {
+		e, err := EncodeCachedChecked(5, enc)
+		if err == nil {
+			t.Fatalf("Encoding(%d): no error, expansion %v", int(enc), e)
+		}
+		if !strings.Contains(err.Error(), "unknown encoding") {
+			t.Errorf("Encoding(%d): error %q does not name the cause", int(enc), err)
+		}
+	}
+	// The unchecked wrapper keeps Encode's panic contract.
+	defer func() {
+		if recover() == nil {
+			t.Error("EncodeCached with unknown encoding did not panic")
+		}
+	}()
+	EncodeCached(5, Encoding(42))
+}

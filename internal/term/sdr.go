@@ -57,9 +57,9 @@ func (d SDRDigits) Expansion() Expansion {
 	for i := len(d) - 1; i >= 0; i-- {
 		switch {
 		case d[i] == 1:
-			e = append(e, Term{Exp: uint8(i), Neg: false})
+			e = append(e, Term{Exp: exp8(i), Neg: false})
 		case d[i] == -1:
-			e = append(e, Term{Exp: uint8(i), Neg: true})
+			e = append(e, Term{Exp: exp8(i), Neg: true})
 		case d[i] != 0:
 			panic("term: digit out of range in SDRDigits.Expansion")
 		}

@@ -139,9 +139,20 @@ func CountTerms(v int32, enc Encoding) int {
 
 func magnitude(v int32) uint32 {
 	if v < 0 {
+		//trlint:checked -v of an int32 is at most 2^31, which fits uint32
 		return uint32(-int64(v))
 	}
 	return uint32(v)
+}
+
+// exp8 converts a term exponent to its uint8 storage, guarding the
+// narrowing the encoders rely on: exponents of 32-bit magnitudes are
+// bounded by 33 (Booth's 2i+1 window at i=16), far inside uint8.
+func exp8(e int) uint8 {
+	if e < 0 || e > 0xff {
+		panic("term: exponent out of uint8 range")
+	}
+	return uint8(e) //trlint:checked bounds guarded above
 }
 
 func popcount32(x uint32) int {
@@ -161,7 +172,7 @@ func EncodeBinary(v int32) Expansion {
 	var e Expansion
 	for exp := 31; exp >= 0; exp-- {
 		if mag&(1<<uint(exp)) != 0 {
-			e = append(e, Term{Exp: uint8(exp), Neg: neg})
+			e = append(e, Term{Exp: exp8(exp), Neg: neg})
 		}
 	}
 	return e
@@ -188,7 +199,7 @@ func EncodeBooth(v int32) Expansion {
 		if d == 0 {
 			continue
 		}
-		exp := uint8(2 * i)
+		exp := exp8(2 * i)
 		if d == 2 || d == -2 {
 			exp++
 		}
@@ -221,7 +232,7 @@ func EncodeBoothRadix2(v int32) Expansion {
 		if d == 0 {
 			continue
 		}
-		terms = append(terms, Term{Exp: uint8(i), Neg: (d < 0) != neg})
+		terms = append(terms, Term{Exp: exp8(i), Neg: (d < 0) != neg})
 	}
 	for i, j := 0, len(terms)-1; i < j; i, j = i+1, j-1 {
 		terms[i], terms[j] = terms[j], terms[i]
@@ -258,10 +269,10 @@ func EncodeHESE(v int32) Expansion {
 			if next == 1 {
 				// A run of 1s begins (or resumes across an isolated 0):
 				// emit the negative end of the run and carry upward.
-				terms = append(terms, Term{Exp: uint8(exp), Neg: !neg})
+				terms = append(terms, Term{Exp: exp8(exp), Neg: !neg})
 				inRun = true
 			} else {
-				terms = append(terms, Term{Exp: uint8(exp), Neg: neg})
+				terms = append(terms, Term{Exp: exp8(exp), Neg: neg})
 				inRun = false
 			}
 		}
@@ -310,7 +321,7 @@ func EncodeNAF(v int32) Expansion {
 	for exp := 0; mag != 0; exp++ {
 		if mag&1 == 1 {
 			d := 2 - (mag & 3) // +1 if v≡1 (mod 4), -1 if v≡3 (mod 4)
-			terms = append(terms, Term{Exp: uint8(exp), Neg: (d < 0) != neg})
+			terms = append(terms, Term{Exp: exp8(exp), Neg: (d < 0) != neg})
 			mag -= d
 		}
 		mag >>= 1

@@ -205,6 +205,26 @@ func TestHESENeverWorseExhaustive16Bit(t *testing.T) {
 	}
 }
 
+// TestEncodeDispatchHESEBoundExhaustive16Bit states the Sec. IV claim as
+// a property over the public dispatcher: for every 16-bit input, Encode
+// under HESE yields no more terms than Encode under radix-4 Booth, and
+// CountTerms (the allocation-free counter) agrees with both expansions.
+func TestEncodeDispatchHESEBoundExhaustive16Bit(t *testing.T) {
+	for v := int32(-32768); v <= 32767; v++ {
+		h := Encode(v, HESE)
+		b := Encode(v, Booth)
+		if len(h) > len(b) {
+			t.Fatalf("Encode(%d, HESE)=%d terms > booth %d", v, len(h), len(b))
+		}
+		if n := CountTerms(v, HESE); n != len(h) {
+			t.Fatalf("CountTerms(%d, HESE)=%d, expansion has %d", v, n, len(h))
+		}
+		if n := CountTerms(v, Booth); n != len(b) {
+			t.Fatalf("CountTerms(%d, Booth)=%d, expansion has %d", v, n, len(b))
+		}
+	}
+}
+
 // Radix-4 Booth can require more terms than binary for some values (e.g.
 // 9 = 1001 becomes 2^4-2^3+2^0), which is the behaviour Fig. 8(c) of the
 // paper reports for DNN data distributions.
