@@ -2,17 +2,35 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/intinfer"
+	"repro/internal/kernels"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/qsim"
+	"repro/internal/term"
 )
+
+// benchConfig pins the knobs that shape the numbers. A results file
+// written under one config must not be silently replaced by numbers
+// from another: runInferenceBench compares the stored config (plus the
+// platform fields) before overwriting and demands -force on mismatch.
+type benchConfig struct {
+	GroupSize   int `json:"group_size"`
+	GroupBudget int `json:"group_budget"`
+	MLPImages   int `json:"mlp_images"`
+	CNNImages   int `json:"cnn_images"`
+}
 
 // benchResult is one machine-readable row of BENCH_intinfer.json.
 type benchResult struct {
@@ -28,30 +46,90 @@ type benchReport struct {
 	GOOS    string        `json:"goos"`
 	GOARCH  string        `json:"goarch"`
 	NumCPU  int           `json:"num_cpu"`
+	GitRev  string        `json:"git_rev,omitempty"`
+	Config  benchConfig   `json:"config"`
 	Results []benchResult `json:"results"`
+}
+
+// reportIdentity is the comparable subset of a report that must match
+// for an overwrite to be considered a re-run of the same experiment.
+type reportIdentity struct {
+	GOOS, GOARCH string
+	NumCPU       int
+	Config       benchConfig
+}
+
+func (r *benchReport) identity() reportIdentity {
+	return reportIdentity{GOOS: r.GOOS, GOARCH: r.GOARCH, NumCPU: r.NumCPU,
+		Config: r.Config}
+}
+
+// checkOverwrite enforces the clobber rule: overwriting an existing
+// results file is fine when it was produced by the same config on the
+// same platform (a refresh), an error otherwise unless forced.
+func checkOverwrite(outPath string, report *benchReport, force bool) error {
+	data, err := os.ReadFile(outPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if force {
+		return nil
+	}
+	var old benchReport
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s exists but is not a bench report (%v); use -force to overwrite", outPath, err)
+	}
+	if old.identity() != report.identity() {
+		return fmt.Errorf("%s was written with a different config (%+v vs %+v); use -force to overwrite",
+			outPath, old.identity(), report.identity())
+	}
+	return nil
+}
+
+// metricsPath derives the metrics-snapshot filename from the bench
+// output path: results/BENCH_x.json → results/METRICS_x.json.
+func metricsPath(outPath string) string {
+	dir, base := filepath.Split(outPath)
+	return dir + "METRICS_" + strings.TrimPrefix(base, "BENCH_")
 }
 
 // runInferenceBench measures the integer deployment runtime with the
 // same model geometries as the repo's BenchmarkIntegerInference* and
-// writes results/BENCH_intinfer.json for machine consumption.
-func runInferenceBench(outPath string) error {
-	report := benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-		NumCPU: runtime.NumCPU()}
+// writes results/BENCH_intinfer.json for machine consumption, plus a
+// METRICS_ sibling with the observability snapshot of the run (step
+// latencies, kernel dispatch, arena behaviour, term/cache counters).
+func runInferenceBench(outPath, gitRev string, force bool, reg *obs.Registry) error {
+	kernels.SetObs(reg)
+	term.SetObs(reg)
+	core.SetObs(reg)
+	qsim.SetObs(reg)
 
-	mlpPlan, mlpImages, err := benchMLPPlan()
+	report := benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GitRev: gitRev,
+		Config: benchConfig{GroupSize: 8, GroupBudget: 12}}
+
+	mlpPlan, mlpImages, err := benchMLPPlan(reg)
 	if err != nil {
 		return fmt.Errorf("mlp setup: %w", err)
 	}
+	report.Config.MLPImages = len(mlpImages)
 	report.Results = append(report.Results,
 		measurePlan("IntegerInferenceMLP", mlpPlan, mlpImages))
 
-	cnnPlan, cnnImages, err := benchCNNPlan()
+	cnnPlan, cnnImages, err := benchCNNPlan(reg)
 	if err != nil {
 		return fmt.Errorf("cnn setup: %w", err)
 	}
+	report.Config.CNNImages = len(cnnImages)
 	report.Results = append(report.Results,
 		measurePlan("IntegerInferenceCNN", cnnPlan, cnnImages))
 
+	if err := checkOverwrite(outPath, &report, force); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
 		return err
 	}
@@ -62,11 +140,20 @@ func runInferenceBench(outPath string) error {
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
+	mPath := metricsPath(outPath)
+	mData, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(mPath, append(mData, '\n'), 0o644); err != nil {
+		return err
+	}
 	for _, r := range report.Results {
 		fmt.Printf("%-22s %12d ns/op  %8.0f ns/image  %3d allocs/op\n",
 			r.Name, r.NsPerOp, r.NsPerImage, r.AllocsPerOp)
 	}
 	fmt.Println("wrote", outPath)
+	fmt.Println("wrote", mPath)
 	return nil
 }
 
@@ -89,7 +176,7 @@ func measurePlan(name string, plan *intinfer.Plan, images [][]float32) benchResu
 	}
 }
 
-func benchMLPPlan() (*intinfer.Plan, [][]float32, error) {
+func benchMLPPlan(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
 	train := datasets.DigitsNoisy(400, 0.2, 91)
 	test := datasets.DigitsNoisy(64, 0.2, 92)
 	m := models.NewMLP(64, 93)
@@ -97,14 +184,14 @@ func benchMLPPlan() (*intinfer.Plan, [][]float32, error) {
 	cfg.Epochs = 2
 	models.Train(m, train, cfg)
 	plan, err := intinfer.Build(m, intinfer.Options{
-		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12})
+		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12, Obs: reg})
 	if err != nil {
 		return nil, nil, err
 	}
 	return plan, test.Images, nil
 }
 
-func benchCNNPlan() (*intinfer.Plan, [][]float32, error) {
+func benchCNNPlan(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
 	g := models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
 	all := datasets.ImageClassesHard(120, g.Classes, g.InC, g.InH, g.InW, 0.4, 0.4, 96)
 	train, test := all.Split(88)
@@ -114,7 +201,7 @@ func benchCNNPlan() (*intinfer.Plan, [][]float32, error) {
 	models.Train(m, train, cfg)
 	qsim.FoldBatchNorm(m)
 	plan, err := intinfer.Build(m, intinfer.Options{
-		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12})
+		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12, Obs: reg})
 	if err != nil {
 		return nil, nil, err
 	}

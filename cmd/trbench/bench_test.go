@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func testReport() *benchReport {
+	return &benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Config: benchConfig{GroupSize: 8, GroupBudget: 12, MLPImages: 64, CNNImages: 32}}
+}
+
+// TestCheckOverwrite pins the clobber rule: a missing file and a
+// same-identity refresh pass, a differing config (or unparsable file)
+// refuses with a -force hint, and force overrides everything.
+func TestCheckOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_intinfer.json")
+	report := testReport()
+
+	if err := checkOverwrite(path, report, false); err != nil {
+		t.Errorf("missing file refused: %v", err)
+	}
+
+	data, err := json.Marshal(testReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOverwrite(path, report, false); err != nil {
+		t.Errorf("same-identity refresh refused: %v", err)
+	}
+
+	changed := testReport()
+	changed.Config.GroupSize = 4
+	data, err = json.Marshal(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = checkOverwrite(path, report, false)
+	if err == nil {
+		t.Fatal("differing config accepted without -force")
+	}
+	if !strings.Contains(err.Error(), "-force") {
+		t.Errorf("refusal %q does not mention -force", err)
+	}
+	if err := checkOverwrite(path, report, true); err != nil {
+		t.Errorf("-force still refused: %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOverwrite(path, report, false); err == nil {
+		t.Error("unparsable results file accepted without -force")
+	}
+
+	// GitRev differences are a refresh, not a config change.
+	stamped := testReport()
+	stamped.GitRev = "deadbeef"
+	data, err = json.Marshal(stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOverwrite(path, report, false); err != nil {
+		t.Errorf("differing git rev refused: %v", err)
+	}
+}
+
+func TestMetricsPath(t *testing.T) {
+	for in, want := range map[string]string{
+		"results/BENCH_intinfer.json": "results/METRICS_intinfer.json",
+		"BENCH_intinfer.json":         "METRICS_intinfer.json",
+		"out/custom.json":             "out/METRICS_custom.json",
+	} {
+		if got := metricsPath(in); got != want {
+			t.Errorf("metricsPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

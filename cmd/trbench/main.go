@@ -9,28 +9,70 @@
 //	trbench -exp fig19,tab4 # several
 //	trbench -quick          # smaller datasets / fewer epochs
 //	trbench -bench          # time the integer inference runtime, write
-//	                        # results/BENCH_intinfer.json
+//	                        # results/BENCH_intinfer.json and the
+//	                        # METRICS_intinfer.json observability snapshot
+//
+// The -bench run refuses to overwrite an existing results file that
+// was produced under a different config or platform; -force overrides.
+// -metrics ADDR additionally serves the live observability endpoint
+// (Prometheus /metrics, expvar, pprof) for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// defaultGitRev resolves the revision stamped into the bench report:
+// the -git-rev flag wins, then the TRBENCH_GIT_REV / GITHUB_SHA
+// environment (CI), then a best-effort `git rev-parse`; an unknown
+// revision is recorded as the empty string, never an error.
+func defaultGitRev() string {
+	for _, env := range []string{"TRBENCH_GIT_REV", "GITHUB_SHA"} {
+		if v := os.Getenv(env); v != "" {
+			return v
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 func main() {
 	exp := flag.String("exp", "", "comma-separated experiments to run (fig3 fig5 fig8c fig15 fig16 fig17 fig18 fig19 tab1 tab2 tab3 tab4 ablations); empty = all")
 	quick := flag.Bool("quick", false, "use reduced dataset and training sizes")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
-	bench := flag.Bool("bench", false, "benchmark the integer inference runtime and write results/BENCH_intinfer.json")
+	bench := flag.Bool("bench", false, "benchmark the integer inference runtime and write results/BENCH_intinfer.json + METRICS_intinfer.json")
 	benchOut := flag.String("bench-out", "results/BENCH_intinfer.json", "output path for -bench")
+	force := flag.Bool("force", false, "overwrite the -bench results file even when its config differs")
+	gitRev := flag.String("git-rev", defaultGitRev(), "git revision recorded in the bench report")
+	metricsAddr := flag.String("metrics", "", "serve the observability endpoint on this address for the duration of the run (e.g. 127.0.0.1:9100)")
 	flag.Parse()
 
 	if *bench {
-		if err := runInferenceBench(*benchOut); err != nil {
+		reg := obs.New()
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics: http://%s/metrics\n", srv.Addr)
+			defer func() {
+				if err := srv.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "trbench: metrics endpoint:", err)
+				}
+			}()
+		}
+		if err := runInferenceBench(*benchOut, *gitRev, *force, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "trbench:", err)
 			os.Exit(1)
 		}

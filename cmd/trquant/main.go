@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/qsim"
 	"repro/internal/quant"
 	"repro/internal/term"
@@ -44,11 +45,18 @@ func main() {
 	layer := flag.String("layer", "", "layer name inside -model")
 	list := flag.Bool("list", false, "list the weight layers of -model and exit")
 	maxRows := flag.Int("maxrows", 4, "max weight rows to report from -model")
+	obsDump := flag.Bool("obs", false, "append the observability snapshot (term/cache/TR counters) as JSON after the report")
 	flag.Parse()
 
 	encoding, err := parseEncoding(*enc)
 	if err != nil {
 		fatal(err)
+	}
+	var reg *obs.Registry
+	if *obsDump {
+		reg = obs.New()
+		term.SetObs(reg)
+		core.SetObs(reg)
 	}
 	var rows [][]float64
 	if *modelPath != "" {
@@ -119,6 +127,13 @@ func main() {
 			fmt.Printf(" %4d->%-4d", c, revealed[i])
 		}
 		fmt.Println()
+	}
+
+	if reg != nil {
+		fmt.Println("metrics snapshot:")
+		if err := reg.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

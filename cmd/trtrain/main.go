@@ -11,9 +11,12 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/qsim"
+	"repro/internal/term"
 )
 
 func main() {
@@ -29,7 +32,25 @@ func main() {
 	k := flag.Int("k", 12, "TR group budget for the report")
 	s := flag.Int("s", 3, "TR data terms for the report")
 	fold := flag.Bool("fold", false, "fold batch norms before evaluation/saving")
+	metricsAddr := flag.String("metrics", "", "serve the observability endpoint on this address while training/evaluating (e.g. 127.0.0.1:9100)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := obs.New()
+		term.SetObs(reg)
+		core.SetObs(reg)
+		qsim.SetObs(reg)
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr)
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trtrain: metrics endpoint:", err)
+			}
+		}()
+	}
 
 	var m *models.ImageModel
 	var train, test *datasets.ImageDataset

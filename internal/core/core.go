@@ -91,10 +91,14 @@ func groupStats(group []term.Expansion) (total, maxExp int) {
 func Reveal(group []term.Expansion, budget int) []term.Expansion {
 	out := make([]term.Expansion, len(group))
 	total, maxExp := groupStats(group)
+	mRevealGroups.Inc()
 	if total <= budget {
+		mTermsKept.Add(int64(total))
 		copy(out, group)
 		return out
 	}
+	mTermsKept.Add(int64(budget))
+	mTermsPruned.Add(int64(total - budget))
 	// Paper-scale groups (g ≤ 16) track per-member cursors in a stack
 	// array; only oversized groups pay for a heap slice.
 	var keptBuf [smallGroup]int
@@ -128,6 +132,12 @@ scan:
 // returned level are guaranteed pruned. It returns -1 when no pruning
 // occurs (the group fits its budget).
 func Waterline(group []term.Expansion, budget int) int {
+	level := waterline(group, budget)
+	mWaterline.Observe(float64(level))
+	return level
+}
+
+func waterline(group []term.Expansion, budget int) int {
 	total, maxExp := groupStats(group)
 	if total <= budget {
 		return -1
@@ -227,6 +237,7 @@ func DotTermPairs(w, x []term.Expansion) (int64, int) {
 			}
 		}
 	}
+	mTermPairs.Add(int64(pairs))
 	return sum, pairs
 }
 

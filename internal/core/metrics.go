@@ -1,0 +1,38 @@
+package core
+
+import "repro/internal/obs"
+
+// Term Revealing cost counters — the paper's central metric (§IV) made
+// observable at run time: how many term pairs the tMAC emulation
+// actually multiplies, how the receding-water scan behaves (groups
+// revealed, terms kept vs pruned), and where the waterline settles.
+// Handles are package-global and nil until SetObs wires them; the
+// disabled path costs one nil-check per group, never per term.
+var (
+	mTermPairs    *obs.Counter
+	mRevealGroups *obs.Counter
+	mTermsKept    *obs.Counter
+	mTermsPruned  *obs.Counter
+	mWaterline    *obs.Histogram
+)
+
+// SetObs wires (or, with nil, unwires) the package's TR counters to a
+// registry. Process-global; call once at startup.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		mTermPairs, mRevealGroups, mTermsKept, mTermsPruned = nil, nil, nil, nil
+		mWaterline = nil
+		return
+	}
+	r.Help("trq_core_term_pairs_total", "term-pair multiplications performed by DotTermPairs")
+	r.Help("trq_core_reveal_groups_total", "groups processed by the receding-water scan")
+	r.Help("trq_core_reveal_terms_total", "terms kept/pruned by the receding-water scan")
+	r.Help("trq_core_waterline_exponent", "exponent where the receding-water scan stopped (below-range = no pruning)")
+	mTermPairs = r.Counter("trq_core_term_pairs_total")
+	mRevealGroups = r.Counter("trq_core_reveal_groups_total")
+	mTermsKept = r.Counter("trq_core_reveal_terms_total", "fate", "kept")
+	mTermsPruned = r.Counter("trq_core_reveal_terms_total", "fate", "pruned")
+	// Exponents of 8-bit codes span 0..7; wider codes spill into the
+	// +Inf bucket, a budget-satisfied group (-1) into the below tally.
+	mWaterline = r.Histogram("trq_core_waterline_exponent", 0, 8, 8)
+}

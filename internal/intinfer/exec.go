@@ -1,12 +1,16 @@
 package intinfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/kernels"
 )
@@ -27,10 +31,15 @@ type activation struct {
 //
 // Buffer discipline inside exec: in-place steps (ReLU, flatten) return
 // their input buffer; every other step gets an output buffer from the
-// arena, computes, and puts its input buffer back. On an execution error
-// the whole scratch is discarded instead of repaired.
+// arena, computes, and puts its input buffer back. On an execution
+// error the in-flight activation buffers are stranded mid-chain; reset
+// repairs the free list from the canonical buffer set so the scratch
+// can go back to the pool instead of being dropped (a dropped scratch
+// would regrow the arena from cold on the next acquisition — the leak
+// this repair exists to prevent).
 type scratch struct {
 	free    [][]int32 // available activation buffers, each cap bufCap
+	all     [][]int32 // every arena-owned buffer, the reset source
 	bufCap  int
 	im2col  []int32
 	xf, yf  []float64 // ping-pong float64 code buffers (GemvF64 path)
@@ -41,13 +50,25 @@ type scratch struct {
 }
 
 func (p *Plan) newScratch() *scratch {
+	p.pm.scratchNew.Inc()
 	s := &scratch{free: make([][]int32, p.bufCount), bufCap: p.maxAct,
 		im2col: make([]int32, p.maxCol), xf: make([]float64, p.maxLin),
 		yf: make([]float64, p.maxLin), logits: make([]float32, p.classes)}
 	for i := range s.free {
 		s.free[i] = make([]int32, p.maxAct)
 	}
+	s.all = append([][]int32(nil), s.free...)
 	return s
+}
+
+// reset restores the free list to the full arena. A failed inference
+// leaves buffers stranded in half-executed activations; rebuilding the
+// list from the canonical set reclaims them (safety-net buffers
+// allocated outside the arena are simply dropped), so error paths can
+// recycle the scratch instead of leaking it.
+func (s *scratch) reset() {
+	s.free = s.free[:0]
+	s.free = append(s.free, s.all...)
 }
 
 // get pops an activation buffer. The arena is sized at build time so the
@@ -79,6 +100,8 @@ func (p *Plan) scratch(workers int, stop *atomic.Bool) *scratch {
 	s := p.arena.Get().(*scratch)
 	s.workers = workers
 	s.stop = stop
+	p.pm.scratchGet.Inc()
+	p.pm.scratchLive.Add(1)
 	return s
 }
 
@@ -123,7 +146,7 @@ func (p *Plan) run(img []float32, s *scratch) (activation, error) {
 			return activation{}, errStopped
 		}
 		var err error
-		act, err = p.exec(p.steps[i], act, s)
+		act, err = p.execStep(i, act, s)
 		if err != nil {
 			return activation{}, fmt.Errorf("intinfer: step %s: %w", p.steps[i].name, err)
 		}
@@ -137,6 +160,7 @@ func (p *Plan) run(img []float32, s *scratch) (activation, error) {
 // logits, so no int conversions happen between layers. The code values
 // at every step are identical to the general path's.
 func (p *Plan) runExpress(img []float32, s *scratch) (activation, error) {
+	p.pm.dispatchExpress.Inc()
 	cur, nxt := s.xf, s.yf
 	x := cur[:len(img)]
 	inv := 1 / float64(p.inScale)
@@ -161,8 +185,15 @@ func (p *Plan) runExpress(img []float32, s *scratch) (activation, error) {
 			return activation{}, fmt.Errorf("intinfer: step %s: linear input %d values, want %d",
 				st.name, len(x), st.cols)
 		}
+		var start time.Time
+		if p.pm.enabled {
+			start = time.Now()
+		}
 		p.gemvF64(s, nxt[:st.rows], st.wf64, x, st.bf64, st.rows, st.cols,
 			st.mult, float64(st.lo), float64(st.hi))
+		if p.pm.enabled {
+			p.pm.stepLatency[i].Observe(time.Since(start).Seconds())
+		}
 		cur, nxt = nxt, cur
 		x = cur[:st.rows]
 	}
@@ -178,9 +209,13 @@ func (p *Plan) runExpress(img []float32, s *scratch) (activation, error) {
 // form (codes times the output scale) plus the predicted class.
 func (p *Plan) Infer(img []float32) ([]float32, int, error) {
 	s := p.scratch(p.intraWorkers, nil)
+	p.pm.infers.Inc()
 	act, err := p.run(img, s)
 	if err != nil {
-		//trlint:checked scratch deliberately dropped: exec errors may strand arena buffers
+		p.pm.inferErrs.Inc()
+		s.reset()
+		p.released(s)
+		p.arena.Put(s)
 		return nil, 0, err
 	}
 	logits := make([]float32, len(act.data))
@@ -192,6 +227,7 @@ func (p *Plan) Infer(img []float32) ([]float32, int, error) {
 		}
 	}
 	s.put(act.data)
+	p.released(s)
 	p.arena.Put(s)
 	return logits, best, nil
 }
@@ -206,9 +242,13 @@ func (p *Plan) Classify(img []float32) (int, error) {
 
 func (p *Plan) classify(img []float32, workers int, stop *atomic.Bool) (int, error) {
 	s := p.scratch(workers, stop)
+	p.pm.infers.Inc()
 	act, err := p.run(img, s)
 	if err != nil {
-		//trlint:checked scratch deliberately dropped: exec errors may strand arena buffers
+		p.pm.inferErrs.Inc()
+		s.reset()
+		p.released(s)
+		p.arena.Put(s)
 		return 0, err
 	}
 	best := 0
@@ -218,6 +258,7 @@ func (p *Plan) classify(img []float32, workers int, stop *atomic.Bool) (int, err
 		}
 	}
 	s.put(act.data)
+	p.released(s)
 	p.arena.Put(s)
 	return best, nil
 }
@@ -227,10 +268,15 @@ func (p *Plan) classify(img []float32, workers int, stop *atomic.Bool) (int, err
 func (p *Plan) InferBatch(images [][]float32) ([]int, error) {
 	preds := make([]int, len(images))
 	s := p.scratch(p.intraWorkers, nil)
+	p.pm.batchImages.Add(int64(len(images)))
 	for i, img := range images {
+		p.pm.infers.Inc()
 		act, err := p.run(img, s)
 		if err != nil {
-			//trlint:checked scratch deliberately dropped: exec errors may strand arena buffers
+			p.pm.inferErrs.Inc()
+			s.reset()
+			p.released(s)
+			p.arena.Put(s)
 			return nil, fmt.Errorf("intinfer: image %d: %w", i, err)
 		}
 		best := 0
@@ -242,12 +288,21 @@ func (p *Plan) InferBatch(images [][]float32) ([]int, error) {
 		preds[i] = best
 		s.put(act.data)
 	}
+	p.released(s)
 	p.arena.Put(s)
 	return preds, nil
 }
 
-// Accuracy evaluates the plan over a labelled set.
+// Accuracy evaluates the plan over a labelled set. The two slices must
+// pair up exactly; a mismatch is reported as an error rather than a
+// panic partway through the evaluation.
 func (p *Plan) Accuracy(images [][]float32, labels []int) (float64, error) {
+	if len(images) != len(labels) {
+		return 0, fmt.Errorf("intinfer: %d images but %d labels", len(images), len(labels))
+	}
+	if len(images) == 0 {
+		return 0, fmt.Errorf("intinfer: empty evaluation set")
+	}
 	preds, err := p.InferBatch(images)
 	if err != nil {
 		return 0, err
@@ -426,6 +481,7 @@ var intraMinWork = 1 << 21
 // WaitGroup (owned by the scratch, so the fan-out itself is
 // allocation-free) is needed.
 func (p *Plan) gemm(s *scratch, dst, a, b, bias []int32, m, n, k int) {
+	p.pm.dispatchGemm.Inc()
 	workers := s.workers
 	if max := m / 4; workers > max {
 		workers = max // keep at least four rows (one block) per worker
@@ -465,6 +521,7 @@ func gemmChunk(wg *sync.WaitGroup, stop *atomic.Bool, dst, a, b, bias []int32, m
 
 // gemv is the n=1 analogue for linear layers.
 func (p *Plan) gemv(s *scratch, dst, a, x, bias []int32, m, k int) {
+	p.pm.dispatchGemv.Inc()
 	workers := s.workers
 	if max := m / 8; workers > max {
 		workers = max
@@ -497,6 +554,7 @@ func gemvChunk(wg *sync.WaitGroup, stop *atomic.Bool, dst, a, x, bias []int32, r
 // write disjoint row ranges of dst and share the read-only x.
 func (p *Plan) gemvF64(s *scratch, dst, a, x, bias []float64,
 	m, k int, mult, lo, hi float64) {
+	p.pm.dispatchGemvF64.Inc()
 	workers := s.workers
 	if max := m / 8; workers > max {
 		workers = max
@@ -544,6 +602,7 @@ func (p *Plan) execConv(st step, in activation, s *scratch) (activation, error) 
 	kk := cPerG * g.kh * g.kw
 	n := g.outH * g.outW
 	if !st.gemmOK {
+		p.pm.dispatchDirect.Inc()
 		execConvDirect(st, in, out)
 		s.put(in.data)
 		return out, nil
@@ -633,6 +692,7 @@ func (p *Plan) execLinear(st step, in activation, s *scratch) (activation, error
 			out.data[i] = requant(int64(acc), st.mult, st.lo, st.hi)
 		}
 	default:
+		p.pm.dispatchDirect.Inc()
 		execLinearDirect(st, in, out)
 	}
 	s.put(in.data)
@@ -677,6 +737,22 @@ func execMaxPool(st step, in activation, s *scratch) (activation, error) {
 	return out, nil
 }
 
+// classifyLabelled is classify with a runtime/pprof "image" label
+// around the inference when observability is on, so profile samples
+// taken through the obs endpoint attribute to batch positions. The
+// label plumbing costs a context and a label set per image, which is
+// why the disabled path bypasses it entirely.
+func (p *Plan) classifyLabelled(img []float32, idx, workers int, stop *atomic.Bool) (int, error) {
+	if !p.pm.enabled {
+		return p.classify(img, workers, stop)
+	}
+	var cls int
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("image", strconv.Itoa(idx)),
+		func(context.Context) { cls, err = p.classify(img, workers, stop) })
+	return cls, err
+}
+
 // InferBatchParallel classifies a batch with a worker pool; a Plan is
 // immutable after Build, so concurrent inference is safe. workers < 1
 // selects GOMAXPROCS. The first error stops all workers: each checks a
@@ -695,6 +771,7 @@ func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error
 	if workers > len(images) && len(images) > 0 {
 		workers = len(images)
 	}
+	p.pm.batchImages.Add(int64(len(images)))
 	intra := p.intraWorkers / workers
 	if intra < 1 {
 		intra = 1
@@ -714,7 +791,7 @@ func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error
 				if stop.Load() {
 					return
 				}
-				cls, err := p.classify(images[i], intra, &stop)
+				cls, err := p.classifyLabelled(images[i], i, intra, &stop)
 				if err != nil {
 					if errors.Is(err, errStopped) {
 						return // another worker already failed and set the flag

@@ -23,6 +23,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/quant"
 	"repro/internal/tensor"
 	"repro/internal/term"
@@ -43,6 +44,13 @@ type Options struct {
 	// divides this budget by its batch workers so the two levels of
 	// parallelism compose.
 	IntraWorkers int
+	// Obs, when non-nil, registers this plan's runtime metrics (per-step
+	// latency histograms, kernel-dispatch counters, arena gauges; see
+	// DESIGN.md §9) with the given registry. Nil leaves observability
+	// off: the inference paths then pay only nil-checks (~1ns each, no
+	// clock reads, no pprof labels). Plans sharing a registry share
+	// series — step labels collide only if step names do.
+	Obs *obs.Registry
 }
 
 // step kinds.
@@ -119,7 +127,8 @@ type Plan struct {
 	express      bool // whole plan is flatten + float64-path linears
 	bufCount     int  // activation buffers one inference needs concurrently
 	intraWorkers int
-	arena        sync.Pool // of *scratch
+	arena        sync.Pool   // of *scratch
+	pm           planMetrics // observability handles; zero value = disabled
 }
 
 // Build compiles the model. The model itself is left unmodified.
@@ -210,6 +219,7 @@ func (p *Plan) finalize(opts Options) {
 	if p.intraWorkers < 1 {
 		p.intraWorkers = runtime.GOMAXPROCS(0)
 	}
+	p.initMetrics(opts.Obs)
 	p.arena.New = func() any { return p.newScratch() }
 }
 

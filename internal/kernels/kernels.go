@@ -158,6 +158,11 @@ func ExactF64(k int, wmax, xmax, biasMax int64) bool {
 // the payoff is that scalar float64 multiplies dual-issue on the FP
 // ports while int32 multiplies are restricted to one port.
 func GemvF64(dst, a, x, bias []float64, r0, r1, k int, mult, lo, hi float64) {
+	if haveFMA && k >= 8 {
+		gemvF64ASM.Inc()
+	} else {
+		gemvF64Portable.Inc()
+	}
 	xx := x[:k]
 	r := r0
 	if haveFMA && k >= 8 {

@@ -1,0 +1,27 @@
+package kernels
+
+import "repro/internal/obs"
+
+// Dispatch counters for the one kernel with a hardware-specific twin:
+// GemvF64 either enters the AVX2+FMA microkernel or stays on the
+// portable scalar loop. The handles are package-global (the kernels
+// are free functions, there is no per-plan state to hang them off) and
+// nil until SetObs wires them, so the disabled path costs one
+// predictable nil-check per kernel call — never per element.
+var (
+	gemvF64ASM      *obs.Counter
+	gemvF64Portable *obs.Counter
+)
+
+// SetObs wires (or, with nil, unwires) the package's dispatch counters
+// to a registry. Process-global, like the kernels themselves; call it
+// once at startup, before inference traffic.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		gemvF64ASM, gemvF64Portable = nil, nil
+		return
+	}
+	r.Help("trq_kernels_gemvf64_dispatch_total", "GemvF64 calls by kernel implementation")
+	gemvF64ASM = r.Counter("trq_kernels_gemvf64_dispatch_total", "path", "asm")
+	gemvF64Portable = r.Counter("trq_kernels_gemvf64_dispatch_total", "path", "portable")
+}

@@ -1,0 +1,335 @@
+// Package obs is the runtime observability layer: atomic counters,
+// gauges, and fixed-bin histograms behind a Registry, exposed as
+// Prometheus text, expvar JSON, and a structured snapshot the bench
+// harness writes next to its results (DESIGN.md §9).
+//
+// The package is stdlib-only and built around one discipline: the
+// disabled path must cost nothing measurable. A nil *Registry hands out
+// nil instrument handles, and every instrument method is nil-safe — a
+// nil Counter's Inc is a single predictable branch (~1ns), so hot loops
+// keep their instrument handles unconditionally and never test a
+// feature flag. Instrument lookups are get-or-create and return shared
+// handles, so callers resolve them once (at plan build or package
+// wiring time), never per operation.
+//
+// Metric naming follows the Prometheus conventions: `trq_` prefix,
+// `<subsystem>_<what>_<unit>` stems, `_total` suffix on counters, and
+// label pairs attached at registration (`Counter("trq_x_total", "k",
+// "v")`). The full inventory lives in DESIGN.md §9.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil Counter silently discards updates, which is
+// how disabled observability keeps hot paths hot.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative; Add does not check).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. Like Counter, a nil Gauge
+// discards updates and reads as zero.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations into fixed-width bins over
+// [min, max), with out-of-range observations tallied separately — the
+// concurrent counterpart of stats.Histogram, which Snapshot converts
+// back into for rendering and analysis. All methods are safe for
+// concurrent use; a nil Histogram discards observations.
+type Histogram struct {
+	min, max float64
+	scale    float64 // bins / (max-min), hoisted for Observe
+	counts   []atomic.Int64
+	below    atomic.Int64
+	above    atomic.Int64
+	count    atomic.Int64
+	sum      atomicFloat
+}
+
+func newHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 || !(max > min) {
+		panic("obs: histogram needs bins >= 1 and max > min")
+	}
+	return &Histogram{min: min, max: max,
+		scale:  float64(bins) / (max - min),
+		counts: make([]atomic.Int64, bins)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(x)
+	switch {
+	case x < h.min:
+		h.below.Add(1)
+	case x >= h.max:
+		h.above.Add(1)
+	default:
+		i := int((x - h.min) * h.scale)
+		if i == len(h.counts) { // float rounding at the upper edge
+			i--
+		}
+		h.counts[i].Add(1)
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Snapshot freezes the histogram into a stats.Histogram for rendering
+// and offline analysis. Bins are copied; the result does not track
+// later observations. Concurrent observers may land between bin reads,
+// so a snapshot taken mid-flight is a consistent-enough view, not a
+// linearizable one.
+func (h *Histogram) Snapshot() *stats.Histogram {
+	if h == nil {
+		return nil
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return stats.HistogramFromCounts(h.min, h.max, counts,
+		h.below.Load(), h.above.Load())
+}
+
+// atomicFloat is a float64 accumulator built on a CAS loop over the
+// bit pattern; contention on histogram sums is low (one Add per
+// observation), so the simple loop beats a mutex.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+// kind discriminates the instrument types inside the registry.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument with its identity.
+type metric struct {
+	family string // metric name without labels
+	labels string // rendered {k="v",...} suffix, "" when unlabelled
+	kind   kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// id returns the full exposition identity, family plus label suffix.
+func (m *metric) id() string { return m.family + m.labels }
+
+// Registry owns a set of named instruments. Lookups are get-or-create
+// and idempotent: the same (name, labels) always returns the same
+// handle, so wiring code may re-resolve freely. A nil *Registry is the
+// disabled registry: every lookup returns a nil handle.
+//
+// Registration takes a mutex; instrument updates are lock-free. The
+// intended shape is resolve-once-then-update, so the mutex is never on
+// a hot path.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	help    map[string]string // per family
+}
+
+// New returns an empty enabled registry.
+func New() *Registry {
+	return &Registry{metrics: make(map[string]*metric),
+		help: make(map[string]string)}
+}
+
+// labelSuffix renders alternating key/value pairs as a deterministic
+// Prometheus label suffix. Keys are kept in the order given (wiring
+// code controls ordering; exposition sorts whole series anyway).
+func labelSuffix(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: labels must be alternating key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the metric for (name, labels), creating it with mk on
+// first use. It panics when the identity is already registered as a
+// different kind — that is a wiring bug, not a runtime condition.
+func (r *Registry) lookup(name string, k kind, kv []string, mk func() *metric) *metric {
+	id := name + labelSuffix(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[id]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("obs: %s re-registered as a different kind", id))
+		}
+		return m
+	}
+	m := mk()
+	m.family = name
+	m.labels = labelSuffix(kv)
+	m.kind = k
+	r.metrics[id] = m
+	return m
+}
+
+// Counter returns the counter registered under name and the given
+// alternating label key/value pairs, creating it on first use. Returns
+// nil (a valid, inert handle) on a nil Registry.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter, kv, func() *metric {
+		return &metric{c: &Counter{}}
+	}).c
+}
+
+// Gauge returns the gauge registered under name and labels, creating
+// it on first use. Returns nil on a nil Registry.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge, kv, func() *metric {
+		return &metric{g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns the fixed-bin histogram registered under name and
+// labels, creating it with bins equal-width bins over [min, max) on
+// first use (later calls ignore the geometry and return the existing
+// instrument). Returns nil on a nil Registry.
+func (r *Registry) Histogram(name string, min, max float64, bins int, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindHistogram, kv, func() *metric {
+		return &metric{h: newHistogram(min, max, bins)}
+	}).h
+}
+
+// Help attaches a one-line description to a metric family, emitted as
+// the # HELP line of the Prometheus exposition. No-op on nil.
+func (r *Registry) Help(family, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[family] = text
+	r.mu.Unlock()
+}
+
+// sorted returns the registered metrics ordered by family then label
+// suffix, so exposition and snapshots are deterministic.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP/# TYPE headers per family,
+// one series per line, histograms as cumulative le-buckets plus _sum
+// and _count. Series are emitted in sorted order so the output is
+// stable for golden tests and diffing scrapes. A nil Registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			r.mu.Lock()
+			help := r.help[m.family]
+			r.mu.Unlock()
+			if help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.family, help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, typeName(m.kind)); err != nil {
+				return err
+			}
+		}
+		if err := writeSeries(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func typeName(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.id(), m.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.id(), m.g.Value())
+		return err
+	}
+	return writeHistogram(w, m)
+}
+
+// writeHistogram emits the cumulative bucket form: observations below
+// the histogram range are ≤ every upper edge and fold into the first
+// bucket; observations at or above the range only reach +Inf.
+func writeHistogram(w io.Writer, m *metric) error {
+	h := m.h
+	snap := h.Snapshot()
+	width := (h.max - h.min) / float64(len(snap.Counts))
+	cum := snap.Counts[0]
+	var err error
+	bucket := func(le string, n int64) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.family, withLabel(m.labels, "le", le), n)
+	}
+	// below-range observations are ≤ the first upper edge
+	cum += belowCount(h)
+	for i := range snap.Counts {
+		if i > 0 {
+			cum += snap.Counts[i]
+		}
+		edge := h.min + width*float64(i+1)
+		bucket(formatFloat(edge), cum)
+	}
+	bucket("+Inf", h.Count())
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		m.family, m.labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s_count%s %d\n", m.family, m.labels, h.Count())
+	return err
+}
+
+func belowCount(h *Histogram) int64 { return h.below.Load() }
+
+// withLabel splices one more label pair into an existing (possibly
+// empty) rendered label suffix.
+func withLabel(labels, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Counts []int64 `json:"counts"`
+	Below  int64   `json:"below"`
+	Above  int64   `json:"above"`
+	Sum    float64 `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time structured view of a registry, stable
+// under json.Marshal — the form cmd/trbench writes next to its bench
+// results so metric values travel with the numbers they explain.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered instrument keyed by its full
+// exposition identity (family plus label suffix). A nil Registry
+// yields a zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	s.Counters = make(map[string]int64)
+	s.Gauges = make(map[string]int64)
+	s.Histograms = make(map[string]HistogramSnapshot)
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.id()] = m.c.Value()
+		case kindGauge:
+			s.Gauges[m.id()] = m.g.Value()
+		default:
+			snap := m.h.Snapshot()
+			s.Histograms[m.id()] = HistogramSnapshot{
+				Min: m.h.min, Max: m.h.max, Counts: snap.Counts,
+				Below: m.h.below.Load(), Above: m.h.above.Load(),
+				Sum: m.h.Sum(), Count: m.h.Count(),
+			}
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

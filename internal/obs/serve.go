@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"errors"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// served is the registry most recently handed to Serve/Handler, read
+// by the expvar bridge. expvar.Publish is global and permanent, so the
+// bridge is published once and indirects through this pointer.
+var (
+	served      atomic.Pointer[Registry]
+	expvarOnce  sync.Once
+	expvarValue = expvar.Func(func() any { return served.Load().Snapshot() })
+)
+
+// Handler returns the observability mux for a registry:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar JSON (memstats, cmdline, trq_metrics)
+//	/debug/pprof/*  runtime profiles (CPU, heap, goroutine, trace, ...)
+//
+// The pprof profiles carry the runtime/pprof labels the inference
+// runtime sets around batch workers ("image", "layer"), so CPU samples
+// attribute to plan steps.
+func Handler(r *Registry) http.Handler {
+	served.Store(r)
+	expvarOnce.Do(func() { expvar.Publish("trq_metrics", expvarValue) })
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The connection is gone; there is no one left to tell.
+			return
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with a ":0" request).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+	err atomic.Pointer[error]
+	wg  sync.WaitGroup
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9100", or
+// "127.0.0.1:0" for an ephemeral port) serving the registry r. The
+// endpoint is strictly opt-in: nothing listens unless a binary calls
+// Serve. The returned Server reports the bound address and must be
+// Closed by the caller.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln,
+		srv: &http.Server{Handler: Handler(r)}}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err.Store(&err)
+		}
+	}()
+	return s, nil
+}
+
+// Close shuts the endpoint down and returns any serve-loop error.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.wg.Wait()
+	if p := s.err.Load(); p != nil && err == nil {
+		err = *p
+	}
+	return err
+}

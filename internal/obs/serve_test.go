@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndpoint boots the opt-in endpoint on an ephemeral port and
+// scrapes all three surfaces: Prometheus text, expvar JSON (including
+// the trq_metrics bridge), and the pprof index.
+func TestServeEndpoint(t *testing.T) {
+	r := New()
+	r.Help("trq_demo_total", "demo counter")
+	r.Counter("trq_demo_total", "path", "a").Add(5)
+	r.Histogram("trq_demo_seconds", 0, 1, 4).Observe(0.3)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", code)
+	}
+	for _, want := range []string{
+		"# HELP trq_demo_total demo counter",
+		`trq_demo_total{path="a"} 5`,
+		"trq_demo_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars returned %d", code)
+	}
+	var vars struct {
+		Metrics *Snapshot `json:"trq_metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if vars.Metrics == nil || vars.Metrics.Counters[`trq_demo_total{path="a"}`] != 5 {
+		t.Errorf("expvar trq_metrics bridge missing or stale: %+v", vars.Metrics)
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline returned %d", code)
+	}
+}
+
+// TestSnapshotJSONRoundTrip pins that the structured snapshot trbench
+// writes next to its results survives a marshal/unmarshal cycle intact.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("trq_a_total").Add(3)
+	r.Gauge("trq_b").Set(-2)
+	r.Histogram("trq_c_seconds", 0, 2, 2).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["trq_a_total"] != 3 || back.Gauges["trq_b"] != -2 {
+		t.Errorf("scalar values lost in round trip: %+v", back)
+	}
+	h := back.Histograms["trq_c_seconds"]
+	if h.Count != 1 || h.Sum != 0.5 || len(h.Counts) != 2 || h.Counts[0] != 1 {
+		t.Errorf("histogram lost in round trip: %+v", h)
+	}
+}

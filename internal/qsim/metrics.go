@@ -1,0 +1,27 @@
+package qsim
+
+import "repro/internal/obs"
+
+// Emulation cost counters: term-pair multiplications and conventional
+// MACs accumulated across every instrumented matmul, summed over all
+// attached engines. The per-layer split stays in each Engine's
+// LayerStat; these process-global counters are what a live scrape (or
+// the trbench snapshot) reads without holding an Engine. Nil until
+// SetObs wires them.
+var (
+	mTermPairs *obs.Counter
+	mMACs      *obs.Counter
+)
+
+// SetObs wires (or, with nil, unwires) the package's cost counters to
+// a registry. Process-global; call once at startup.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		mTermPairs, mMACs = nil, nil
+		return
+	}
+	r.Help("trq_qsim_term_pairs_total", "term-pair multiplications counted by the quantization emulator")
+	r.Help("trq_qsim_macs_total", "conventional multiply-accumulates counted by the quantization emulator")
+	mTermPairs = r.Counter("trq_qsim_term_pairs_total")
+	mMACs = r.Counter("trq_qsim_macs_total")
+}

@@ -408,6 +408,8 @@ func (e *Engine) attachLinear(l *nn.Linear) {
 		st.TermPairs += pairs
 		macs := int64(b) * int64(l.Out) * int64(l.In)
 		st.MACs += macs
+		mTermPairs.Add(pairs)
+		mMACs.Add(macs)
 		st.Bound += int64(float64(macs) * boundPerMAC(spec))
 		return y
 	}
@@ -474,6 +476,8 @@ func (e *Engine) attachConv(c *nn.Conv2D) {
 		st.TermPairs += pairs
 		macs := int64(b) * int64(g.OutC) * int64(g.OutH) * int64(g.OutW) * int64(kk)
 		st.MACs += macs
+		mTermPairs.Add(pairs)
+		mMACs.Add(macs)
 		st.Bound += int64(float64(macs) * boundPerMAC(spec))
 		return y
 	}
@@ -512,6 +516,8 @@ func (e *Engine) attachLSTM(l *nn.LSTM) {
 		st.TermPairs += pairs
 		macs := int64(b) * int64(4*l.Hidden) * int64(k)
 		st.MACs += macs
+		mTermPairs.Add(pairs)
+		mMACs.Add(macs)
 		st.Bound += int64(float64(macs) * boundPerMAC(spec))
 		return y
 	}

@@ -32,6 +32,25 @@ func NewHistogram(min, max float64, bins int) *Histogram {
 	return &Histogram{Min: min, Max: max, Counts: make([]int64, bins)}
 }
 
+// HistogramFromCounts reconstitutes a Histogram from pre-tallied bin
+// counts plus the out-of-range tallies — the bridge from concurrent
+// accumulators (obs.Histogram snapshots) into this package's rendering
+// and CDF helpers. The counts slice is adopted, not copied.
+func HistogramFromCounts(min, max float64, counts []int64, below, above int64) *Histogram {
+	if len(counts) < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(max > min) {
+		panic("stats: histogram range must be non-empty")
+	}
+	h := &Histogram{Min: min, Max: max, Counts: counts, below: below, above: above}
+	h.total = below + above
+	for _, c := range counts {
+		h.total += c
+	}
+	return h
+}
+
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
 	h.total++

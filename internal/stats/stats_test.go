@@ -57,10 +57,30 @@ func TestHistogramEdgeValue(t *testing.T) {
 	}
 }
 
+func TestHistogramFromCounts(t *testing.T) {
+	h := HistogramFromCounts(0, 4, []int64{1, 0, 2, 0}, 3, 5)
+	if h.Total() != 11 {
+		t.Errorf("Total = %d, want 11 (3 below + 3 binned + 5 above)", h.Total())
+	}
+	if h.Counts[2] != 2 {
+		t.Errorf("adopted counts lost: bin 2 = %d", h.Counts[2])
+	}
+	// The adopted histogram keeps accumulating like a native one.
+	h.Add(2.5)
+	if h.Counts[2] != 3 || h.Total() != 12 {
+		t.Errorf("Add after adoption: bin 2 = %d, total = %d", h.Counts[2], h.Total())
+	}
+	if got := h.FractionAtMost(4); got != (3.0+4.0)/12.0 {
+		t.Errorf("FractionAtMost(4) = %v", got)
+	}
+}
+
 func TestHistogramPanics(t *testing.T) {
 	for _, f := range []func(){
 		func() { NewHistogram(0, 1, 0) },
 		func() { NewHistogram(1, 1, 4) },
+		func() { HistogramFromCounts(0, 1, nil, 0, 0) },
+		func() { HistogramFromCounts(1, 1, []int64{0}, 0, 0) },
 	} {
 		func() {
 			defer func() {

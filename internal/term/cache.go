@@ -3,7 +3,30 @@ package term
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
+
+// Encode-cache traffic counters: a hit is served from the int8 lookup
+// table, a miss falls through to a fresh Encode (value outside the
+// cached code window). Nil until SetObs wires them; the nil-check is
+// the only cost on the (very hot) disabled path.
+var (
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+)
+
+// SetObs wires (or, with nil, unwires) the package's cache counters to
+// a registry. Process-global; call once at startup.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		cacheHits, cacheMisses = nil, nil
+		return
+	}
+	r.Help("trq_term_encode_cache_total", "term-encode lookups by cache outcome")
+	cacheHits = r.Counter("trq_term_encode_cache_total", "outcome", "hit")
+	cacheMisses = r.Counter("trq_term_encode_cache_total", "outcome", "miss")
+}
 
 // The Fig. 15/16 sweeps and the deployment engine encode the same 8-bit
 // codes millions of times; a per-encoding lookup table over the full
@@ -35,8 +58,10 @@ func EncodeCachedChecked(v int32, enc Encoding) (Expansion, error) {
 		return nil, fmt.Errorf("term: unknown encoding %d", int(enc))
 	}
 	if v < cacheMin || v > cacheMax {
+		cacheMisses.Inc()
 		return Encode(v, enc), nil
 	}
+	cacheHits.Inc()
 	idx := int(v) - cacheMin
 	c := &encCache[enc]
 	if idx < 0 || idx >= len(c.tab) {
