@@ -9,13 +9,20 @@
 #   make lint    trlint alone: quantnarrow, poolarena, asmparity,
 #                floatcmp, errpropagate over every module package
 #   make bench   integer-inference benchmarks + results/BENCH_intinfer.json
+#   make benchcmp  re-measure and diff ns_per_image against the committed
+#                baseline; fails on a >10% regression on any benchmark
+#   make tier1-noasm  tier1 with the assembly kernels compiled out
+#                (-tags noasm), proving the portable fallbacks alone pass
 
 GO ?= go
 
-.PHONY: tier1 tier2 tier3 lint bench
+.PHONY: tier1 tier1-noasm tier2 tier3 lint bench benchcmp
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
+
+tier1-noasm:
+	$(GO) build -tags noasm ./... && $(GO) test -tags noasm ./...
 
 # The race tiers skip internal/experiments: that package regenerates
 # the paper's evaluation serially end to end (model training + sweeps),
@@ -42,3 +49,8 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIntegerInference' -benchmem .
 	$(GO) run ./cmd/trbench -bench
+
+# benchcmp measures into a scratch file (results/BENCH_head.json is
+# gitignored) so the committed baseline is never clobbered by the gate.
+benchcmp:
+	$(GO) run ./cmd/trbench -bench -force -bench-out results/BENCH_head.json -compare results/BENCH_intinfer.json

@@ -43,25 +43,34 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	GOOS    string        `json:"goos"`
-	GOARCH  string        `json:"goarch"`
-	NumCPU  int           `json:"num_cpu"`
-	GitRev  string        `json:"git_rev,omitempty"`
-	Config  benchConfig   `json:"config"`
-	Results []benchResult `json:"results"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUFeatures is the kernel dispatchers' detected feature set
+	// ("avx2,fma" or empty), stamped so packed-kernel numbers are
+	// attributable to the hardware that produced them.
+	CPUFeatures string        `json:"cpu_features"`
+	GitRev      string        `json:"git_rev,omitempty"`
+	Config      benchConfig   `json:"config"`
+	Results     []benchResult `json:"results"`
 }
 
 // reportIdentity is the comparable subset of a report that must match
 // for an overwrite to be considered a re-run of the same experiment.
+// CPU features and GOMAXPROCS are part of it: numbers from a machine
+// that dispatched different kernels are a different experiment.
 type reportIdentity struct {
 	GOOS, GOARCH string
 	NumCPU       int
+	GOMAXPROCS   int
+	CPUFeatures  string
 	Config       benchConfig
 }
 
 func (r *benchReport) identity() reportIdentity {
 	return reportIdentity{GOOS: r.GOOS, GOARCH: r.GOARCH, NumCPU: r.NumCPU,
-		Config: r.Config}
+		GOMAXPROCS: r.GOMAXPROCS, CPUFeatures: r.CPUFeatures, Config: r.Config}
 }
 
 // checkOverwrite enforces the clobber rule: overwriting an existing
@@ -101,19 +110,18 @@ func metricsPath(outPath string) string {
 // writes results/BENCH_intinfer.json for machine consumption, plus a
 // METRICS_ sibling with the observability snapshot of the run (step
 // latencies, kernel dispatch, arena behaviour, term/cache counters).
-func runInferenceBench(outPath, gitRev string, force bool, reg *obs.Registry) error {
+// The written report is returned so -compare can diff it in-process.
+func runInferenceBench(outPath, gitRev string, force bool, reg *obs.Registry) (*benchReport, error) {
 	kernels.SetObs(reg)
 	term.SetObs(reg)
 	core.SetObs(reg)
 	qsim.SetObs(reg)
 
-	report := benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(), GitRev: gitRev,
-		Config: benchConfig{GroupSize: 8, GroupBudget: 12}}
+	report := newReportHeader(gitRev)
 
 	mlpPlan, mlpImages, err := benchMLPPlan(reg)
 	if err != nil {
-		return fmt.Errorf("mlp setup: %w", err)
+		return nil, fmt.Errorf("mlp setup: %w", err)
 	}
 	report.Config.MLPImages = len(mlpImages)
 	report.Results = append(report.Results,
@@ -121,32 +129,32 @@ func runInferenceBench(outPath, gitRev string, force bool, reg *obs.Registry) er
 
 	cnnPlan, cnnImages, err := benchCNNPlan(reg)
 	if err != nil {
-		return fmt.Errorf("cnn setup: %w", err)
+		return nil, fmt.Errorf("cnn setup: %w", err)
 	}
 	report.Config.CNNImages = len(cnnImages)
 	report.Results = append(report.Results,
 		measurePlan("IntegerInferenceCNN", cnnPlan, cnnImages))
 
 	if err := checkOverwrite(outPath, &report, force); err != nil {
-		return err
+		return nil, err
 	}
 	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
-		return err
+		return nil, err
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	mPath := metricsPath(outPath)
 	mData, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := os.WriteFile(mPath, append(mData, '\n'), 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	for _, r := range report.Results {
 		fmt.Printf("%-22s %12d ns/op  %8.0f ns/image  %3d allocs/op\n",
@@ -154,7 +162,18 @@ func runInferenceBench(outPath, gitRev string, force bool, reg *obs.Registry) er
 	}
 	fmt.Println("wrote", outPath)
 	fmt.Println("wrote", mPath)
-	return nil
+	return &report, nil
+}
+
+// newReportHeader stamps the platform attribution fields: OS/arch, CPU
+// counts, the scheduler width the run used, and the kernel dispatchers'
+// detected CPU features — enough to tell whose hardware (and which
+// kernels) produced a set of numbers.
+func newReportHeader(gitRev string) benchReport {
+	return benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUFeatures: strings.Join(kernels.Features(), ","), GitRev: gitRev,
+		Config: benchConfig{GroupSize: 8, GroupBudget: 12}}
 }
 
 func measurePlan(name string, plan *intinfer.Plan, images [][]float32) benchResult {

@@ -2,11 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/kernels"
 )
 
 func testReport() *benchReport {
@@ -77,6 +80,121 @@ func TestCheckOverwrite(t *testing.T) {
 	}
 	if err := checkOverwrite(path, report, false); err != nil {
 		t.Errorf("differing git rev refused: %v", err)
+	}
+}
+
+// TestReportHeaderPlatformFields pins the attribution stamp: the header
+// must carry the run's GOMAXPROCS and the kernel dispatchers' detected
+// CPU features, and both must participate in the overwrite identity so
+// numbers from a differently-capable machine refuse a silent refresh.
+func TestReportHeaderPlatformFields(t *testing.T) {
+	h := newReportHeader("abc123")
+	if h.GOMAXPROCS != runtime.GOMAXPROCS(0) || h.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d, want %d", h.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if want := strings.Join(kernels.Features(), ","); h.CPUFeatures != want {
+		t.Errorf("CPUFeatures = %q, want %q", h.CPUFeatures, want)
+	}
+	if h.GitRev != "abc123" {
+		t.Errorf("GitRev = %q, want abc123", h.GitRev)
+	}
+	other := h
+	other.CPUFeatures = "different"
+	if h.identity() == other.identity() {
+		t.Error("identity ignores CPUFeatures")
+	}
+	other = h
+	other.GOMAXPROCS++
+	if h.identity() == other.identity() {
+		t.Error("identity ignores GOMAXPROCS")
+	}
+}
+
+// TestCompareReports pins the -compare delta math: the 10% gate is
+// strictly-greater, improvements and small growth pass, and a benchmark
+// missing from the new run is itself a regression.
+func TestCompareReports(t *testing.T) {
+	old := &benchReport{Results: []benchResult{
+		{Name: "A", NsPerImage: 100},
+		{Name: "B", NsPerImage: 200},
+		{Name: "C", NsPerImage: 1000},
+		{Name: "Gone", NsPerImage: 50},
+	}}
+	cur := &benchReport{Results: []benchResult{
+		{Name: "A", NsPerImage: 110}, // exactly +10%: not a regression
+		{Name: "B", NsPerImage: 90},  // improvement
+		{Name: "C", NsPerImage: 1201},
+		{Name: "New", NsPerImage: 5}, // addition: ignored
+	}}
+	deltas := compareReports(old, cur)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4", len(deltas))
+	}
+	byName := make(map[string]benchDelta)
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["A"]; d.Missng || math.Abs(d.Pct-0.10) > 1e-12 {
+		t.Errorf("A: %+v, want +10%%", d)
+	}
+	if d := byName["B"]; d.Pct >= 0 {
+		t.Errorf("B: Pct = %v, want negative (improvement)", d.Pct)
+	}
+	if d := byName["C"]; math.Abs(d.Pct-0.201) > 1e-12 {
+		t.Errorf("C: Pct = %v, want 0.201", d.Pct)
+	}
+	if d := byName["Gone"]; !d.Missng {
+		t.Error("Gone: not marked missing")
+	}
+
+	if !anyRegression(deltas, benchRegressTol) {
+		t.Error("C at +20.1%% (and Gone missing) not flagged")
+	}
+	ok := []benchDelta{{Name: "A", Pct: 0.10}, {Name: "B", Pct: -0.5}}
+	if anyRegression(ok, benchRegressTol) {
+		t.Error("exactly-at-tolerance growth flagged as regression")
+	}
+
+	var buf strings.Builder
+	printDeltas(&buf, deltas, benchRegressTol)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "MISSING") {
+		t.Errorf("diff output lacks REGRESSION/MISSING markers:\n%s", out)
+	}
+}
+
+// TestRunCompareRoundTrip exercises the file-loading path end to end.
+func TestRunCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_old.json")
+	old := testReport()
+	old.Results = []benchResult{{Name: "X", NsPerImage: 100}}
+	data, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oldPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := testReport()
+	cur.Results = []benchResult{{Name: "X", NsPerImage: 105}}
+	regressed, err := runCompare(oldPath, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("+5% flagged as regression")
+	}
+	cur.Results[0].NsPerImage = 150
+	regressed, err = runCompare(oldPath, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("+50% not flagged as regression")
+	}
+	if _, err := runCompare(filepath.Join(dir, "absent.json"), cur); err == nil {
+		t.Error("missing baseline file did not error")
 	}
 }
 

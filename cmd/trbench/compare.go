@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// benchRegressTol is the relative ns_per_image growth tolerated before
+// -compare declares a regression: 10%, well above run-to-run noise for
+// these batch-sized benchmarks but below any real kernel slowdown.
+const benchRegressTol = 0.10
+
+// benchDelta is one row of a -compare diff.
+type benchDelta struct {
+	Name   string
+	OldNs  float64 // ns_per_image in the baseline report
+	NewNs  float64 // ns_per_image in the new report; NaN when missing
+	Pct    float64 // (new-old)/old; NaN when missing
+	Missng bool    // benchmark present in the baseline but not the new run
+}
+
+// compareReports diffs two reports by benchmark name on ns_per_image.
+// Every baseline benchmark yields a row; one that vanished from the new
+// report is marked missing (and counts as a regression — a silently
+// dropped benchmark must not pass a perf gate). Benchmarks only present
+// in the new report are additions, not deltas, and are ignored here.
+func compareReports(old, cur *benchReport) []benchDelta {
+	byName := make(map[string]benchResult, len(cur.Results))
+	for _, r := range cur.Results {
+		byName[r.Name] = r
+	}
+	deltas := make([]benchDelta, 0, len(old.Results))
+	for _, o := range old.Results {
+		d := benchDelta{Name: o.Name, OldNs: o.NsPerImage}
+		if n, ok := byName[o.Name]; ok && o.NsPerImage > 0 {
+			d.NewNs = n.NsPerImage
+			d.Pct = (n.NsPerImage - o.NsPerImage) / o.NsPerImage
+		} else {
+			d.NewNs, d.Pct = math.NaN(), math.NaN()
+			d.Missng = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// anyRegression reports whether any delta exceeds the tolerance (or is
+// a missing benchmark).
+func anyRegression(deltas []benchDelta, tol float64) bool {
+	for _, d := range deltas {
+		if d.Missng || d.Pct > tol {
+			return true
+		}
+	}
+	return false
+}
+
+// printDeltas renders the diff table; negative percentages are
+// improvements.
+func printDeltas(w io.Writer, deltas []benchDelta, tol float64) {
+	for _, d := range deltas {
+		switch {
+		case d.Missng:
+			fmt.Fprintf(w, "%-22s %12.0f ns/image  →  MISSING (regression)\n", d.Name, d.OldNs)
+		case d.Pct > tol:
+			fmt.Fprintf(w, "%-22s %12.0f ns/image  →  %8.0f  %+6.1f%%  REGRESSION (> %.0f%%)\n",
+				d.Name, d.OldNs, d.NewNs, 100*d.Pct, 100*tol)
+		default:
+			fmt.Fprintf(w, "%-22s %12.0f ns/image  →  %8.0f  %+6.1f%%\n",
+				d.Name, d.OldNs, d.NewNs, 100*d.Pct)
+		}
+	}
+}
+
+// loadReport reads a bench report from disk.
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s is not a bench report: %w", path, err)
+	}
+	return &r, nil
+}
+
+// runCompare diffs cur (a freshly measured report or one loaded from
+// -bench-out) against the baseline at oldPath and returns true when any
+// benchmark regressed past the tolerance.
+func runCompare(oldPath string, cur *benchReport) (bool, error) {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	deltas := compareReports(old, cur)
+	printDeltas(os.Stdout, deltas, benchRegressTol)
+	return anyRegression(deltas, benchRegressTol), nil
+}

@@ -11,6 +11,11 @@
 //	trbench -bench          # time the integer inference runtime, write
 //	                        # results/BENCH_intinfer.json and the
 //	                        # METRICS_intinfer.json observability snapshot
+//	trbench -compare OLD.json
+//	                        # diff ns_per_image against a baseline report
+//	                        # (freshly measured with -bench, otherwise the
+//	                        # -bench-out file); exits non-zero when any
+//	                        # benchmark regressed by more than 10%
 //
 // The -bench run refuses to overwrite an existing results file that
 // was produced under a different config or platform; -force overrides.
@@ -52,6 +57,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
 	bench := flag.Bool("bench", false, "benchmark the integer inference runtime and write results/BENCH_intinfer.json + METRICS_intinfer.json")
 	benchOut := flag.String("bench-out", "results/BENCH_intinfer.json", "output path for -bench")
+	compare := flag.String("compare", "", "baseline bench report to diff ns_per_image against; exits non-zero on a >10% regression (with -bench: diffs the fresh run, alone: diffs the -bench-out file)")
 	force := flag.Bool("force", false, "overwrite the -bench results file even when its config differs")
 	gitRev := flag.String("git-rev", defaultGitRev(), "git revision recorded in the bench report")
 	metricsAddr := flag.String("metrics", "", "serve the observability endpoint on this address for the duration of the run (e.g. 127.0.0.1:9100)")
@@ -72,8 +78,38 @@ func main() {
 				}
 			}()
 		}
-		if err := runInferenceBench(*benchOut, *gitRev, *force, reg); err != nil {
+		report, err := runInferenceBench(*benchOut, *gitRev, *force, reg)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		if *compare != "" {
+			regressed, err := runCompare(*compare, report)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trbench:", err)
+				os.Exit(1)
+			}
+			if regressed {
+				fmt.Fprintln(os.Stderr, "trbench: benchmark regression vs", *compare)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *compare != "" {
+		cur, err := loadReport(*benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		regressed, err := runCompare(*compare, cur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			fmt.Fprintln(os.Stderr, "trbench: benchmark regression vs", *compare)
 			os.Exit(1)
 		}
 		return

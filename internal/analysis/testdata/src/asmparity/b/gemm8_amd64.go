@@ -1,0 +1,8 @@
+// Fixture: the gemm8 microkernel triple. The stub carries the real
+// kernel's shape — slice operands, a fused requant multiplier and clamp
+// bounds — so the analyzer is exercised on a multi-parameter signature,
+// not just the minimal pointer+len one in asm_amd64.go.
+package b
+
+//go:noescape
+func gemm8tile(dst []int32, dstStride int, a []int16, b []uint8, kq int, bias []int32, mult, lo, hi float64)

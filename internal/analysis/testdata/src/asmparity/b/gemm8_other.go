@@ -1,0 +1,10 @@
+//go:build !amd64 || noasm
+
+// Fixture: the portable sibling, selected when the assembly is compiled
+// out — on non-amd64 hosts or under -tags noasm, mirroring the real
+// kernels package.
+package b
+
+func gemm8tile(dst []int32, dstStride int, a []int16, b []uint8, kq int, bias []int32, mult, lo, hi float64) {
+	_ = dst
+}

@@ -1,0 +1,9 @@
+package b
+
+import "testing"
+
+// TestGemm8Differential is the differential-test reference asmparity
+// looks for: it mentions gemm8tile from a *_test.go file in the package.
+func TestGemm8Differential(t *testing.T) {
+	t.Skip("fixture: the real suite compares gemm8tile against its portable sibling")
+}

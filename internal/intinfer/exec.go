@@ -42,6 +42,8 @@ type scratch struct {
 	all     [][]int32 // every arena-owned buffer, the reset source
 	bufCap  int
 	im2col  []int32
+	colU8   []uint8   // offset-u8 patch matrix (packed int8 GEMM path)
+	bpack   []uint8   // PackB panel buffer (packed int8 GEMM path)
 	xf, yf  []float64 // ping-pong float64 code buffers (GemvF64 path)
 	logits  []float32
 	wg      sync.WaitGroup
@@ -53,7 +55,8 @@ func (p *Plan) newScratch() *scratch {
 	p.pm.scratchNew.Inc()
 	s := &scratch{free: make([][]int32, p.bufCount), bufCap: p.maxAct,
 		im2col: make([]int32, p.maxCol), xf: make([]float64, p.maxLin),
-		yf: make([]float64, p.maxLin), logits: make([]float32, p.classes)}
+		yf: make([]float64, p.maxLin), logits: make([]float32, p.classes),
+		colU8: make([]uint8, p.maxColU8), bpack: make([]uint8, p.maxPackB)}
 	for i := range s.free {
 		s.free[i] = make([]int32, p.maxAct)
 	}
@@ -519,6 +522,42 @@ func gemmChunk(wg *sync.WaitGroup, stop *atomic.Bool, dst, a, b, bias []int32, m
 	kernels.Gemm(dst, a, b, bias, m, n, k)
 }
 
+// gemm8 runs the packed int8 GEMM with the fused requant, splitting the
+// 4-row output panels across workers like gemm splits rows. Panels map
+// to disjoint dst rows, so workers need no synchronization beyond the
+// scratch-owned WaitGroup.
+func (p *Plan) gemm8(s *scratch, dst []int32, pa *kernels.PackedA, pb []uint8,
+	n int, mult float64, lo, hi int32) {
+	p.pm.dispatchGemm8.Inc()
+	workers := s.workers
+	if workers > pa.MP {
+		workers = pa.MP // at least one 4-row panel per worker
+	}
+	if workers <= 1 || pa.M*n*pa.K < intraMinWork {
+		kernels.Gemm8Rows(dst, pa, pb, n, 0, pa.MP, mult, lo, hi)
+		return
+	}
+	chunk := (pa.MP + workers - 1) / workers
+	for p0 := 0; p0 < pa.MP; p0 += chunk {
+		p1 := p0 + chunk
+		if p1 > pa.MP {
+			p1 = pa.MP
+		}
+		s.wg.Add(1)
+		go gemm8Chunk(&s.wg, s.stop, dst, pa, pb, n, p0, p1, mult, lo, hi)
+	}
+	s.wg.Wait()
+}
+
+func gemm8Chunk(wg *sync.WaitGroup, stop *atomic.Bool, dst []int32,
+	pa *kernels.PackedA, pb []uint8, n, p0, p1 int, mult float64, lo, hi int32) {
+	defer wg.Done()
+	if stop != nil && stop.Load() {
+		return
+	}
+	kernels.Gemm8Rows(dst, pa, pb, n, p0, p1, mult, lo, hi)
+}
+
 // gemv is the n=1 analogue for linear layers.
 func (p *Plan) gemv(s *scratch, dst, a, x, bias []int32, m, k int) {
 	p.pm.dispatchGemv.Inc()
@@ -608,6 +647,28 @@ func (p *Plan) execConv(st step, in activation, s *scratch) (activation, error) 
 		return out, nil
 	}
 	pointwise := g.kh == 1 && g.kw == 1 && g.stride == 1 && g.pad == 0
+	if st.pack8 != nil {
+		// Packed int8 SIMD path: the patch matrix is built directly in
+		// the offset-u8 domain, laid out into microkernel panels, and the
+		// requantization runs fused inside the kernel's register tile —
+		// out.data receives final codes with no int32 round-trip pass.
+		for grp := 0; grp < g.groups; grp++ {
+			b := in.data[grp*cPerG*g.inH*g.inW:][:cPerG*g.inH*g.inW]
+			u8 := s.colU8[:kk*n]
+			if pointwise {
+				kernels.OffsetU8(u8, b)
+			} else {
+				kernels.Im2colU8(u8, b, cPerG, g.inH, g.inW, g.kh, g.kw,
+					g.stride, g.pad, g.outH, g.outW)
+			}
+			pb := s.bpack[:kernels.PackBSize(kk, n)]
+			kernels.PackB(pb, u8, kk, n)
+			p.gemm8(s, out.data[grp*oPerG*n:][:oPerG*n], st.pack8[grp], pb,
+				n, st.mult, st.lo, st.hi)
+		}
+		s.put(in.data)
+		return out, nil
+	}
 	for grp := 0; grp < g.groups; grp++ {
 		b := in.data[grp*cPerG*g.inH*g.inW:][:cPerG*g.inH*g.inW]
 		if !pointwise {

@@ -91,6 +91,13 @@ type step struct {
 	// confined to one, and kernels.ExactF64 proves the arithmetic stays
 	// integer-exact, so results are bit-identical to the int32 kernel.
 	wf64, bf64 []float64
+	// pack8[g] is group g's weight matrix in packed panel form for the
+	// int8 SIMD GEMM, built once at compile time; nil when the conv was
+	// not admitted (kernels.AccumFitsU8). Conv-only: linear layers ride
+	// the float64 lane (ExactF64 is weaker than AccumFits, so every
+	// gemmOK linear qualifies there) and their n=1 output would waste
+	// 15/16 of each 16-wide panel.
+	pack8 []*kernels.PackedA
 
 	// max pool
 	k, stride int
@@ -123,6 +130,8 @@ type Plan struct {
 	// Arena geometry, fixed by finalize at build time.
 	maxAct       int  // largest activation (elements) any step produces
 	maxCol       int  // largest per-group im2col patch matrix (elements)
+	maxColU8     int  // largest offset-u8 patch matrix (bytes, packed path)
+	maxPackB     int  // largest PackB panel buffer (bytes, packed path)
 	maxLin       int  // widest buffer a float64-path linear step touches
 	express      bool // whole plan is flatten + float64-path linears
 	bufCount     int  // activation buffers one inference needs concurrently
@@ -298,9 +307,21 @@ func (p *Plan) sizeChain(steps []step, c, h, w int) (int, int, int) {
 			g := st.geom
 			c, h, w = g.outC, g.outH, g.outW
 			p.noteAct(c * h * w)
-			if st.gemmOK && !(g.kh == 1 && g.kw == 1 && g.stride == 1 && g.pad == 0) {
-				kk := (g.inC / g.groups) * g.kh * g.kw
-				if col := kk * g.outH * g.outW; col > p.maxCol {
+			kk := (g.inC / g.groups) * g.kh * g.kw
+			n := g.outH * g.outW
+			pointwise := g.kh == 1 && g.kw == 1 && g.stride == 1 && g.pad == 0
+			switch {
+			case st.pack8 != nil:
+				// Packed path: offset-u8 patch matrix + PackB panels; the
+				// int32 im2col buffer is never touched by this step.
+				if u8 := kk * n; u8 > p.maxColU8 {
+					p.maxColU8 = u8
+				}
+				if pb := kernels.PackBSize(kk, n); pb > p.maxPackB {
+					p.maxPackB = pb
+				}
+			case st.gemmOK && !pointwise:
+				if col := kk * n; col > p.maxCol {
 					p.maxCol = col
 				}
 			}
@@ -625,7 +646,31 @@ func compileConv(v *nn.Conv2D, opts Options, sx, sy float32) (step, error) {
 		}
 	}
 	st.gemmOK = admitGemm(st.weights, st.bias, kk)
+	if st.gemmOK {
+		packConvWeights(&st, kk)
+	}
 	return st, nil
+}
+
+// packConvWeights builds the packed-panel form of an admitted conv's
+// weights, one PackedA per group. Admission (kernels.AccumFitsU8)
+// depends on each group's compensated-bias magnitude, which only the
+// pack itself computes, so packing is speculative: if any group fails
+// the bound, pack8 stays nil and the step keeps the scalar GEMM path.
+func packConvWeights(st *step, kk int) {
+	g := st.geom
+	oPerG := g.outC / g.groups
+	wmax := maxAbs32(st.weights)
+	packs := make([]*kernels.PackedA, g.groups)
+	for grp := range packs {
+		pa := kernels.PackA(st.weights[grp*oPerG*kk:][:oPerG*kk],
+			st.bias[grp*oPerG:][:oPerG], oPerG, kk)
+		if !kernels.AccumFitsU8(kk, wmax, pa.BiasMax()) {
+			return
+		}
+		packs[grp] = pa
+	}
+	st.pack8 = packs
 }
 
 func compileLinear(v *nn.Linear, opts Options, sx, sy float32) (step, error) {

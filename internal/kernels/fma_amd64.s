@@ -1,3 +1,5 @@
+//go:build !noasm
+
 // AVX2+FMA microkernel for the float64 GEMV fast path. Safe to use only
 // after cpuHasAVX2FMA reports true; GemvF64 falls back to the portable
 // scalar loop otherwise. Reassociating the sum across eight vector

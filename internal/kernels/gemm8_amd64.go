@@ -1,0 +1,21 @@
+//go:build amd64 && !noasm
+
+package kernels
+
+// Implemented in gemm8_amd64.s.
+
+// gemm8tile computes one 4×16 tile of the packed int8 GEMM with the
+// requantization epilogue fused: dst rows r = 0..3 (int32 elements,
+// dstStride apart) receive requant(bias[r] + Σ_kp A-pair·B-pair) as
+// int8-range codes. a is one PackA panel (kq groups of 8 int16), b one
+// PackB column panel (kq groups of 32 offset-u8 bytes); mult/lo/hi are
+// the requant multiplier and clamp window. Only full tiles are issued;
+// Gemm8Rows routes edges through a spill buffer.
+//
+//go:noescape
+func gemm8tile(dst []int32, dstStride int, a []int16, b []uint8, kq int, bias []int32, mult, lo, hi float64)
+
+// The packed kernel needs AVX2 only (VPMOVZXBW/VPMADDWD, no FMA), but
+// every AVX2 part this runtime targets also has FMA, so it shares the
+// gemv4fma CPUID gate rather than duplicating the detection.
+var haveGemm8 = cpuHasAVX2FMA()

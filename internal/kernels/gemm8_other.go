@@ -1,0 +1,13 @@
+//go:build !amd64 || noasm
+
+package kernels
+
+const haveGemm8 = false
+
+// gemm8tile is the portable sibling of the assembly tile kernel; with
+// haveGemm8 constant-false Gemm8Rows always calls gemm8tileGo directly,
+// so this body is unreachable and exists for signature parity (the
+// asmparity invariant) and dead-code-eliminated builds.
+func gemm8tile(dst []int32, dstStride int, a []int16, b []uint8, kq int, bias []int32, mult, lo, hi float64) {
+	gemm8tileGo(dst, dstStride, a, b, kq, bias, mult, lo, hi)
+}

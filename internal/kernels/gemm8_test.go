@@ -1,0 +1,89 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGemm8TileDifferential exercises the gemm8tile assembly microkernel
+// directly against the portable twin on randomized panels, mirroring
+// TestGemv4FMADifferential. Each output lane accumulates its own k-pairs
+// in sequence in both kernels and int32 addition is associative, so the
+// two must agree bit for bit — including the fused float64 requant
+// epilogue, which performs the identical operation sequence. On hardware
+// without AVX2 the test is skipped: haveGemm8 is false there, so
+// Gemm8Rows never dispatches to the stub.
+func TestGemm8TileDifferential(t *testing.T) {
+	if !haveGemm8 {
+		t.Skip("kernels: no AVX2; gemm8tile never dispatched on this CPU")
+	}
+	rng := rand.New(rand.NewSource(59))
+	for _, kq := range []int{0, 1, 2, 7, 14, 32, 101} {
+		for _, stride := range []int{16, 33} {
+			a := make([]int16, kq*8)
+			for i := range a {
+				a[i] = int16(rng.Intn(255) - 127)
+			}
+			b := make([]uint8, kq*32)
+			for i := range b {
+				b[i] = uint8(1 + rng.Intn(255)) // offset-u8 domain [1, 255]
+			}
+			bias := make([]int32, 4)
+			for i := range bias {
+				bias[i] = int32(rng.Intn(200001) - 100000)
+			}
+			mult := 1.0 / float64(1+rng.Intn(500))
+			lo, hi := -127.0, 127.0
+			if rng.Intn(2) == 0 {
+				lo = 0
+			}
+			got := make([]int32, 3*stride+16)
+			want := make([]int32, 3*stride+16)
+			gemm8tile(got, stride, a, b, kq, bias, mult, lo, hi)
+			gemm8tileGo(want, stride, a, b, kq, bias, mult, lo, hi)
+			for r := 0; r < 4; r++ {
+				for j := 0; j < 16; j++ {
+					if got[r*stride+j] != want[r*stride+j] {
+						t.Fatalf("kq=%d stride=%d row %d col %d: asm=%d, portable=%d",
+							kq, stride, r, j, got[r*stride+j], want[r*stride+j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemm8TileSaturationBoundary drives the accumulator to the edges
+// the admission bound permits: max-magnitude weights against max-offset
+// activations, and a compensated bias near the int32 rim after the
+// product term. VPMADDWD's pairwise int16×int16 products of (≤255)×
+// (≤127) operands stay far inside int32, so asm and portable must agree
+// even at the extremes.
+func TestGemm8TileSaturationBoundary(t *testing.T) {
+	if !haveGemm8 {
+		t.Skip("kernels: no AVX2; gemm8tile never dispatched on this CPU")
+	}
+	const kq = 16 // k=32: 32·255·127 ≈ 1.04e6 per row
+	a := make([]int16, kq*8)
+	for i := range a {
+		if i%2 == 0 {
+			a[i] = 127
+		} else {
+			a[i] = -127
+		}
+	}
+	b := make([]uint8, kq*32)
+	for i := range b {
+		b[i] = 255
+	}
+	bias := []int32{2147000000, -2147000000, 0, 1}
+	got := make([]int32, 64)
+	want := make([]int32, 64)
+	gemm8tile(got, 16, a, b, kq, bias, 1e-7, -127, 127)
+	gemm8tileGo(want, 16, a, b, kq, bias, 1e-7, -127, 127)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: asm=%d, portable=%d", i, got[i], want[i])
+		}
+	}
+}

@@ -24,7 +24,9 @@ func AccumFits(k int, wmax, xmax, biasMax int64) bool {
 // row-major matrix whose column j holds the receptive field of output
 // pixel j. Out-of-bounds (padding) taps are written as zero, so the GEMM
 // consuming dst needs no boundary logic. dst must have c*kh*kw*outH*outW
-// elements.
+// elements. Only the padded border is zero-filled: interior spans —
+// the whole row for pad == 0 — are copied or gathered with no
+// per-element bounds branch.
 func Im2col(dst, src []int32, c, h, w, kh, kw, stride, pad, outH, outW int) {
 	n := outH * outW
 	for ci := 0; ci < c; ci++ {
@@ -32,29 +34,57 @@ func Im2col(dst, src []int32, c, h, w, kh, kw, stride, pad, outH, outW int) {
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
 				drow := dst[((ci*kh+ky)*kw+kx)*n:][:n]
+				lo, hi := rowSpan(w, kx, stride, pad, outW)
 				idx := 0
 				for oy := 0; oy < outH; oy++ {
 					iy := oy*stride + ky - pad
 					if iy < 0 || iy >= h {
-						for ox := 0; ox < outW; ox++ {
-							drow[idx] = 0
-							idx++
-						}
+						zero32(drow[idx : idx+outW])
+						idx += outW
 						continue
 					}
 					srow := plane[iy*w:][:w]
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= w {
-							drow[idx] = 0
-						} else {
-							drow[idx] = srow[ix]
+					zero32(drow[idx : idx+lo])
+					if stride == 1 {
+						copy(drow[idx+lo:idx+hi], srow[lo+kx-pad:])
+					} else {
+						ix := lo*stride + kx - pad
+						for ox := lo; ox < hi; ox++ {
+							drow[idx+ox] = srow[ix]
+							ix += stride
 						}
-						idx++
 					}
+					zero32(drow[idx+hi : idx+outW])
+					idx += outW
 				}
 			}
 		}
+	}
+}
+
+// rowSpan returns the half-open range [lo, hi) of output columns whose
+// input column ox·stride + kx − pad lands inside [0, w) — the in-bounds
+// span of one im2col row. For pad == 0 the span is the whole row.
+func rowSpan(w, kx, stride, pad, outW int) (lo, hi int) {
+	if d := pad - kx; d > 0 {
+		lo = (d + stride - 1) / stride
+	}
+	hi = (w - 1 + pad - kx) / stride
+	hi++
+	if hi > outW {
+		hi = outW
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// zero32 is a memclr-shaped clear loop (the compiler lowers it to
+// runtime.memclrNoHeapPointers).
+func zero32(s []int32) {
+	for i := range s {
+		s[i] = 0
 	}
 }
 

@@ -1,0 +1,312 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refRequant is the scalar requantization the packed path fuses: the
+// same float64 multiply, magic-constant round and clamp sequence as
+// intinfer's requant.
+func refRequant(acc int32, mult float64, lo, hi int32) int32 {
+	f := float64(acc)*mult + roundMagic - roundMagic
+	flo, fhi := float64(lo), float64(hi)
+	if f > fhi {
+		f = fhi
+	} else if f < flo {
+		f = flo
+	}
+	return int32(f)
+}
+
+// TestGemm8RowsMatchesGemmRequant is the golden identity the packed
+// path rests on: for every m%4 × n%16 edge remainder and odd/even k,
+// PackA + PackB + Gemm8Rows must equal Gemm followed by scalar
+// requantization, bit for bit. On AVX2 hardware this exercises the
+// assembly tile; elsewhere the portable twin — both must pass.
+func TestGemm8RowsMatchesGemmRequant(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ms := []int{4, 5, 6, 7, 12}    // every m%4 remainder
+	ns := []int{16, 17, 30, 33, 1} // every n%16 remainder incl. the gemv shape
+	ks := []int{1, 2, 9, 27, 64}   // odd and even depths
+	for _, m := range ms {
+		for _, n := range ns {
+			for _, k := range ks {
+				w := randCodes(rng, m*k)
+				bias := make([]int32, m)
+				for i := range bias {
+					bias[i] = int32(rng.Intn(20001) - 10000)
+				}
+				x := randCodes(rng, k*n)
+
+				// Reference: scalar GEMM then scalar requant.
+				mult := 1.0 / float64(1+rng.Intn(200))
+				lo, hi := int32(-127), int32(127)
+				if rng.Intn(2) == 0 {
+					lo = 0 // fused-ReLU window
+				}
+				ref := make([]int32, m*n)
+				Gemm(ref, w, x, bias, m, n, k)
+				for i, v := range ref {
+					ref[i] = refRequant(v, mult, lo, hi)
+				}
+
+				// Packed path.
+				pa := PackA(w, bias, m, k)
+				xu := make([]uint8, k*n)
+				OffsetU8(xu, x)
+				pb := make([]uint8, PackBSize(k, n))
+				PackB(pb, xu, k, n)
+				got := make([]int32, m*n)
+				Gemm8Rows(got, pa, pb, n, 0, pa.MP, mult, lo, hi)
+
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("m=%d n=%d k=%d: element %d: packed=%d, ref=%d",
+							m, n, k, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemm8RowsPanelPartition checks that disjoint panel ranges compose
+// to the full result — the property InferBatchParallel's intra-image
+// row partitioning relies on.
+func TestGemm8RowsPanelPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m, n, k := 11, 35, 18
+	w := randCodes(rng, m*k)
+	bias := randCodes(rng, m)
+	x := randCodes(rng, k*n)
+	pa := PackA(w, bias, m, k)
+	xu := make([]uint8, k*n)
+	OffsetU8(xu, x)
+	pb := make([]uint8, PackBSize(k, n))
+	PackB(pb, xu, k, n)
+	mult, lo, hi := 0.031, int32(-127), int32(127)
+
+	whole := make([]int32, m*n)
+	Gemm8Rows(whole, pa, pb, n, 0, pa.MP, mult, lo, hi)
+
+	parts := make([]int32, m*n)
+	for p := 0; p < pa.MP; p++ {
+		Gemm8Rows(parts, pa, pb, n, p, p+1, mult, lo, hi)
+	}
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("element %d: whole=%d, per-panel=%d", i, whole[i], parts[i])
+		}
+	}
+}
+
+// TestPackACompensation pins the u8-offset identity at the pack level:
+// the packed bias must be bias − 128·Σw per row, and BiasMax must track
+// its largest magnitude before saturation.
+func TestPackACompensation(t *testing.T) {
+	w := []int32{1, -2, 3, 0, 127, -127} // rows: Σ=2, Σ=0
+	bias := []int32{10, -5}
+	pa := PackA(w, bias, 2, 3)
+	if pa.bias[0] != 10-128*2 || pa.bias[1] != -5 {
+		t.Fatalf("compensated bias = %v, want [%d %d]", pa.bias[:2], 10-128*2, -5)
+	}
+	if want := int64(128*2 - 10); pa.BiasMax() != want {
+		t.Fatalf("BiasMax = %d, want %d", pa.BiasMax(), want)
+	}
+	// Padded rows (m=2 → one 4-row panel) must carry zero weights and bias.
+	if pa.MP != 1 || pa.KQ != 2 {
+		t.Fatalf("MP=%d KQ=%d, want 1, 2", pa.MP, pa.KQ)
+	}
+	for _, b := range pa.bias[2:] {
+		if b != 0 {
+			t.Fatalf("pad bias = %d, want 0", b)
+		}
+	}
+	// Odd-k pad tap: entries at q=2 (pair 1 slot 1) must be zero.
+	for r := 0; r < 4; r++ {
+		if pa.data[1*8+r*2+1] != 0 {
+			t.Fatalf("row %d pad tap nonzero", r)
+		}
+	}
+}
+
+// TestAccumFitsU8 pins the admission bound and its relation to the
+// scalar AccumFits: packed admission is strictly stronger, so every
+// packed step could also have run the int32 path.
+func TestAccumFitsU8(t *testing.T) {
+	if !AccumFitsU8(27, 127, 1<<20) {
+		t.Fatal("small conv geometry must fit")
+	}
+	k := int(math.MaxInt32 / (255 * 127))
+	if AccumFitsU8(k+1, 127, 0) {
+		t.Fatal("bound must reject k just past the limit")
+	}
+	if AccumFitsU8(1000, 127, 0) && !AccumFits(1000, 127, 255, 0) {
+		t.Fatal("AccumFitsU8 must imply AccumFits at xmax=255")
+	}
+}
+
+// TestIm2colU8MatchesIm2col pins the offset identity between the two
+// patch builders for padded and pad-free geometries.
+func TestIm2colU8MatchesIm2col(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	type geom struct{ c, h, w, kh, kw, stride, pad int }
+	for _, g := range []geom{
+		{3, 8, 8, 3, 3, 1, 1},
+		{2, 7, 9, 3, 3, 2, 1},
+		{1, 6, 6, 3, 3, 1, 0},
+		{2, 9, 7, 5, 3, 2, 2},
+	} {
+		outH := (g.h+2*g.pad-g.kh)/g.stride + 1
+		outW := (g.w+2*g.pad-g.kw)/g.stride + 1
+		src := randCodes(rng, g.c*g.h*g.w)
+		kk := g.c * g.kh * g.kw
+		n := outH * outW
+		want := make([]int32, kk*n)
+		Im2col(want, src, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, outH, outW)
+		got := make([]uint8, kk*n)
+		Im2colU8(got, src, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, outH, outW)
+		for i := range want {
+			if int32(got[i])-128 != want[i] {
+				t.Fatalf("%+v: element %d: u8=%d, int32=%d", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestOffsetU8 covers the pointwise-conv conversion path.
+func TestOffsetU8(t *testing.T) {
+	src := []int32{-127, -1, 0, 1, 127}
+	dst := make([]uint8, len(src))
+	OffsetU8(dst, src)
+	for i, v := range src {
+		if int32(dst[i]) != v+128 {
+			t.Fatalf("OffsetU8(%d) = %d, want %d", v, dst[i], v+128)
+		}
+	}
+}
+
+// TestPackBPadding pins the 128 (offset-zero) fill for pad columns and
+// the odd-k pad tap, which is what makes edge tiles safe to compute at
+// full width.
+func TestPackBPadding(t *testing.T) {
+	k, n := 3, 5
+	src := make([]uint8, k*n)
+	for i := range src {
+		src[i] = uint8(i + 1)
+	}
+	dst := make([]uint8, PackBSize(k, n))
+	PackB(dst, src, k, n)
+	kq := (k + 1) / 2
+	for q := 0; q < kq; q++ {
+		grp := dst[q*32:][:32]
+		for j := 0; j < 16; j++ {
+			w0, w1 := grp[2*j], grp[2*j+1]
+			var e0, e1 uint8 = 128, 128
+			if j < n {
+				e0 = src[2*q*n+j]
+				if 2*q+1 < k {
+					e1 = src[(2*q+1)*n+j]
+				}
+			}
+			if w0 != e0 || w1 != e1 {
+				t.Fatalf("q=%d j=%d: got (%d,%d), want (%d,%d)", q, j, w0, w1, e0, e1)
+			}
+		}
+	}
+}
+
+// refIm2col is the pre-optimization per-element implementation, kept as
+// the regression reference for the border-only zero fill.
+func refIm2col(dst, src []int32, c, h, w, kh, kw, stride, pad, outH, outW int) {
+	n := outH * outW
+	for ci := 0; ci < c; ci++ {
+		plane := src[ci*h*w:][:h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				drow := dst[((ci*kh+ky)*kw+kx)*n:][:n]
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if iy < 0 || iy >= h || ix < 0 || ix >= w {
+							drow[idx] = 0
+						} else {
+							drow[idx] = plane[iy*w+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIm2colBorderOnlyFill pins Im2col against the naive reference for
+// both pad cases (and strided variants), and verifies stale scratch
+// content on the border is actually overwritten — the property the
+// border-only memclr could silently break.
+func TestIm2colBorderOnlyFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	type geom struct{ c, h, w, kh, kw, stride, pad int }
+	for _, g := range []geom{
+		{2, 8, 8, 3, 3, 1, 0},
+		{2, 8, 8, 3, 3, 1, 1},
+		{1, 7, 9, 3, 3, 2, 0},
+		{1, 7, 9, 3, 3, 2, 1},
+		{3, 9, 7, 5, 3, 2, 2},
+		{2, 6, 6, 1, 1, 1, 0},
+	} {
+		outH := (g.h+2*g.pad-g.kh)/g.stride + 1
+		outW := (g.w+2*g.pad-g.kw)/g.stride + 1
+		src := randCodes(rng, g.c*g.h*g.w)
+		kk := g.c * g.kh * g.kw
+		n := outH * outW
+		want := make([]int32, kk*n)
+		refIm2col(want, src, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, outH, outW)
+		got := make([]int32, kk*n)
+		for i := range got {
+			got[i] = -999 // stale arena content must not survive
+		}
+		Im2col(got, src, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, outH, outW)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: element %d: got %d, want %d", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRowSpan pins the border arithmetic shared by Im2col and Im2colU8.
+func TestRowSpan(t *testing.T) {
+	cases := []struct {
+		w, kx, stride, pad, outW int
+		lo, hi                   int
+	}{
+		{8, 0, 1, 0, 6, 0, 6}, // pad-free: whole row
+		{8, 0, 1, 1, 8, 1, 8}, // left border from kx < pad
+		{8, 2, 1, 1, 8, 0, 7}, // right border from kx > pad
+		{7, 0, 2, 1, 4, 1, 4}, // strided left border
+		{7, 2, 2, 1, 4, 0, 3}, // strided right border
+		{4, 0, 1, 3, 4, 3, 4}, // pad wider than data
+	}
+	for _, c := range cases {
+		lo, hi := rowSpan(c.w, c.kx, c.stride, c.pad, c.outW)
+		if lo != c.lo || hi != c.hi {
+			t.Fatalf("rowSpan(%d,%d,%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.w, c.kx, c.stride, c.pad, c.outW, lo, hi, c.lo, c.hi)
+		}
+		// Cross-check against the per-element predicate.
+		for ox := 0; ox < c.outW; ox++ {
+			ix := ox*c.stride + c.kx - c.pad
+			in := ix >= 0 && ix < c.w
+			if in != (ox >= lo && ox < hi) {
+				t.Fatalf("rowSpan(%d,%d,%d,%d,%d): ox=%d predicate mismatch",
+					c.w, c.kx, c.stride, c.pad, c.outW, ox)
+			}
+		}
+	}
+}
