@@ -13,10 +13,14 @@
 #                baseline; fails on a >10% regression on any benchmark
 #   make tier1-noasm  tier1 with the assembly kernels compiled out
 #                (-tags noasm), proving the portable fallbacks alone pass
+#   make serve-smoke  end-to-end serving check: boot trserve on an
+#                ephemeral port, classify one image over HTTP, scrape
+#                /metrics for the trq_serve_* families, drain
+#   make serve-bench  selfload run + results/BENCH_serve.json
 
 GO ?= go
 
-.PHONY: tier1 tier1-noasm tier2 tier3 lint bench benchcmp
+.PHONY: tier1 tier1-noasm tier2 tier3 lint bench benchcmp serve-smoke serve-bench
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -54,3 +58,9 @@ bench:
 # gitignored) so the committed baseline is never clobbered by the gate.
 benchcmp:
 	$(GO) run ./cmd/trbench -bench -force -bench-out results/BENCH_head.json -compare results/BENCH_intinfer.json
+
+serve-smoke:
+	$(GO) run ./cmd/trserve -model mlp -smoke
+
+serve-bench:
+	$(GO) run ./cmd/trserve -model mlp -selfload -duration 3s

@@ -7,17 +7,16 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/datasets"
+	"repro/internal/demoplan"
 	"repro/internal/intinfer"
 	"repro/internal/kernels"
-	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/qsim"
+	"repro/internal/report"
 	"repro/internal/term"
 )
 
@@ -43,34 +42,23 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	// CPUFeatures is the kernel dispatchers' detected feature set
-	// ("avx2,fma" or empty), stamped so packed-kernel numbers are
-	// attributable to the hardware that produced them.
-	CPUFeatures string        `json:"cpu_features"`
-	GitRev      string        `json:"git_rev,omitempty"`
-	Config      benchConfig   `json:"config"`
-	Results     []benchResult `json:"results"`
+	report.Platform
+	Config  benchConfig   `json:"config"`
+	Results []benchResult `json:"results"`
 }
 
 // reportIdentity is the comparable subset of a report that must match
 // for an overwrite to be considered a re-run of the same experiment.
-// CPU features and GOMAXPROCS are part of it: numbers from a machine
-// that dispatched different kernels are a different experiment.
+// CPU features and GOMAXPROCS are part of it (via report.Identity):
+// numbers from a machine that dispatched different kernels are a
+// different experiment.
 type reportIdentity struct {
-	GOOS, GOARCH string
-	NumCPU       int
-	GOMAXPROCS   int
-	CPUFeatures  string
-	Config       benchConfig
+	report.Identity
+	Config benchConfig
 }
 
 func (r *benchReport) identity() reportIdentity {
-	return reportIdentity{GOOS: r.GOOS, GOARCH: r.GOARCH, NumCPU: r.NumCPU,
-		GOMAXPROCS: r.GOMAXPROCS, CPUFeatures: r.CPUFeatures, Config: r.Config}
+	return reportIdentity{Identity: r.Platform.Identity(), Config: r.Config}
 }
 
 // checkOverwrite enforces the clobber rule: overwriting an existing
@@ -165,15 +153,12 @@ func runInferenceBench(outPath, gitRev string, force bool, reg *obs.Registry) (*
 	return &report, nil
 }
 
-// newReportHeader stamps the platform attribution fields: OS/arch, CPU
-// counts, the scheduler width the run used, and the kernel dispatchers'
-// detected CPU features — enough to tell whose hardware (and which
-// kernels) produced a set of numbers.
+// newReportHeader stamps the shared platform attribution header
+// (report.Platform) plus this report's quantization config.
 func newReportHeader(gitRev string) benchReport {
-	return benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
-		CPUFeatures: strings.Join(kernels.Features(), ","), GitRev: gitRev,
-		Config: benchConfig{GroupSize: 8, GroupBudget: 12}}
+	return benchReport{Platform: report.NewPlatform(gitRev),
+		Config: benchConfig{GroupSize: demoplan.QuantGroupSize,
+			GroupBudget: demoplan.QuantGroupBudget}}
 }
 
 func measurePlan(name string, plan *intinfer.Plan, images [][]float32) benchResult {
@@ -195,34 +180,13 @@ func measurePlan(name string, plan *intinfer.Plan, images [][]float32) benchResu
 	}
 }
 
+// The bench models are the shared demo plans (internal/demoplan), so
+// the numbers in BENCH_intinfer.json and BENCH_serve.json come from the
+// same trained models.
 func benchMLPPlan(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
-	train := datasets.DigitsNoisy(400, 0.2, 91)
-	test := datasets.DigitsNoisy(64, 0.2, 92)
-	m := models.NewMLP(64, 93)
-	cfg := models.DefaultTrain
-	cfg.Epochs = 2
-	models.Train(m, train, cfg)
-	plan, err := intinfer.Build(m, intinfer.Options{
-		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12, Obs: reg})
-	if err != nil {
-		return nil, nil, err
-	}
-	return plan, test.Images, nil
+	return demoplan.MLP(reg)
 }
 
 func benchCNNPlan(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
-	g := models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
-	all := datasets.ImageClassesHard(120, g.Classes, g.InC, g.InH, g.InW, 0.4, 0.4, 96)
-	train, test := all.Split(88)
-	m := models.NewResNetStyle(g, 97)
-	cfg := models.DefaultTrain
-	cfg.Epochs = 1
-	models.Train(m, train, cfg)
-	qsim.FoldBatchNorm(m)
-	plan, err := intinfer.Build(m, intinfer.Options{
-		Calibration: train.Images[:32], GroupSize: 8, GroupBudget: 12, Obs: reg})
-	if err != nil {
-		return nil, nil, err
-	}
-	return plan, test.Images, nil
+	return demoplan.CNN(reg)
 }

@@ -10,11 +10,13 @@ import (
 	"testing"
 
 	"repro/internal/kernels"
+	"repro/internal/report"
 )
 
 func testReport() *benchReport {
-	return &benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(),
+	return &benchReport{
+		Platform: report.Platform{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU()},
 		Config: benchConfig{GroupSize: 8, GroupBudget: 12, MLPImages: 64, CNNImages: 32}}
 }
 

@@ -27,29 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/report"
 )
-
-// defaultGitRev resolves the revision stamped into the bench report:
-// the -git-rev flag wins, then the TRBENCH_GIT_REV / GITHUB_SHA
-// environment (CI), then a best-effort `git rev-parse`; an unknown
-// revision is recorded as the empty string, never an error.
-func defaultGitRev() string {
-	for _, env := range []string{"TRBENCH_GIT_REV", "GITHUB_SHA"} {
-		if v := os.Getenv(env); v != "" {
-			return v
-		}
-	}
-	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
-}
 
 func main() {
 	exp := flag.String("exp", "", "comma-separated experiments to run (fig3 fig5 fig8c fig15 fig16 fig17 fig18 fig19 tab1 tab2 tab3 tab4 ablations); empty = all")
@@ -59,7 +42,7 @@ func main() {
 	benchOut := flag.String("bench-out", "results/BENCH_intinfer.json", "output path for -bench")
 	compare := flag.String("compare", "", "baseline bench report to diff ns_per_image against; exits non-zero on a >10% regression (with -bench: diffs the fresh run, alone: diffs the -bench-out file)")
 	force := flag.Bool("force", false, "overwrite the -bench results file even when its config differs")
-	gitRev := flag.String("git-rev", defaultGitRev(), "git revision recorded in the bench report")
+	gitRev := flag.String("git-rev", report.DefaultGitRev(), "git revision recorded in the bench report")
 	metricsAddr := flag.String("metrics", "", "serve the observability endpoint on this address for the duration of the run (e.g. 127.0.0.1:9100)")
 	flag.Parse()
 

@@ -1,0 +1,129 @@
+// Command trserve serves a demo term-revealing inference plan over
+// HTTP with micro-batching, per-request deadlines, bounded-queue load
+// shedding, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	trserve                       # serve the digits MLP on 127.0.0.1:8080
+//	trserve -model cnn -addr :9000
+//	trserve -smoke                # one classify + /metrics scrape + drain
+//	trserve -selfload             # closed-loop load run; writes
+//	                              # results/BENCH_serve.json
+//
+// The serving endpoint:
+//
+//	POST /v1/classify  {"image":[...], "deadline_ms":50}
+//	                   -> {"class":3, "batch_size":8, "queue_us":812}
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text: trq_serve_* plus the runtime's
+//	                   trq_intinfer_* / trq_kernel_* families
+//	     /debug/*      expvar + pprof
+//
+// Requests the admission queue cannot hold are shed with 429 and a
+// Retry-After hint; requests whose deadline lapses in the queue or
+// mid-batch return 504. SIGTERM stops admission, flushes the queue,
+// and shuts the listener down gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/demoplan"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		model       = flag.String("model", "mlp", "demo model to serve: mlp or cnn")
+		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max images per dispatched micro-batch")
+		maxDelay    = flag.Duration("max-delay", serve.DefaultMaxDelay, "max wait for a micro-batch to fill")
+		queueCap    = flag.Int("queue-cap", serve.DefaultQueueCap, "admission queue bound; overflow sheds with 429")
+		workers     = flag.Int("batch-workers", 1, "batch-level inference parallelism (<1 = GOMAXPROCS)")
+		deadline    = flag.Duration("deadline", serve.DefaultDeadline, "default per-request serving deadline")
+		maxDeadline = flag.Duration("max-deadline", serve.DefaultMaxDeadline, "clamp on client-requested deadlines")
+		drainWait   = flag.Duration("drain-wait", 10*time.Second, "bound on the SIGTERM graceful drain")
+		smoke       = flag.Bool("smoke", false, "start, classify one image over HTTP, scrape /metrics, drain, exit")
+		selfload    = flag.Bool("selfload", false, "run the built-in load generator and write the serve benchmark report")
+		clients     = flag.Int("clients", 32, "selfload: closed-loop client goroutines")
+		duration    = flag.Duration("duration", 2*time.Second, "selfload: how long to drive load")
+		loadDeadl   = flag.Duration("load-deadline", 200*time.Millisecond, "selfload: per-request deadline the clients ask for")
+		out         = flag.String("out", "results/BENCH_serve.json", "selfload: output path for the serve benchmark report")
+		gitRev      = flag.String("git-rev", report.DefaultGitRev(), "git revision recorded in the selfload report")
+	)
+	flag.Parse()
+
+	if err := run(config{addr: *addr, model: *model, maxBatch: *maxBatch,
+		maxDelay: *maxDelay, queueCap: *queueCap, workers: *workers,
+		deadline: *deadline, maxDeadline: *maxDeadline, drainWait: *drainWait,
+		smoke: *smoke, selfload: *selfload, clients: *clients,
+		duration: *duration, loadDeadline: *loadDeadl, out: *out,
+		gitRev: *gitRev}); err != nil {
+		fmt.Fprintln(os.Stderr, "trserve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr, model            string
+	maxBatch, queueCap     int
+	workers, clients       int
+	maxDelay, deadline     time.Duration
+	maxDeadline, drainWait time.Duration
+	duration, loadDeadline time.Duration
+	smoke, selfload        bool
+	out, gitRev            string
+}
+
+func run(cfg config) error {
+	reg := obs.New()
+	fmt.Printf("trserve: training and compiling the %s demo plan...\n", cfg.model)
+	plan, images, err := demoplan.ByName(cfg.model, reg)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Config{Plan: plan, MaxBatch: cfg.maxBatch,
+		MaxDelay: cfg.maxDelay, QueueCap: cfg.queueCap,
+		BatchWorkers: cfg.workers, DefaultDeadline: cfg.deadline,
+		MaxDeadline: cfg.maxDeadline, Obs: reg})
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case cfg.smoke:
+		return runSmoke(s, images)
+	case cfg.selfload:
+		return runSelfload(s, images, cfg)
+	}
+
+	if err := s.Start(cfg.addr); err != nil {
+		return err
+	}
+	fmt.Printf("trserve: serving %s on http://%s (max_batch=%d max_delay=%v queue_cap=%d)\n",
+		cfg.model, s.Addr, cfg.maxBatch, cfg.maxDelay, cfg.queueCap)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C kills hard
+
+	fmt.Println("trserve: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainWait)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	st := s.Stats()
+	fmt.Printf("trserve: drained cleanly (%d ok, %d shed, %d timeout, %d batches)\n",
+		st.OK, st.Shed, st.Timeout, st.Batches)
+	return nil
+}

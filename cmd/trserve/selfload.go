@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+// runSmoke is the CI path (`make serve-smoke`): boot the real listener
+// on an ephemeral port, classify one image over HTTP, scrape /metrics
+// for the serving families, drain, exit. Everything the SIGTERM path
+// exercises except the signal itself.
+func runSmoke(s *serve.Server, images [][]float32) error {
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	base := "http://" + s.Addr
+	fmt.Println("trserve: smoke on", base)
+
+	body, err := json.Marshal(map[string]any{"image": images[0], "deadline_ms": 2000})
+	if err != nil {
+		return err
+	}
+	code, data, err := httpPost(http.DefaultClient, base+"/v1/classify", body)
+	if err != nil {
+		return fmt.Errorf("classify: %w", err)
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("classify returned %d: %s", code, data)
+	}
+	var resp struct {
+		Class     int `json:"class"`
+		BatchSize int `json:"batch_size"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return fmt.Errorf("classify response: %w", err)
+	}
+	fmt.Printf("trserve: classified as %d (batch_size=%d)\n", resp.Class, resp.BatchSize)
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	mdata, err := io.ReadAll(mresp.Body)
+	if cerr := mresp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	for _, fam := range []string{"trq_serve_requests_total", "trq_serve_batches_total", "trq_serve_queue_depth"} {
+		if !strings.Contains(string(mdata), fam) {
+			return fmt.Errorf("/metrics is missing the %s family", fam)
+		}
+	}
+	fmt.Println("trserve: /metrics exposes the serving families")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("trserve: smoke ok")
+	return nil
+}
+
+// runSelfload drives the server with closed-loop HTTP clients for the
+// configured duration and writes results/BENCH_serve.json: client-side
+// latency percentiles and status counts plus the scheduler's batching
+// behaviour from the metrics registry.
+func runSelfload(s *serve.Server, images [][]float32, cfg config) error {
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	url := "http://" + s.Addr + "/v1/classify"
+	fmt.Printf("trserve: selfload on %s: %d clients for %v (deadline %v)\n",
+		s.Addr, cfg.clients, cfg.duration, cfg.loadDeadline)
+
+	// Pre-marshal one body per image; the clients round-robin over them.
+	bodies := make([][]byte, len(images))
+	for i, img := range images {
+		b, err := json.Marshal(map[string]any{"image": img, "deadline_ms": cfg.loadDeadline.Milliseconds()})
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.clients * 2,
+		MaxIdleConnsPerHost: cfg.clients * 2,
+	}}
+
+	var ok, shed, timeout, failed atomic.Int64
+	lats := make([][]int64, cfg.clients) // per-client, merged after the run
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(cfg.duration)
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(stopAt); i++ {
+				start := time.Now()
+				code, _, err := httpPost(client, url, bodies[i%len(bodies)])
+				lat := time.Since(start).Microseconds()
+				if err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, &err)
+					continue
+				}
+				switch code {
+				case http.StatusOK:
+					ok.Add(1)
+					lats[c] = append(lats[c], lat)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				case http.StatusGatewayTimeout:
+					timeout.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := cfg.duration
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	st := s.Stats()
+	total := ok.Load() + shed.Load() + timeout.Load() + failed.Load()
+	res := report.ServeResults{
+		Requests: total, OK: ok.Load(), Shed: shed.Load(),
+		Timeout: timeout.Load(), Errors: failed.Load(),
+		Throughput:    float64(total) / elapsed.Seconds(),
+		P50Us:         percentile(all, 0.50),
+		P90Us:         percentile(all, 0.90),
+		P99Us:         percentile(all, 0.99),
+		Batches:       st.Batches,
+		BatchImages:   st.BatchImages,
+		QueueDepthEnd: st.QueueDepth,
+	}
+	if total > 0 {
+		res.ShedRate = float64(res.Shed) / float64(total)
+	}
+	if len(all) > 0 {
+		res.MaxUs = all[len(all)-1]
+	}
+	if st.Batches > 0 {
+		res.AvgBatch = float64(st.BatchImages) / float64(st.Batches)
+	}
+	rep := report.ServeReport{
+		Platform: report.NewPlatform(cfg.gitRev),
+		Config: report.ServeConfig{Model: cfg.model, MaxBatch: cfg.maxBatch,
+			MaxDelayUs: cfg.maxDelay.Microseconds(), QueueCap: cfg.queueCap,
+			BatchWorkers: cfg.workers, Clients: cfg.clients,
+			DurationMs: cfg.duration.Milliseconds(),
+			DeadlineMs: cfg.loadDeadline.Milliseconds()},
+		Results: res,
+	}
+
+	if dir := filepath.Dir(cfg.out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-12s %d requests (%.0f req/s): %d ok, %d shed, %d timeout, %d error\n",
+		"load:", total, res.Throughput, res.OK, res.Shed, res.Timeout, res.Errors)
+	fmt.Printf("%-12s p50 %dus  p90 %dus  p99 %dus  max %dus\n",
+		"latency:", res.P50Us, res.P90Us, res.P99Us, res.MaxUs)
+	fmt.Printf("%-12s %d batches, %d images, avg batch %.2f\n",
+		"batching:", res.Batches, res.BatchImages, res.AvgBatch)
+	fmt.Println("wrote", cfg.out)
+	if p := firstErr.Load(); p != nil {
+		fmt.Println("trserve: first transport error:", *p)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if res.AvgBatch < 2 {
+		return fmt.Errorf("selfload averaged %.2f images/batch; the scheduler is not batching under load", res.AvgBatch)
+	}
+	return nil
+}
+
+// percentile reads the q-quantile from an ascending-sorted latency
+// slice (nearest-rank); 0 when no samples survived.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// httpPost POSTs a JSON body and returns status plus the full response
+// body, folding the Close error in as the read path's obs helpers do.
+func httpPost(client *http.Client, url string, body []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}

@@ -3,8 +3,11 @@
 // sync.Pool (directly via Get, or through a same-package helper whose doc
 // comment carries the //trlint:arena-acquire directive) must be handed
 // back on every return path — either a Put on the same pool before the
-// return, a deferred Put, or an explicit ownership transfer by returning
-// the object from a function that is itself an annotated acquirer.
+// return, a deferred Put, a call to a same-package release helper
+// annotated //trlint:arena-release (error-path teardown in one place
+// instead of an inline triplet at every return), or an explicit
+// ownership transfer by returning the object from a function that is
+// itself an annotated acquirer.
 // Dropping the object on an error path is sometimes the right call (a
 // poisoned arena must not be repaired); those sites carry a
 // //trlint:checked justification. Pooled objects must never leak into a
@@ -38,23 +41,31 @@ var Analyzer = &analysis.Analyzer{
 // a pooled object to the caller.
 const AcquireDirective = "//trlint:arena-acquire"
 
+// ReleaseDirective marks a helper function that takes ownership of the
+// pooled object passed to it and returns it to the pool (after whatever
+// repair the error path needs). A call to an annotated releaser counts
+// as a Put for the pairing check, so error-path teardown can live in one
+// helper instead of an inline triplet copy-pasted at every return.
+const ReleaseDirective = "//trlint:arena-release"
+
 func run(pass *analysis.Pass) error {
-	acquirers := annotatedAcquirers(pass)
+	acquirers := annotatedFuncs(pass, AcquireDirective)
+	releasers := annotatedFuncs(pass, ReleaseDirective)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd, acquirers)
+			checkFunc(pass, fd, acquirers, releasers)
 		}
 	}
 	return nil
 }
 
-// annotatedAcquirers collects the *types.Func objects of this package's
-// functions marked //trlint:arena-acquire.
-func annotatedAcquirers(pass *analysis.Pass) map[types.Object]bool {
+// annotatedFuncs collects the *types.Func objects of this package's
+// functions whose doc comment carries the given directive.
+func annotatedFuncs(pass *analysis.Pass, directive string) map[types.Object]bool {
 	out := make(map[types.Object]bool)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -63,7 +74,7 @@ func annotatedAcquirers(pass *analysis.Pass) map[types.Object]bool {
 				continue
 			}
 			for _, c := range fd.Doc.List {
-				if strings.HasPrefix(strings.TrimSpace(c.Text), AcquireDirective) {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), directive) {
 					if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
 						out[obj] = true
 					}
@@ -81,15 +92,15 @@ type acquisition struct {
 	expr string       // printable source of the acquiring call, for messages
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers map[types.Object]bool) {
-	checkBody(pass, fd.Name.Name, fd.Body, acquirers[pass.TypesInfo.Defs[fd.Name]], acquirers)
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, acquirers, releasers map[types.Object]bool) {
+	checkBody(pass, fd.Name.Name, fd.Body, acquirers[pass.TypesInfo.Defs[fd.Name]], acquirers, releasers)
 }
 
 // checkBody analyzes one function scope. Nested function literals are
 // separate scopes: their statements must not count as the enclosing
 // function's releases or returns, so they are pruned here and recursed
 // into afterwards.
-func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquirer bool, acquirers map[types.Object]bool) {
+func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquirer bool, acquirers, releasers map[types.Object]bool) {
 	var acqs []acquisition
 	var puts []struct {
 		pos      token.Pos
@@ -127,17 +138,17 @@ func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquir
 				acqs = append(acqs, acquisition{pos: call.Pos(), obj: obj, expr: exprString(call.Fun)})
 			}
 		case *ast.DeferStmt:
-			if p := putCall(pass, v.Call); p != nil {
+			if p := releaseCall(pass, v.Call, releasers); p != nil {
 				puts = append(puts, struct {
 					pos      token.Pos
 					deferred bool
 					args     map[types.Object]bool
 				}{v.Pos(), true, p})
 			}
-			return false // a deferred non-Put call is not a release
+			return false // a deferred non-releasing call is not a release
 		case *ast.ExprStmt:
 			if call, ok := v.X.(*ast.CallExpr); ok {
-				if p := putCall(pass, call); p != nil {
+				if p := releaseCall(pass, call, releasers); p != nil {
 					puts = append(puts, struct {
 						pos      token.Pos
 						deferred bool
@@ -152,7 +163,7 @@ func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquir
 	})
 
 	for _, lit := range lits {
-		checkBody(pass, name+" func literal", lit.Body, false, acquirers)
+		checkBody(pass, name+" func literal", lit.Body, false, acquirers, releasers)
 	}
 	if len(acqs) == 0 {
 		return
@@ -252,13 +263,29 @@ func acquiringCall(pass *analysis.Pass, rhs ast.Expr, acquirers map[types.Object
 	return nil
 }
 
-// putCall reports whether call is a Put on a sync.Pool; if so it returns
-// the set of variable objects passed as arguments.
-func putCall(pass *analysis.Pass, call *ast.CallExpr) map[types.Object]bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Put" || !isSyncPool(pass.TypesInfo.Types[sel.X].Type) {
-		return nil
+// releaseCall reports whether call releases a pooled object — a Put on
+// a sync.Pool, or a call to a //trlint:arena-release helper — and if so
+// returns the set of variable objects passed as arguments.
+func releaseCall(pass *analysis.Pass, call *ast.CallExpr, releasers map[types.Object]bool) map[types.Object]bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Put" && isSyncPool(pass.TypesInfo.Types[fun.X].Type) {
+			return callArgs(pass, call)
+		}
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil && releasers[obj] {
+			return callArgs(pass, call)
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil && releasers[obj] {
+			return callArgs(pass, call)
+		}
 	}
+	return nil
+}
+
+// callArgs returns the set of variable objects referenced by the call's
+// arguments.
+func callArgs(pass *analysis.Pass, call *ast.CallExpr) map[types.Object]bool {
 	args := make(map[types.Object]bool)
 	for _, a := range call.Args {
 		ast.Inspect(a, func(n ast.Node) bool {

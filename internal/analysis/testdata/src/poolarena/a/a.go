@@ -36,3 +36,19 @@ func neverReleases() {
 	b := pool.Get().(*[]byte) // want "never calls Put"
 	use(b)
 }
+
+// unannotatedRelease does hand the object back, but carries no
+// //trlint:arena-release directive, so callers get no pairing credit.
+func unannotatedRelease(b *[]byte) {
+	pool.Put(b)
+}
+
+func helperWithoutDirective(fail bool) error {
+	b := pool.Get().(*[]byte)
+	if fail {
+		unannotatedRelease(b)
+		return errors.New("boom") // want "return path drops pooled object"
+	}
+	pool.Put(b)
+	return nil
+}

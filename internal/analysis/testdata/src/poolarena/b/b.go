@@ -35,3 +35,27 @@ func releasedByDefer() error {
 	defer pool.Put(b)
 	return use(b)
 }
+
+// release hands the pooled object back to the pool by contract; callers
+// may treat a call to it as the Put on an error path.
+//
+//trlint:arena-release
+func release(b *[]byte) {
+	pool.Put(b)
+}
+
+func releasedThroughHelper(fail bool) error {
+	b := pool.Get().(*[]byte)
+	if fail {
+		release(b)
+		return errors.New("boom")
+	}
+	pool.Put(b)
+	return nil
+}
+
+func releasedByDeferredHelper() error {
+	b := pool.Get().(*[]byte)
+	defer release(b)
+	return use(b)
+}

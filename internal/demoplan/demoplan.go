@@ -1,0 +1,75 @@
+// Package demoplan builds the small trained-and-compiled inference
+// plans the binaries share: trbench times them, trserve serves them,
+// and the serve smoke test classifies through them. Centralizing the
+// recipes keeps the benchmark and serving numbers attributable to the
+// same models (geometry, seeds, training budget) across tools.
+package demoplan
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/intinfer"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/qsim"
+)
+
+// Quant is the term-revealing configuration every demo plan is built
+// with — the paper's group size 8, budget 12 operating point, matching
+// results/BENCH_intinfer.json.
+const (
+	QuantGroupSize   = 8
+	QuantGroupBudget = 12
+)
+
+// MLP trains the digits MLP and compiles it, returning the plan and a
+// held-out test set. This is the model BenchmarkIntegerInferenceMLP
+// measures.
+func MLP(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
+	train := datasets.DigitsNoisy(400, 0.2, 91)
+	test := datasets.DigitsNoisy(64, 0.2, 92)
+	m := models.NewMLP(64, 93)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 2
+	models.Train(m, train, cfg)
+	plan, err := intinfer.Build(m, intinfer.Options{
+		Calibration: train.Images[:32], GroupSize: QuantGroupSize,
+		GroupBudget: QuantGroupBudget, Obs: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, test.Images, nil
+}
+
+// CNN trains the small ResNet-style CNN and compiles it, returning the
+// plan and a held-out test set. This is the model
+// BenchmarkIntegerInferenceCNN measures.
+func CNN(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
+	g := models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
+	all := datasets.ImageClassesHard(120, g.Classes, g.InC, g.InH, g.InW, 0.4, 0.4, 96)
+	train, test := all.Split(88)
+	m := models.NewResNetStyle(g, 97)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 1
+	models.Train(m, train, cfg)
+	qsim.FoldBatchNorm(m)
+	plan, err := intinfer.Build(m, intinfer.Options{
+		Calibration: train.Images[:32], GroupSize: QuantGroupSize,
+		GroupBudget: QuantGroupBudget, Obs: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, test.Images, nil
+}
+
+// ByName builds the named demo plan ("mlp" or "cnn").
+func ByName(name string, reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
+	switch name {
+	case "mlp":
+		return MLP(reg)
+	case "cnn":
+		return CNN(reg)
+	}
+	return nil, nil, fmt.Errorf("demoplan: unknown model %q (want mlp or cnn)", name)
+}

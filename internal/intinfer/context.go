@@ -1,0 +1,88 @@
+package intinfer
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// The ctx-aware entry points map context cancellation onto the runtime's
+// cooperative stop-flag machinery: a context.AfterFunc sets the shared
+// atomic flag the moment the context is done, and the flag is polled
+// between plan steps and between GEMM/GEMV row partitions — so a
+// deadline interrupts even a large half-finished layer on the serial
+// path, not just the parallel batch driver. The internal errStopped
+// sentinel never escapes: it is translated back into the context's own
+// error before returning.
+
+// ClassifyContext is Classify with cooperative cancellation. A context
+// that can never be cancelled (Done() == nil, e.g. context.Background())
+// takes the plain path with zero overhead; otherwise the inference polls
+// the context's state at step and row-partition granularity and returns
+// ctx.Err() once it is done. A context that is already done returns
+// immediately without acquiring a scratch arena.
+func (p *Plan) ClassifyContext(ctx context.Context, img []float32) (int, error) {
+	if ctx.Done() == nil {
+		return p.Classify(img)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var stop atomic.Bool
+	unwatch := context.AfterFunc(ctx, func() { stop.Store(true) })
+	defer unwatch()
+	cls, err := p.classify(img, p.intraWorkers, &stop)
+	if errors.Is(err, errStopped) {
+		return 0, ctxErr(ctx)
+	}
+	return cls, err
+}
+
+// InferBatchContext classifies a batch under a context. workers selects
+// the batch-level parallelism exactly as in InferBatchParallel (< 1 =
+// GOMAXPROCS), except workers == 1, which runs the images serially on
+// the caller's goroutine holding a single scratch arena (the InferBatch
+// regime) — cancellable all the same, because the flag rides in the
+// scratch. On cancellation the batch stops at the next step or
+// row-partition boundary and returns ctx.Err(); a real inference
+// failure is returned wrapped with its image index, as in the plain
+// batch paths.
+func (p *Plan) InferBatchContext(ctx context.Context, images [][]float32, workers int) ([]int, error) {
+	if ctx.Done() == nil {
+		if workers == 1 {
+			return p.InferBatch(images)
+		}
+		return p.InferBatchParallel(images, workers)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var stop atomic.Bool
+	unwatch := context.AfterFunc(ctx, func() { stop.Store(true) })
+	defer unwatch()
+	var (
+		preds []int
+		err   error
+	)
+	if workers == 1 {
+		preds, err = p.inferBatchSerial(images, &stop)
+	} else {
+		preds, err = p.inferBatchParallel(images, workers, &stop)
+	}
+	if errors.Is(err, errStopped) {
+		return nil, ctxErr(ctx)
+	}
+	return preds, err
+}
+
+// ctxErr is the error a cancelled inference surfaces. The stop flag is
+// only ever set by the context's AfterFunc, so by the time errStopped
+// comes back the context is done and Err() is non-nil; the fallback
+// exists so a future caller misusing the flag still gets a real error
+// instead of nil.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}

@@ -109,9 +109,26 @@ func (p *Plan) scratch(workers int, stop *atomic.Bool) *scratch {
 }
 
 // errStopped reports that the shared cancellation flag was observed
-// mid-inference. Batch drivers translate it into a silent early exit —
-// it never surfaces to callers of the public API.
+// mid-inference. Batch drivers translate it into a silent early exit
+// (or the context's error, for the ctx-aware entry points) — it never
+// surfaces to callers of the public API.
 var errStopped = errors.New("intinfer: inference stopped")
+
+// failRelease repairs and recycles a scratch whose inference failed:
+// reset rebuilds the activation free list from the canonical buffer set
+// (the failed run left buffers stranded mid-chain), the release is
+// recorded in the arena metrics, and the scratch goes back to the pool.
+// Every error return path must go through this one helper — the inline
+// reset/released/Put triplet this replaces was copy-pasted per entry
+// point, which is exactly how the PR-3 arena leak happened when a new
+// path dropped one line of it.
+//
+//trlint:arena-release
+func (p *Plan) failRelease(s *scratch) {
+	s.reset()
+	p.released(s)
+	p.arena.Put(s)
+}
 
 // stopped polls the cooperative cancellation flag. It is checked between
 // plan steps and between GEMM/GEMV row partitions, so a batch failure
@@ -216,9 +233,7 @@ func (p *Plan) Infer(img []float32) ([]float32, int, error) {
 	act, err := p.run(img, s)
 	if err != nil {
 		p.pm.inferErrs.Inc()
-		s.reset()
-		p.released(s)
-		p.arena.Put(s)
+		p.failRelease(s)
 		return nil, 0, err
 	}
 	logits := make([]float32, len(act.data))
@@ -249,9 +264,7 @@ func (p *Plan) classify(img []float32, workers int, stop *atomic.Bool) (int, err
 	act, err := p.run(img, s)
 	if err != nil {
 		p.pm.inferErrs.Inc()
-		s.reset()
-		p.released(s)
-		p.arena.Put(s)
+		p.failRelease(s)
 		return 0, err
 	}
 	best := 0
@@ -269,17 +282,28 @@ func (p *Plan) classify(img []float32, workers int, stop *atomic.Bool) (int, err
 // InferBatch classifies a batch and returns predictions, holding one
 // scratch arena for the whole batch.
 func (p *Plan) InferBatch(images [][]float32) ([]int, error) {
+	return p.inferBatchSerial(images, nil)
+}
+
+// inferBatchSerial is InferBatch's engine with an externally owned
+// cancellation flag (nil = not cancellable). The flag is threaded into
+// the scratch, so it is observed between plan steps and between kernel
+// row partitions even though the images run one after another. A
+// cancellation surfaces as errStopped for the ctx-aware wrappers to
+// translate; real failures come back wrapped with the image index.
+func (p *Plan) inferBatchSerial(images [][]float32, stop *atomic.Bool) ([]int, error) {
 	preds := make([]int, len(images))
-	s := p.scratch(p.intraWorkers, nil)
+	s := p.scratch(p.intraWorkers, stop)
 	p.pm.batchImages.Add(int64(len(images)))
 	for i, img := range images {
 		p.pm.infers.Inc()
 		act, err := p.run(img, s)
 		if err != nil {
 			p.pm.inferErrs.Inc()
-			s.reset()
-			p.released(s)
-			p.arena.Put(s)
+			p.failRelease(s)
+			if errors.Is(err, errStopped) {
+				return nil, errStopped
+			}
 			return nil, fmt.Errorf("intinfer: image %d: %w", i, err)
 		}
 		best := 0
@@ -826,6 +850,17 @@ func (p *Plan) classifyLabelled(img []float32, idx, workers int, stop *atomic.Bo
 // The intra-image worker budget is divided by the batch workers so the
 // two levels of parallelism compose instead of oversubscribing.
 func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error) {
+	var stop atomic.Bool
+	return p.inferBatchParallel(images, workers, &stop)
+}
+
+// inferBatchParallel is InferBatchParallel's engine. The stop flag is
+// caller-owned so the ctx-aware wrappers can set it from outside (a
+// deadline or cancellation); the workers additionally set it themselves
+// on the first internal failure. When the flag was set externally — the
+// workers went down but none recorded an error — the batch surfaces
+// errStopped for the wrapper to translate into the context's error.
+func (p *Plan) inferBatchParallel(images [][]float32, workers int, stop *atomic.Bool) ([]int, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -839,7 +874,6 @@ func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error
 	}
 	preds := make([]int, len(images))
 	var (
-		stop     atomic.Bool
 		errOnce  sync.Once
 		firstErr error
 		wg       sync.WaitGroup
@@ -852,10 +886,10 @@ func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error
 				if stop.Load() {
 					return
 				}
-				cls, err := p.classifyLabelled(images[i], i, intra, &stop)
+				cls, err := p.classifyLabelled(images[i], i, intra, stop)
 				if err != nil {
 					if errors.Is(err, errStopped) {
-						return // another worker already failed and set the flag
+						return // the flag is already set: a peer failed, or the caller cancelled
 					}
 					errOnce.Do(func() { firstErr = fmt.Errorf("intinfer: image %d: %w", i, err) })
 					stop.Store(true)
@@ -868,6 +902,9 @@ func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if stop.Load() {
+		return nil, errStopped // external cancellation, no internal error
 	}
 	return preds, nil
 }

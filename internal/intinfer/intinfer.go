@@ -140,6 +140,13 @@ type Plan struct {
 	pm           planMetrics // observability handles; zero value = disabled
 }
 
+// InputDims returns the image geometry the plan expects: channels,
+// height, width. An Infer call must supply exactly c*h*w values.
+func (p *Plan) InputDims() (c, h, w int) { return p.inC, p.inH, p.inW }
+
+// Classes returns the number of output classes the plan produces.
+func (p *Plan) Classes() int { return p.classes }
+
 // Build compiles the model. The model itself is left unmodified.
 func Build(m *models.ImageModel, opts Options) (*Plan, error) {
 	if opts.WeightBits == 0 {

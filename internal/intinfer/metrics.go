@@ -116,9 +116,10 @@ func (p *Plan) execStep(i int, in activation, s *scratch) (activation, error) {
 }
 
 // released records a scratch release; callers invoke it immediately
-// before handing the scratch back with p.arena.Put (the Put stays
-// inline at every call site so the poolarena analyzer can pair it with
-// the acquisition).
+// before handing the scratch back with p.arena.Put. Success paths keep
+// the Put inline so the poolarena analyzer pairs it with the
+// acquisition; error paths go through failRelease, which the analyzer
+// recognizes via its //trlint:arena-release directive.
 func (p *Plan) released(s *scratch) {
 	p.pm.scratchPut.Inc()
 	p.pm.scratchLive.Add(-1)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"errors"
 	"expvar"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // served is the registry most recently handed to Serve/Handler, read
@@ -17,6 +19,22 @@ var (
 	served      atomic.Pointer[Registry]
 	expvarOnce  sync.Once
 	expvarValue = expvar.Func(func() any { return served.Load().Snapshot() })
+)
+
+// Connection hygiene for the endpoint. A client that dials and then
+// stalls — never finishing its request headers, or parking an idle
+// keep-alive connection forever — must not pin a connection (and its
+// goroutine) indefinitely (the Slowloris pattern). Write timeouts are
+// deliberately absent: /debug/pprof/profile legitimately streams for
+// tens of seconds. Variables rather than constants so the regression
+// tests can shrink them.
+var (
+	readHeaderTimeout = 10 * time.Second
+	idleTimeout       = 2 * time.Minute
+
+	// closeGrace bounds how long Close waits for in-flight scrapes to
+	// finish before hard-closing their connections.
+	closeGrace = 2 * time.Second
 )
 
 // Handler returns the observability mux for a registry:
@@ -70,7 +88,9 @@ func Serve(addr string, r *Registry) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{Addr: ln.Addr().String(), ln: ln,
-		srv: &http.Server{Handler: Handler(r)}}
+		srv: &http.Server{Handler: Handler(r),
+			ReadHeaderTimeout: readHeaderTimeout,
+			IdleTimeout:       idleTimeout}}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -81,9 +101,23 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	return s, nil
 }
 
-// Close shuts the endpoint down and returns any serve-loop error.
+// Close shuts the endpoint down and returns any serve-loop error. It
+// first attempts a graceful Shutdown bounded by closeGrace — in-flight
+// scrapes (a tail /metrics read, a short profile) get to finish — and
+// only then hard-closes whatever connections outlived the grace period,
+// so Close cannot hang on a stalled client.
 func (s *Server) Close() error {
-	err := s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// The grace period expired with connections still open (or the
+		// shutdown failed outright); sever them. Both errors matter: the
+		// deadline says clients were cut off, the close says why.
+		if cerr := s.srv.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+	}
 	s.wg.Wait()
 	if p := s.err.Load(); p != nil && err == nil {
 		err = *p

@@ -1,0 +1,116 @@
+// Package report holds the machine-readable result formats the repo's
+// binaries write under results/ — the platform-attribution header every
+// report carries, and the serving-layer report trserve emits. The
+// kernel bench report (results/BENCH_intinfer.json) lives with trbench
+// but embeds the same Platform header, so all reports in the benchmark
+// trajectory identify their hardware the same way.
+package report
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"repro/internal/kernels"
+)
+
+// Platform is the attribution header stamped into every results file:
+// OS/arch, CPU counts, the scheduler width the run used, and the kernel
+// dispatchers' detected CPU features — enough to tell whose hardware
+// (and which kernels) produced a set of numbers.
+type Platform struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUFeatures is the kernel dispatchers' detected feature set
+	// ("avx2,fma" or empty), stamped so packed-kernel numbers are
+	// attributable to the hardware that produced them.
+	CPUFeatures string `json:"cpu_features"`
+	GitRev      string `json:"git_rev,omitempty"`
+}
+
+// NewPlatform captures the current process's platform identity.
+func NewPlatform(gitRev string) Platform {
+	return Platform{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUFeatures: strings.Join(kernels.Features(), ","), GitRev: gitRev}
+}
+
+// Identity is the comparable subset of a Platform that must match for
+// an overwrite of a results file to count as a re-run of the same
+// experiment. GitRev is excluded: re-measuring at a new revision on the
+// same hardware is exactly the refresh case.
+type Identity struct {
+	GOOS, GOARCH string
+	NumCPU       int
+	GOMAXPROCS   int
+	CPUFeatures  string
+}
+
+// Identity returns the platform's comparable identity.
+func (p Platform) Identity() Identity {
+	return Identity{GOOS: p.GOOS, GOARCH: p.GOARCH, NumCPU: p.NumCPU,
+		GOMAXPROCS: p.GOMAXPROCS, CPUFeatures: p.CPUFeatures}
+}
+
+// DefaultGitRev resolves the revision stamped into a report: the
+// TRBENCH_GIT_REV / GITHUB_SHA environment (CI) first, then a
+// best-effort `git rev-parse`; an unknown revision is recorded as the
+// empty string, never an error.
+func DefaultGitRev() string {
+	for _, env := range []string{"TRBENCH_GIT_REV", "GITHUB_SHA"} {
+		if v := os.Getenv(env); v != "" {
+			return v
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// ServeConfig pins the scheduler and load-generator knobs that shaped a
+// serving benchmark's numbers.
+type ServeConfig struct {
+	Model        string `json:"model"`
+	MaxBatch     int    `json:"max_batch"`
+	MaxDelayUs   int64  `json:"max_delay_us"`
+	QueueCap     int    `json:"queue_cap"`
+	BatchWorkers int    `json:"batch_workers"`
+	Clients      int    `json:"clients"`
+	DurationMs   int64  `json:"duration_ms"`
+	DeadlineMs   int64  `json:"deadline_ms"`
+}
+
+// ServeResults is the measured outcome of a trserve -selfload run:
+// client-side request counts and latency percentiles, and the
+// scheduler-side batching behaviour scraped from the server's metrics.
+type ServeResults struct {
+	Requests   int64   `json:"requests"`
+	OK         int64   `json:"ok"`
+	Shed       int64   `json:"shed"`       // 429: admission queue full
+	Timeout    int64   `json:"timeout"`    // 504: deadline expired
+	Errors     int64   `json:"errors"`     // 5xx and transport failures
+	ShedRate   float64 `json:"shed_rate"`  // Shed / Requests
+	Throughput float64 `json:"requests_per_second"`
+	P50Us      int64   `json:"p50_us"`
+	P90Us      int64   `json:"p90_us"`
+	P99Us      int64   `json:"p99_us"`
+	MaxUs      int64   `json:"max_us"`
+	// Scheduler-side, from the obs registry.
+	Batches       int64   `json:"batches"`
+	BatchImages   int64   `json:"batch_images"`
+	AvgBatch      float64 `json:"avg_batch"`
+	QueueDepthEnd int64   `json:"queue_depth_end"`
+}
+
+// ServeReport is results/BENCH_serve.json — the serving layer's row in
+// the benchmark trajectory.
+type ServeReport struct {
+	Platform
+	Config  ServeConfig  `json:"config"`
+	Results ServeResults `json:"results"`
+}

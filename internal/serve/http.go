@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds a classify request body. The largest demo model
+// takes 192 floats; even generous models fit far under a megabyte of
+// JSON, and an unbounded body is a memory-exhaustion vector.
+const maxBodyBytes = 1 << 20
+
+// classifyRequest is the POST /v1/classify body.
+type classifyRequest struct {
+	Image []float32 `json:"image"`
+	// DeadlineMs is the client's serving deadline; 0 means the server
+	// default. Clamped to Config.MaxDeadline.
+	DeadlineMs int64 `json:"deadline_ms"`
+}
+
+// classifyResponse is the success body.
+type classifyResponse struct {
+	Class     int   `json:"class"`
+	BatchSize int   `json:"batch_size"`
+	QueueUs   int64 `json:"queue_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the serving mux:
+//
+//	POST /v1/classify  classify one image (JSON in/out)
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text exposition (trq_serve_* and the
+//	                   runtime's trq_intinfer_*/trq_kernel_* families)
+//	     /debug/*      expvar + pprof, as on the obs endpoint
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	oh := obs.Handler(s.cfg.Obs)
+	mux.Handle("/metrics", oh)
+	mux.Handle("/debug/", oh)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var in classifyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes)).Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(in.Image) != s.inLen {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("image has %d values, the model wants %d", len(in.Image), s.inLen)})
+		return
+	}
+	deadline := s.cfg.DefaultDeadline
+	if in.DeadlineMs > 0 {
+		deadline = time.Duration(in.DeadlineMs) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), deadline)
+	defer cancel()
+	res, err := s.Classify(ctx, in.Image)
+	s.met.latency.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, classifyResponse{Class: res.Class,
+			BatchSize: res.BatchSize, QueueUs: res.QueueWait.Microseconds()})
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		// The client hung up; the status is best-effort for proxies.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request cancelled"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// retryAfterSeconds renders a Retry-After header value, at least 1s —
+// sub-second hints round to zero, which clients read as "immediately".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The connection is gone; there is no one left to tell.
+		return
+	}
+}

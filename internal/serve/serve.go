@@ -1,0 +1,441 @@
+// Package serve is the micro-batching inference server over a compiled
+// intinfer.Plan. Requests are admitted into a bounded queue (full queue
+// = load shed, never unbounded memory), a single scheduler goroutine
+// collects them into micro-batches — up to MaxBatch images, or whatever
+// has arrived when MaxDelay lapses — and dispatches each batch through
+// the plan's context-aware batch path, so the amortized term-encoding
+// and arena reuse the batch runtime was built for also pays off at
+// serving time. Per-request deadlines are enforced at every stage: a
+// request that expires while queued is answered 504 without ever
+// occupying a batch slot, and the dispatched batch runs under the
+// latest live deadline so a stalled layer cannot hold the scheduler
+// hostage. Drain stops admission, flushes the queue, and then shuts the
+// HTTP listener down gracefully.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/intinfer"
+	"repro/internal/obs"
+)
+
+// Defaults for the scheduler knobs; Config fields left zero get these.
+const (
+	DefaultMaxBatch    = 8
+	DefaultMaxDelay    = 2 * time.Millisecond
+	DefaultQueueCap    = 64
+	DefaultDeadline    = 50 * time.Millisecond
+	DefaultMaxDeadline = 5 * time.Second
+	DefaultRetryAfter  = 1 * time.Second
+)
+
+// Sentinel errors the admission path returns; the HTTP layer maps them
+// to 429 (shed) and 503 (draining).
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: server is draining")
+)
+
+// Config wires a Server. Plan is required; everything else defaults.
+type Config struct {
+	// Plan is the compiled model every request classifies through.
+	Plan *intinfer.Plan
+
+	// MaxBatch caps how many requests one dispatch carries.
+	MaxBatch int
+	// MaxDelay bounds how long the scheduler waits for a batch to
+	// fill once it holds at least one request.
+	MaxDelay time.Duration
+	// QueueCap bounds the admission queue; a full queue sheds.
+	QueueCap int
+	// BatchWorkers is the batch-level parallelism handed to
+	// InferBatchContext (1 = serial single-arena path, <1 = GOMAXPROCS).
+	BatchWorkers int
+
+	// DefaultDeadline applies to requests that carry none; MaxDeadline
+	// clamps what a client may ask for.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetryAfter is the hint stamped on 429/503 responses.
+	RetryAfter time.Duration
+
+	// Obs receives the trq_serve_* metrics; nil gets a private registry.
+	Obs *obs.Registry
+}
+
+// Result is one answered classification.
+type Result struct {
+	Class     int
+	BatchSize int           // images in the dispatch that carried this request
+	QueueWait time.Duration // admission-to-dispatch time
+}
+
+// response is what the scheduler posts back on a request's done channel.
+type response struct {
+	class int
+	batch int
+	wait  time.Duration
+	err   error
+}
+
+// request is one admitted classification waiting for a batch slot. done
+// is buffered so dispatch never blocks on a client that gave up.
+type request struct {
+	img      []float32
+	deadline time.Time
+	enqueued time.Time
+	wait     time.Duration // stamped at dispatch
+	done     chan response
+}
+
+type metrics struct {
+	ok, shed, timeout, failed, draining *obs.Counter
+	batches, batchImages                *obs.Counter
+	queueDepth                          *obs.Gauge
+	batchSize, queueWait, latency       *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry, cfg Config) metrics {
+	r.Help("trq_serve_requests_total", "classification requests by terminal status (ok, shed, timeout, error, draining)")
+	r.Help("trq_serve_batches_total", "micro-batches dispatched to the inference plan")
+	r.Help("trq_serve_batch_images_total", "images carried by dispatched micro-batches")
+	r.Help("trq_serve_queue_depth", "requests admitted but not yet dispatched")
+	r.Help("trq_serve_batch_size", "images per dispatched micro-batch")
+	r.Help("trq_serve_queue_wait_seconds", "admission-to-dispatch wait per request")
+	r.Help("trq_serve_request_latency_seconds", "HTTP handler latency per classification request")
+	return metrics{
+		ok:          r.Counter("trq_serve_requests_total", "status", "ok"),
+		shed:        r.Counter("trq_serve_requests_total", "status", "shed"),
+		timeout:     r.Counter("trq_serve_requests_total", "status", "timeout"),
+		failed:      r.Counter("trq_serve_requests_total", "status", "error"),
+		draining:    r.Counter("trq_serve_requests_total", "status", "draining"),
+		batches:     r.Counter("trq_serve_batches_total"),
+		batchImages: r.Counter("trq_serve_batch_images_total"),
+		queueDepth:  r.Gauge("trq_serve_queue_depth"),
+		batchSize:   r.Histogram("trq_serve_batch_size", 0, float64(cfg.MaxBatch)+1, cfg.MaxBatch+1),
+		queueWait:   r.Histogram("trq_serve_queue_wait_seconds", 0, 8*cfg.MaxDelay.Seconds(), 32),
+		latency:     r.Histogram("trq_serve_request_latency_seconds", 0, 0.25, 50),
+	}
+}
+
+// Server is a micro-batching classification server. Construct with New,
+// start with Start (or drive Classify in-process after the scheduler is
+// running), stop with Drain.
+type Server struct {
+	// Addr is the bound listen address once Start returns (useful with
+	// a ":0" request).
+	Addr string
+
+	cfg   Config
+	inLen int // c*h*w the plan expects
+
+	// mu guards draining and orders it against queue sends: submit
+	// holds the read side, so once Drain flips the flag under the
+	// write lock no submit can be mid-send and close(queue) is safe.
+	mu       sync.RWMutex
+	draining bool
+	queue    chan *request
+
+	schedOnce    sync.Once
+	schedStarted atomic.Bool
+	schedDone    chan struct{}
+
+	httpSrv  *http.Server
+	ln       net.Listener
+	serveErr atomic.Pointer[error]
+	wg       sync.WaitGroup
+
+	met metrics
+}
+
+// New validates the config, fills defaults, and returns a Server with
+// nothing running yet: no listener, no scheduler goroutine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Plan == nil {
+		return nil, errors.New("serve: Config.Plan is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = DefaultMaxDelay
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = DefaultDeadline
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = DefaultMaxDeadline
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	c, h, w := cfg.Plan.InputDims()
+	return &Server{
+		cfg:       cfg,
+		inLen:     c * h * w,
+		queue:     make(chan *request, cfg.QueueCap),
+		schedDone: make(chan struct{}),
+		met:       newMetrics(cfg.Obs, cfg),
+	}, nil
+}
+
+// startScheduler launches the batching loop exactly once.
+func (s *Server) startScheduler() {
+	s.schedOnce.Do(func() {
+		s.schedStarted.Store(true)
+		go s.run()
+	})
+}
+
+// Start begins listening on addr (":0" for ephemeral) and launches the
+// scheduler. The server runs until Drain.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.startScheduler()
+	s.ln = ln
+	s.Addr = ln.Addr().String()
+	s.httpSrv = &http.Server{
+		Handler: s.Handler(),
+		// Same connection hygiene as the obs endpoint: a stalled or
+		// parked client must not pin a connection forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr.Store(&err)
+		}
+	}()
+	return nil
+}
+
+// Classify admits one image and blocks until the scheduler answers or
+// ctx is done. The ctx deadline (clamped to MaxDeadline; DefaultDeadline
+// when absent) is the request's serving deadline: once it lapses the
+// request is answered 504-style with context.DeadlineExceeded whether it
+// is still queued or mid-batch.
+func (s *Server) Classify(ctx context.Context, img []float32) (Result, error) {
+	if len(img) != s.inLen {
+		return Result{}, fmt.Errorf("serve: image has %d values, the plan wants %d", len(img), s.inLen)
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(s.cfg.DefaultDeadline)
+	}
+	if latest := time.Now().Add(s.cfg.MaxDeadline); deadline.After(latest) {
+		deadline = latest
+	}
+	req, err := s.submit(img, deadline)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case resp := <-req.done:
+		if resp.err != nil {
+			return Result{}, resp.err
+		}
+		return Result{Class: resp.class, BatchSize: resp.batch, QueueWait: resp.wait}, nil
+	case <-ctx.Done():
+		// The scheduler will still answer the buffered done channel and
+		// account the request; there is just no one left to read it.
+		return Result{}, ctx.Err()
+	}
+}
+
+// submit performs admission: reject when draining, shed when the queue
+// is full, otherwise enqueue. The read lock orders the send against
+// Drain's close(queue).
+func (s *Server) submit(img []float32, deadline time.Time) (*request, error) {
+	r := &request{img: img, deadline: deadline, enqueued: time.Now(),
+		done: make(chan response, 1)}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		s.met.draining.Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- r:
+		s.met.queueDepth.Add(1)
+		return r, nil
+	default:
+		s.met.shed.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// run is the scheduler loop: block for the first request, then collect
+// until the batch is full or MaxDelay lapses, dispatch, repeat. A closed
+// queue (Drain) still yields its buffered requests before ok goes false,
+// so the flush is part of the same loop.
+func (s *Server) run() {
+	defer close(s.schedDone)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.dispatch(s.collect(first, timer))
+	}
+}
+
+// collect grows a batch around its first member: up to MaxBatch
+// requests, or whatever has arrived when the MaxDelay timer fires.
+func (s *Server) collect(first *request, timer *time.Timer) []*request {
+	batch := []*request{first}
+	timer.Reset(s.cfg.MaxDelay)
+	defer func() {
+		if !timer.Stop() {
+			select { // drain a fired-but-unread timer for reuse
+			case <-timer.C:
+			default:
+			}
+		}
+	}()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				return batch // draining: flush what we hold
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch answers every request in the batch exactly once. Requests
+// whose deadline lapsed in the queue are answered 504 up front and do
+// not occupy a batch slot; the survivors run under the latest live
+// deadline, and each is re-checked against its own deadline once the
+// batch returns.
+func (s *Server) dispatch(batch []*request) {
+	now := time.Now()
+	live := batch[:0]
+	var latest time.Time
+	for _, r := range batch {
+		s.met.queueDepth.Add(-1)
+		r.wait = now.Sub(r.enqueued)
+		s.met.queueWait.Observe(r.wait.Seconds())
+		if now.After(r.deadline) {
+			s.met.timeout.Inc()
+			r.done <- response{wait: r.wait, err: context.DeadlineExceeded}
+			continue
+		}
+		live = append(live, r)
+		if r.deadline.After(latest) {
+			latest = r.deadline
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.met.batches.Inc()
+	s.met.batchImages.Add(int64(len(live)))
+	s.met.batchSize.Observe(float64(len(live)))
+	images := make([][]float32, len(live))
+	for i, r := range live {
+		images[i] = r.img
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), latest)
+	preds, err := s.cfg.Plan.InferBatchContext(ctx, images, s.cfg.BatchWorkers)
+	cancel()
+	finished := time.Now()
+	for i, r := range live {
+		switch {
+		case err != nil:
+			// The whole batch failed. Deadline pressure (the batch ran
+			// past the latest deadline, or past this member's own) is a
+			// timeout; anything else is a server error.
+			if errors.Is(err, context.DeadlineExceeded) || finished.After(r.deadline) {
+				s.met.timeout.Inc()
+				r.done <- response{wait: r.wait, err: context.DeadlineExceeded}
+			} else {
+				s.met.failed.Inc()
+				r.done <- response{wait: r.wait, err: err}
+			}
+		case finished.After(r.deadline):
+			s.met.timeout.Inc()
+			r.done <- response{wait: r.wait, err: context.DeadlineExceeded}
+		default:
+			s.met.ok.Inc()
+			r.done <- response{class: preds[i], batch: len(live), wait: r.wait}
+		}
+	}
+}
+
+// Drain gracefully stops the server: stop admitting (new requests get
+// ErrDraining), flush every queued request through the scheduler, then
+// shut the HTTP listener down, letting in-flight handlers finish. It is
+// idempotent and safe to call concurrently; ctx bounds the whole wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if s.schedStarted.Load() {
+		select {
+		case <-s.schedDone:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if s.httpSrv == nil {
+		return nil
+	}
+	err := s.httpSrv.Shutdown(ctx)
+	s.wg.Wait()
+	if p := s.serveErr.Load(); p != nil && err == nil {
+		err = *p
+	}
+	return err
+}
+
+// Stats is a point-in-time view of the serving counters, for tests and
+// the selfload report (the same numbers /metrics exposes).
+type Stats struct {
+	OK, Shed, Timeout, Errors, Draining int64
+	Batches, BatchImages                int64
+	QueueDepth                          int64
+}
+
+// Stats reads the current counter values.
+func (s *Server) Stats() Stats {
+	return Stats{
+		OK:          s.met.ok.Value(),
+		Shed:        s.met.shed.Value(),
+		Timeout:     s.met.timeout.Value(),
+		Errors:      s.met.failed.Value(),
+		Draining:    s.met.draining.Value(),
+		Batches:     s.met.batches.Value(),
+		BatchImages: s.met.batchImages.Value(),
+		QueueDepth:  s.met.queueDepth.Value(),
+	}
+}
