@@ -13,6 +13,10 @@
 #                baseline; fails on a >10% regression on any benchmark
 #   make tier1-noasm  tier1 with the assembly kernels compiled out
 #                (-tags noasm), proving the portable fallbacks alone pass
+#   make autotune-check  tile-autotuner determinism gate: two cold plan
+#                builds against one warm cache must land identical tile
+#                picks, identical predictions, and zero microbenchmark
+#                time on the warm build
 #   make serve-smoke  end-to-end serving check: boot trserve on an
 #                ephemeral port, classify one image over HTTP, scrape
 #                /metrics for the trq_serve_* families, drain
@@ -20,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier1-noasm tier2 tier3 lint bench benchcmp serve-smoke serve-bench
+.PHONY: tier1 tier1-noasm tier2 tier3 lint bench benchcmp autotune-check serve-smoke serve-bench
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -58,6 +62,12 @@ bench:
 # gitignored) so the committed baseline is never clobbered by the gate.
 benchcmp:
 	$(GO) run ./cmd/trbench -bench -force -bench-out results/BENCH_head.json -compare results/BENCH_intinfer.json
+
+# The determinism test runs hermetically (TRQ_AUTOTUNE_CACHE in a test
+# temp dir), so -count=1 is enough to exercise cold-measure + warm-load.
+autotune-check:
+	$(GO) test -count=1 -run 'TestAutotuneWarmCacheDeterminism' ./internal/intinfer
+	$(GO) test -count=1 ./internal/kernels/autotune
 
 serve-smoke:
 	$(GO) run ./cmd/trserve -model mlp -smoke

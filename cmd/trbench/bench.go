@@ -14,6 +14,7 @@ import (
 	"repro/internal/demoplan"
 	"repro/internal/intinfer"
 	"repro/internal/kernels"
+	"repro/internal/kernels/autotune"
 	"repro/internal/obs"
 	"repro/internal/qsim"
 	"repro/internal/report"
@@ -101,6 +102,7 @@ func metricsPath(outPath string) string {
 // The written report is returned so -compare can diff it in-process.
 func runInferenceBench(outPath, gitRev string, force bool, reg *obs.Registry) (*benchReport, error) {
 	kernels.SetObs(reg)
+	autotune.SetObs(reg)
 	term.SetObs(reg)
 	core.SetObs(reg)
 	qsim.SetObs(reg)

@@ -165,6 +165,59 @@ func TestCompareReports(t *testing.T) {
 	}
 }
 
+// TestCompareReportsAllocs pins the allocs_per_op axis of the gate:
+// growth past the tolerance regresses, a formerly allocation-free
+// benchmark that now allocates is an infinite regression, and alloc
+// improvements never mask an ns regression (or vice versa).
+func TestCompareReportsAllocs(t *testing.T) {
+	old := &benchReport{Results: []benchResult{
+		{Name: "A", NsPerImage: 100, AllocsPerOp: 100},
+		{Name: "B", NsPerImage: 100, AllocsPerOp: 0},
+		{Name: "C", NsPerImage: 100, AllocsPerOp: 1000},
+		{Name: "D", NsPerImage: 100, AllocsPerOp: 0},
+	}}
+	cur := &benchReport{Results: []benchResult{
+		{Name: "A", NsPerImage: 100, AllocsPerOp: 110}, // exactly +10%: passes
+		{Name: "B", NsPerImage: 100, AllocsPerOp: 1},   // 0 → 1: regression
+		{Name: "C", NsPerImage: 100, AllocsPerOp: 1},   // huge improvement
+		{Name: "D", NsPerImage: 100, AllocsPerOp: 0},   // 0 → 0: fine
+	}}
+	deltas := compareReports(old, cur)
+	byName := make(map[string]benchDelta)
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["A"]; math.Abs(d.AllocsPct-0.10) > 1e-12 {
+		t.Errorf("A: AllocsPct = %v, want 0.10", d.AllocsPct)
+	}
+	if d := byName["B"]; !math.IsInf(d.AllocsPct, 1) {
+		t.Errorf("B: AllocsPct = %v, want +Inf", d.AllocsPct)
+	}
+	if d := byName["C"]; d.AllocsPct >= 0 {
+		t.Errorf("C: AllocsPct = %v, want negative (improvement)", d.AllocsPct)
+	}
+	if d := byName["D"]; d.AllocsPct != 0 {
+		t.Errorf("D: AllocsPct = %v, want 0", d.AllocsPct)
+	}
+	if !anyRegression(deltas, benchRegressTol) {
+		t.Error("B going 0 → 1 allocs not flagged")
+	}
+	if anyRegression([]benchDelta{byName["A"], byName["C"], byName["D"]}, benchRegressTol) {
+		t.Error("at-tolerance and improved alloc deltas flagged")
+	}
+	// An alloc improvement must not mask an ns regression.
+	mixed := []benchDelta{{Name: "M", Pct: 0.5, AllocsPct: -0.5}}
+	if !anyRegression(mixed, benchRegressTol) {
+		t.Error("ns regression masked by alloc improvement")
+	}
+
+	var buf strings.Builder
+	printDeltas(&buf, deltas, benchRegressTol)
+	if out := buf.String(); !strings.Contains(out, "allocs/op") {
+		t.Errorf("diff output lacks allocs/op regression row:\n%s", out)
+	}
+}
+
 // TestRunCompareRoundTrip exercises the file-loading path end to end.
 func TestRunCompareRoundTrip(t *testing.T) {
 	dir := t.TempDir()

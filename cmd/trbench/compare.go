@@ -8,25 +8,31 @@ import (
 	"os"
 )
 
-// benchRegressTol is the relative ns_per_image growth tolerated before
-// -compare declares a regression: 10%, well above run-to-run noise for
-// these batch-sized benchmarks but below any real kernel slowdown.
+// benchRegressTol is the relative growth tolerated before -compare
+// declares a regression, applied to both ns_per_image and
+// allocs_per_op: 10%, well above run-to-run noise for these batch-sized
+// benchmarks but below any real kernel slowdown or allocation leak.
 const benchRegressTol = 0.10
 
 // benchDelta is one row of a -compare diff.
 type benchDelta struct {
-	Name   string
-	OldNs  float64 // ns_per_image in the baseline report
-	NewNs  float64 // ns_per_image in the new report; NaN when missing
-	Pct    float64 // (new-old)/old; NaN when missing
-	Missng bool    // benchmark present in the baseline but not the new run
+	Name      string
+	OldNs     float64 // ns_per_image in the baseline report
+	NewNs     float64 // ns_per_image in the new report; NaN when missing
+	Pct       float64 // (new-old)/old; NaN when missing
+	OldAllocs int64   // allocs_per_op in the baseline report
+	NewAllocs int64   // allocs_per_op in the new report
+	AllocsPct float64 // relative allocs growth; +Inf when old was zero and new is not
+	Missng    bool    // benchmark present in the baseline but not the new run
 }
 
-// compareReports diffs two reports by benchmark name on ns_per_image.
-// Every baseline benchmark yields a row; one that vanished from the new
-// report is marked missing (and counts as a regression — a silently
-// dropped benchmark must not pass a perf gate). Benchmarks only present
-// in the new report are additions, not deltas, and are ignored here.
+// compareReports diffs two reports by benchmark name on ns_per_image
+// and allocs_per_op. Every baseline benchmark yields a row; one that
+// vanished from the new report is marked missing (and counts as a
+// regression — a silently dropped benchmark must not pass a perf gate).
+// A benchmark that was allocation-free and now allocates is an infinite
+// relative regression, not an undefined one. Benchmarks only present in
+// the new report are additions, not deltas, and are ignored here.
 func compareReports(old, cur *benchReport) []benchDelta {
 	byName := make(map[string]benchResult, len(cur.Results))
 	for _, r := range cur.Results {
@@ -34,12 +40,20 @@ func compareReports(old, cur *benchReport) []benchDelta {
 	}
 	deltas := make([]benchDelta, 0, len(old.Results))
 	for _, o := range old.Results {
-		d := benchDelta{Name: o.Name, OldNs: o.NsPerImage}
+		d := benchDelta{Name: o.Name, OldNs: o.NsPerImage, OldAllocs: o.AllocsPerOp}
 		if n, ok := byName[o.Name]; ok && o.NsPerImage > 0 {
 			d.NewNs = n.NsPerImage
 			d.Pct = (n.NsPerImage - o.NsPerImage) / o.NsPerImage
+			d.NewAllocs = n.AllocsPerOp
+			switch {
+			case o.AllocsPerOp > 0:
+				d.AllocsPct = float64(n.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp)
+			case n.AllocsPerOp > 0:
+				d.AllocsPct = math.Inf(1)
+			}
 		} else {
 			d.NewNs, d.Pct = math.NaN(), math.NaN()
+			d.AllocsPct = math.NaN()
 			d.Missng = true
 		}
 		deltas = append(deltas, d)
@@ -47,11 +61,11 @@ func compareReports(old, cur *benchReport) []benchDelta {
 	return deltas
 }
 
-// anyRegression reports whether any delta exceeds the tolerance (or is
-// a missing benchmark).
+// anyRegression reports whether any delta exceeds the tolerance on
+// either axis (or is a missing benchmark).
 func anyRegression(deltas []benchDelta, tol float64) bool {
 	for _, d := range deltas {
-		if d.Missng || d.Pct > tol {
+		if d.Missng || d.Pct > tol || d.AllocsPct > tol {
 			return true
 		}
 	}
@@ -71,6 +85,10 @@ func printDeltas(w io.Writer, deltas []benchDelta, tol float64) {
 		default:
 			fmt.Fprintf(w, "%-22s %12.0f ns/image  →  %8.0f  %+6.1f%%\n",
 				d.Name, d.OldNs, d.NewNs, 100*d.Pct)
+		}
+		if d.AllocsPct > tol {
+			fmt.Fprintf(w, "%-22s %12d allocs/op →  %8d  REGRESSION (> %.0f%%)\n",
+				d.Name, d.OldAllocs, d.NewAllocs, 100*tol)
 		}
 	}
 }

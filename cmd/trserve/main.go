@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/demoplan"
+	"repro/internal/kernels/autotune"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -85,6 +86,7 @@ type config struct {
 
 func run(cfg config) error {
 	reg := obs.New()
+	autotune.SetObs(reg) // plan build below may tune tiles; count the hits/misses
 	fmt.Printf("trserve: training and compiling the %s demo plan...\n", cfg.model)
 	plan, images, err := demoplan.ByName(cfg.model, reg)
 	if err != nil {

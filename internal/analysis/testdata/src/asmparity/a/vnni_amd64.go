@@ -1,0 +1,8 @@
+// Fixture: the untested-kernel case — a VNNI-generation stub with a
+// signature-identical portable sibling but no *_test.go reference.
+// Parity of implementations alone is not enough; the differential test
+// is what exercises the asm path against the sibling in CI.
+package a
+
+//go:noescape
+func vnniTile(dst []int32, a []uint8, b []int8, kq int) // want "no differential test"

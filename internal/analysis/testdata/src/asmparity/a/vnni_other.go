@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package a
+
+func vnniTile(dst []int32, a []uint8, b []int8, kq int) {
+	_ = dst
+}

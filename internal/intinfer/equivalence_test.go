@@ -13,6 +13,7 @@ import (
 // takes execConvDirect / execLinearDirect with 64-bit accumulation.
 func forceDirect(p *Plan) {
 	p.express = false
+	p.linear8 = false
 	var walk func(steps []step)
 	walk = func(steps []step) {
 		for i := range steps {
@@ -21,6 +22,7 @@ func forceDirect(p *Plan) {
 			st.wf64 = nil
 			st.bf64 = nil
 			st.pack8 = nil
+			st.pack8lin = nil
 			if st.kind == kindResidual {
 				walk(st.body)
 				if st.proj != nil {

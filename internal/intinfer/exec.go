@@ -45,6 +45,8 @@ type scratch struct {
 	colU8   []uint8   // offset-u8 patch matrix (packed int8 GEMM path)
 	bpack   []uint8   // PackB panel buffer (packed int8 GEMM path)
 	xf, yf  []float64 // ping-pong float64 code buffers (GemvF64 path)
+	bx, by  []uint8   // ping-pong offset-u8 matrices (packed linear lane)
+	lin32   []int32   // code matrix of the current packed-linear layer
 	logits  []float32
 	wg      sync.WaitGroup
 	workers int          // intra-image worker budget for this inference
@@ -56,7 +58,9 @@ func (p *Plan) newScratch() *scratch {
 	s := &scratch{free: make([][]int32, p.bufCount), bufCap: p.maxAct,
 		im2col: make([]int32, p.maxCol), xf: make([]float64, p.maxLin),
 		yf: make([]float64, p.maxLin), logits: make([]float32, p.classes),
-		colU8: make([]uint8, p.maxColU8), bpack: make([]uint8, p.maxPackB)}
+		colU8: make([]uint8, p.maxColU8), bpack: make([]uint8, p.maxPackB),
+		bx: make([]uint8, p.lin8Buf), by: make([]uint8, p.lin8Buf),
+		lin32: make([]int32, p.lin8Buf)}
 	for i := range s.free {
 		s.free[i] = make([]int32, p.maxAct)
 	}
@@ -292,6 +296,9 @@ func (p *Plan) InferBatch(images [][]float32) ([]int, error) {
 // cancellation surfaces as errStopped for the ctx-aware wrappers to
 // translate; real failures come back wrapped with the image index.
 func (p *Plan) inferBatchSerial(images [][]float32, stop *atomic.Bool) ([]int, error) {
+	if p.linear8 {
+		return p.inferBatchLinear8(images, stop)
+	}
 	preds := make([]int, len(images))
 	s := p.scratch(p.intraWorkers, stop)
 	p.pm.batchImages.Add(int64(len(images)))
@@ -546,22 +553,29 @@ func gemmChunk(wg *sync.WaitGroup, stop *atomic.Bool, dst, a, b, bias []int32, m
 	kernels.Gemm(dst, a, b, bias, m, n, k)
 }
 
-// gemm8 runs the packed int8 GEMM with the fused requant, splitting the
-// 4-row output panels across workers like gemm splits rows. Panels map
-// to disjoint dst rows, so workers need no synchronization beyond the
-// scratch-owned WaitGroup.
-func (p *Plan) gemm8(s *scratch, dst []int32, pa *kernels.PackedA, pb []uint8,
-	n int, mult float64, lo, hi int32) {
-	p.pm.dispatchGemm8.Inc()
+// gemm8 runs the packed int8 GEMM with the fused requant over the k×n
+// offset-u8 matrix u8: PackBBlocked lays the panels out with the
+// step's autotuned (NR, KC) traversal, then the 4-row output panels
+// split across workers in whole MR-row blocks, like gemm splits rows.
+// Panels map to disjoint dst rows, so workers need no synchronization
+// beyond the scratch-owned WaitGroup. The single-threaded path goes
+// through Gemm8Tuned, so the executed loop is exactly the shape the
+// autotuner timed.
+func (p *Plan) gemm8(s *scratch, dst []int32, pa *kernels.PackedA, u8 []uint8,
+	n int, t kernels.Tile, mult float64, lo, hi int32) {
+	pb := s.bpack[:kernels.PackBSize(pa.K, n)]
 	workers := s.workers
 	if workers > pa.MP {
 		workers = pa.MP // at least one 4-row panel per worker
 	}
 	if workers <= 1 || pa.M*n*pa.K < intraMinWork {
-		kernels.Gemm8Rows(dst, pa, pb, n, 0, pa.MP, mult, lo, hi)
+		kernels.Gemm8Tuned(dst, pa, u8, pb, n, t, mult, lo, hi)
 		return
 	}
+	kernels.PackBBlocked(pb, u8, pa.K, n, t.NR, t.KC)
+	mrp := kernels.RowPanels(t.MR, pa.MP)
 	chunk := (pa.MP + workers - 1) / workers
+	chunk = (chunk + mrp - 1) / mrp * mrp // whole MR blocks per worker
 	for p0 := 0; p0 < pa.MP; p0 += chunk {
 		p1 := p0 + chunk
 		if p1 > pa.MP {
@@ -685,10 +699,9 @@ func (p *Plan) execConv(st step, in activation, s *scratch) (activation, error) 
 				kernels.Im2colU8(u8, b, cPerG, g.inH, g.inW, g.kh, g.kw,
 					g.stride, g.pad, g.outH, g.outW)
 			}
-			pb := s.bpack[:kernels.PackBSize(kk, n)]
-			kernels.PackB(pb, u8, kk, n)
-			p.gemm8(s, out.data[grp*oPerG*n:][:oPerG*n], st.pack8[grp], pb,
-				n, st.mult, st.lo, st.hi)
+			p.pm.dispatchGemm8.Inc()
+			p.gemm8(s, out.data[grp*oPerG*n:][:oPerG*n], st.pack8[grp], u8,
+				n, st.tile, st.mult, st.lo, st.hi)
 		}
 		s.put(in.data)
 		return out, nil
@@ -771,6 +784,22 @@ func (p *Plan) execLinear(st step, in activation, s *scratch) (activation, error
 			//trlint:checked GemvF64 clamps every code to the step's [lo, hi]
 			out.data[i] = int32(v)
 		}
+	case st.pack8lin != nil:
+		// GEMV-shaped packed dispatch: offset the input into the u8
+		// domain (padding the odd-k tap with 128, the offset zero) and
+		// run the packed panels against it with the requant fused. In
+		// practice the float64 lane above shadows this arm — packed
+		// admission implies f64 admission — so it serves plans whose
+		// f64 copies were disabled, and the batched lane (linear8.go)
+		// where the real win lives.
+		p.pm.dispatchLinear8.Inc()
+		pa := st.pack8lin
+		xu := s.bx[:2*pa.KQ]
+		kernels.OffsetU8(xu[:st.cols], in.data)
+		if st.cols < len(xu) {
+			xu[st.cols] = 128
+		}
+		kernels.Gemv8Rows(out.data, pa, xu, 0, pa.MP, st.mult, st.lo, st.hi)
 	case st.gemmOK:
 		p.gemv(s, out.data, st.weights, in.data, st.bias, st.rows, st.cols)
 		for i, acc := range out.data {
@@ -823,12 +852,13 @@ func execMaxPool(st step, in activation, s *scratch) (activation, error) {
 }
 
 // classifyLabelled is classify with a runtime/pprof "image" label
-// around the inference when observability is on, so profile samples
+// around the inference when label profiling is on, so profile samples
 // taken through the obs endpoint attribute to batch positions. The
-// label plumbing costs a context and a label set per image, which is
-// why the disabled path bypasses it entirely.
+// label plumbing allocates a context and a label set per image, which
+// is why it is gated behind Options.ProfileLabels rather than riding
+// along with the metrics.
 func (p *Plan) classifyLabelled(img []float32, idx, workers int, stop *atomic.Bool) (int, error) {
-	if !p.pm.enabled {
+	if !p.pm.enabled || !p.pm.labels {
 		return p.classify(img, workers, stop)
 	}
 	var cls int
@@ -861,6 +891,9 @@ func (p *Plan) InferBatchParallel(images [][]float32, workers int) ([]int, error
 // workers went down but none recorded an error — the batch surfaces
 // errStopped for the wrapper to translate into the context's error.
 func (p *Plan) inferBatchParallel(images [][]float32, workers int, stop *atomic.Bool) ([]int, error) {
+	if p.linear8 {
+		return p.inferBatchLinear8Parallel(images, workers, stop)
+	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}

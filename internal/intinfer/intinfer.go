@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/kernels/autotune"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -51,6 +52,15 @@ type Options struct {
 	// clock reads, no pprof labels). Plans sharing a registry share
 	// series — step labels collide only if step names do.
 	Obs *obs.Registry
+	// ProfileLabels additionally tags inferences with runtime/pprof
+	// labels ("layer" around each step, "image" around batch positions)
+	// so CPU profiles attribute samples to plan structure. The label
+	// plumbing allocates a context and label map per tagged region —
+	// tens of heap objects per image — which violates the steady-state
+	// zero-alloc arena contract, so it is opt-in even when Obs is set;
+	// counters, gauges and latency histograms stay allocation-free
+	// either way.
+	ProfileLabels bool
 }
 
 // step kinds.
@@ -93,11 +103,21 @@ type step struct {
 	wf64, bf64 []float64
 	// pack8[g] is group g's weight matrix in packed panel form for the
 	// int8 SIMD GEMM, built once at compile time; nil when the conv was
-	// not admitted (kernels.AccumFitsU8). Conv-only: linear layers ride
-	// the float64 lane (ExactF64 is weaker than AccumFits, so every
-	// gemmOK linear qualifies there) and their n=1 output would waste
-	// 15/16 of each 16-wide panel.
+	// not admitted (kernels.AccumFitsU8).
 	pack8 []*kernels.PackedA
+	// pack8lin is the linear analogue: the weight matrix in packed
+	// panel form when kernels.AccumFitsU8 admits it. Batched inference
+	// runs B images through it as one M×B×K GEMM (the n=1 objection to
+	// packing linears — 15/16 of each 16-wide panel wasted — vanishes
+	// once the batch supplies the columns); single-image dispatch keeps
+	// preferring the float64 express kernels, with Gemv8Rows as the
+	// packed GEMV shape behind them.
+	pack8lin *kernels.PackedA
+	// tile is the autotuned blocking geometry for the packed kernels
+	// (zero value = unblocked). Tiles never change results, only memory
+	// traversal, so this is a pure perf knob picked per (CPU features,
+	// geometry) by internal/kernels/autotune.
+	tile kernels.Tile
 
 	// max pool
 	k, stride int
@@ -133,7 +153,9 @@ type Plan struct {
 	maxColU8     int  // largest offset-u8 patch matrix (bytes, packed path)
 	maxPackB     int  // largest PackB panel buffer (bytes, packed path)
 	maxLin       int  // widest buffer a float64-path linear step touches
+	lin8Buf      int  // offset-u8/code matrix capacity of the packed linear lane
 	express      bool // whole plan is flatten + float64-path linears
+	linear8      bool // whole plan is flatten + packed linears (batched int8 lane)
 	bufCount     int  // activation buffers one inference needs concurrently
 	intraWorkers int
 	arena        sync.Pool   // of *scratch
@@ -228,6 +250,9 @@ func (p *Plan) finalize(opts Options) {
 	p.bufCount = chainBufs(p.steps, 0)
 	p.prepareF64(p.steps)
 	p.express = expressible(p.steps)
+	p.linear8 = batchable(p.steps)
+	p.tuneSteps(p.steps)
+	p.sizeLinear8(p.steps)
 	if p.maxCol == 0 {
 		p.maxCol = 1 // keep the slice non-nil paths trivial
 	}
@@ -236,7 +261,98 @@ func (p *Plan) finalize(opts Options) {
 		p.intraWorkers = runtime.GOMAXPROCS(0)
 	}
 	p.initMetrics(opts.Obs)
+	p.pm.labels = p.pm.enabled && opts.ProfileLabels
 	p.arena.New = func() any { return p.newScratch() }
+}
+
+// batchable reports whether a plan can run whole micro-batches on the
+// packed int8 lane: nothing but shape-only flattens and packed-admitted
+// linear steps, with at least one linear. Such plans carry a k×B
+// offset-u8 activation matrix between layers and run each layer as one
+// M×B×K GEMM instead of B GEMVs.
+func batchable(steps []step) bool {
+	linears := 0
+	for i := range steps {
+		switch steps[i].kind {
+		case kindFlatten:
+		case kindLinear:
+			if steps[i].pack8lin == nil {
+				return false
+			}
+			linears++
+		default:
+			return false
+		}
+	}
+	return linears > 0
+}
+
+// tuneSteps asks the autotuner for a tile per packed step, keyed by the
+// geometry the kernel will actually run: per-group dimensions for
+// convs, the micro-batch column count for batch-lane linears. Tile
+// choice never affects results (kernels.Tile), so a plan built with a
+// cold cache and one built with a warm cache are bit-identical — the
+// warm build just skips the measurement.
+func (p *Plan) tuneSteps(steps []step) {
+	for i := range steps {
+		st := &steps[i]
+		switch {
+		case st.kind == kindConv && st.pack8 != nil:
+			g := st.geom
+			st.tile = autotune.Pick(autotune.Geometry{M: g.outC / g.groups,
+				K: (g.inC / g.groups) * g.kh * g.kw, N: g.outH * g.outW})
+		case st.kind == kindLinear && st.pack8lin != nil:
+			n := 1
+			if p.linear8 {
+				n = linear8Cols
+			}
+			st.tile = autotune.Pick(autotune.Geometry{M: st.rows, K: st.cols, N: n})
+		case st.kind == kindResidual:
+			p.tuneSteps(st.body)
+			if st.proj != nil {
+				p.tuneSteps(st.proj)
+			}
+		}
+	}
+}
+
+// sizeLinear8 sizes the packed-linear lane's scratch buffers: the
+// offset-u8 ping-pong matrices and the int32 code matrix hold up to
+// max(k rounded up to the tap-pair depth, m) rows by linear8Cols
+// columns (one column on plans that only ever dispatch the GEMV
+// shape), and the PackB panel buffer must fit the widest batched
+// layer.
+func (p *Plan) sizeLinear8(steps []step) {
+	for i := range steps {
+		st := &steps[i]
+		switch st.kind {
+		case kindLinear:
+			if st.pack8lin == nil {
+				continue
+			}
+			cols := linear8Cols
+			if !p.linear8 {
+				cols = 1
+			}
+			dim := (st.cols + 1) / 2 * 2 // odd k pads one 128 tap
+			if st.rows > dim {
+				dim = st.rows
+			}
+			if dim*cols > p.lin8Buf {
+				p.lin8Buf = dim * cols
+			}
+			if p.linear8 {
+				if pb := kernels.PackBSize(st.cols, linear8Cols); pb > p.maxPackB {
+					p.maxPackB = pb
+				}
+			}
+		case kindResidual:
+			p.sizeLinear8(st.body)
+			if st.proj != nil {
+				p.sizeLinear8(st.proj)
+			}
+		}
+	}
 }
 
 // prepareF64 materializes float64 copies of every admissible linear
@@ -692,5 +808,15 @@ func compileLinear(v *nn.Linear, opts Options, sx, sy float32) (step, error) {
 		st.bias[i] = sat32(math.Round(float64(b) / acc))
 	}
 	st.gemmOK = admitGemm(st.weights, st.bias, v.In)
+	if st.gemmOK {
+		// Speculative packed admission, mirroring packConvWeights: the
+		// compensated-bias magnitude only the pack computes decides
+		// kernels.AccumFitsU8, so pack first and keep the panels only if
+		// the bound holds.
+		pa := kernels.PackA(st.weights, st.bias, v.Out, v.In)
+		if kernels.AccumFitsU8(v.In, maxAbs32(st.weights), pa.BiasMax()) {
+			st.pack8lin = pa
+		}
+	}
 	return st, nil
 }

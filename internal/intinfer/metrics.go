@@ -26,6 +26,12 @@ const (
 type planMetrics struct {
 	enabled bool
 
+	// labels additionally enables pprof label plumbing in execStep and
+	// the labelled classify wrapper. Label maps allocate per tagged
+	// region, which breaks the zero-steady-state-alloc contract, so this
+	// is opt-in (Options.ProfileLabels) even when a registry is wired.
+	labels bool
+
 	infers      *obs.Counter // inferences started
 	inferErrs   *obs.Counter // inferences that returned an error
 	batchImages *obs.Counter // images submitted through the batch paths
@@ -41,6 +47,7 @@ type planMetrics struct {
 	dispatchGemvF64 *obs.Counter
 	dispatchDirect  *obs.Counter
 	dispatchExpress *obs.Counter
+	dispatchLinear8 *obs.Counter
 
 	// Arena behaviour. scratchNew counts pool misses (cold arenas built
 	// from scratch); scratchGet/scratchPut count acquisitions and
@@ -89,6 +96,7 @@ func (p *Plan) initMetrics(r *obs.Registry) {
 	pm.dispatchGemvF64 = r.Counter("trq_intinfer_dispatch_total", "path", "gemv_f64")
 	pm.dispatchDirect = r.Counter("trq_intinfer_dispatch_total", "path", "direct")
 	pm.dispatchExpress = r.Counter("trq_intinfer_dispatch_total", "path", "express")
+	pm.dispatchLinear8 = r.Counter("trq_intinfer_dispatch_total", "path", "linear8")
 	pm.scratchNew = r.Counter("trq_intinfer_arena_scratch_total", "event", "new")
 	pm.scratchGet = r.Counter("trq_intinfer_arena_scratch_total", "event", "get")
 	pm.scratchPut = r.Counter("trq_intinfer_arena_scratch_total", "event", "put")
@@ -106,11 +114,15 @@ func (p *Plan) execStep(i int, in activation, s *scratch) (activation, error) {
 	if !p.pm.enabled {
 		return p.exec(p.steps[i], in, s)
 	}
+	start := time.Now()
 	var out activation
 	var err error
-	start := time.Now()
-	pprof.Do(context.Background(), pprof.Labels("layer", p.steps[i].name),
-		func(context.Context) { out, err = p.exec(p.steps[i], in, s) })
+	if p.pm.labels {
+		pprof.Do(context.Background(), pprof.Labels("layer", p.steps[i].name),
+			func(context.Context) { out, err = p.exec(p.steps[i], in, s) })
+	} else {
+		out, err = p.exec(p.steps[i], in, s)
+	}
 	p.pm.stepLatency[i].Observe(time.Since(start).Seconds())
 	return out, err
 }

@@ -1,0 +1,10 @@
+//go:build arm64 && !noasm
+
+package kernels
+
+// Advanced SIMD (NEON) is architecturally mandatory on AArch64, so no
+// runtime probe is needed — the build tag is the gate. Like haveVNNI
+// this is a dispatch seam for a follow-up: Features reports "neon" (so
+// autotune cache entries key per tier) and the SMLAL/SDOT tile kernel
+// drops in behind haveNEON without re-plumbing.
+const haveNEON = true

@@ -1,0 +1,5 @@
+//go:build !arm64 || noasm
+
+package kernels
+
+const haveNEON = false

@@ -110,33 +110,78 @@ func PackBSize(k, n int) int { return ((k + 1) / 2) * ((n + 15) / 16) * 32 }
 // bytes; pad columns and a pad tap for odd k are written as 128 so
 // they contribute exactly zero against real or zero-padded weights.
 func PackB(dst, src []uint8, k, n int) {
+	PackBBlocked(dst, src, k, n, 0, 0)
+}
+
+// PackBBlocked is PackB with a blocked source traversal: panels are
+// visited in column blocks of nr columns, and within a block the tap
+// pairs are visited in stripes of kc source rows, so the window of src
+// one pass touches is bounded by roughly kc×n bytes instead of the
+// whole matrix. nr must be a multiple of 16 and kc even; 0 for either
+// means unblocked (the plain PackB order). The destination bytes are
+// identical for every (nr, kc) — blocking only reorders the writes —
+// which is what lets the autotuner treat them as pure locality knobs.
+func PackBBlocked(dst, src []uint8, k, n, nr, kc int) {
 	kq := (k + 1) / 2
 	np := (n + 15) / 16
-	for cp := 0; cp < np; cp++ {
-		j0 := cp * 16
-		cols := n - j0
-		if cols > 16 {
-			cols = 16
+	nrp := np
+	if p := nr / 16; nr > 0 && p < np {
+		nrp = p
+		if nrp < 1 {
+			nrp = 1
 		}
-		out := dst[cp*kq*32:]
-		for q := 0; q < kq; q++ {
-			o := out[q*32:][:32]
-			r0 := src[2*q*n+j0:][:cols]
-			if 2*q+1 < k {
-				r1 := src[(2*q+1)*n+j0:][:cols]
-				for j, v := range r0 {
-					o[2*j] = v
-					o[2*j+1] = r1[j]
-				}
-			} else {
-				for j, v := range r0 {
-					o[2*j] = v
-					o[2*j+1] = 128
-				}
+	}
+	kcq := kq
+	if q := kc / 2; kc > 0 && q < kq {
+		kcq = q
+		if kcq < 1 {
+			kcq = 1
+		}
+	}
+	for cb := 0; cb < np; cb += nrp {
+		ce := cb + nrp
+		if ce > np {
+			ce = np
+		}
+		for qb := 0; qb < kq; qb += kcq {
+			qe := qb + kcq
+			if qe > kq {
+				qe = kq
 			}
-			for j := cols; j < 16; j++ {
-				o[2*j], o[2*j+1] = 128, 128
+			for cp := cb; cp < ce; cp++ {
+				packBPanelTaps(dst, src, k, n, cp, qb, qe)
 			}
+		}
+	}
+}
+
+// packBPanelTaps writes tap pairs [q0, q1) of column panel cp — the
+// shared inner loop of the unblocked and blocked PackB traversals.
+func packBPanelTaps(dst, src []uint8, k, n, cp, q0, q1 int) {
+	kq := (k + 1) / 2
+	j0 := cp * 16
+	cols := n - j0
+	if cols > 16 {
+		cols = 16
+	}
+	out := dst[cp*kq*32:]
+	for q := q0; q < q1; q++ {
+		o := out[q*32:][:32]
+		r0 := src[2*q*n+j0:][:cols]
+		if 2*q+1 < k {
+			r1 := src[(2*q+1)*n+j0:][:cols]
+			for j, v := range r0 {
+				o[2*j] = v
+				o[2*j+1] = r1[j]
+			}
+		} else {
+			for j, v := range r0 {
+				o[2*j] = v
+				o[2*j+1] = 128
+			}
+		}
+		for j := cols; j < 16; j++ {
+			o[2*j], o[2*j+1] = 128, 128
 		}
 	}
 }

@@ -1,0 +1,152 @@
+package kernels
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TuneVersion identifies the packed-kernel generation for the autotune
+// disk cache (internal/kernels/autotune). Bump it whenever a change to
+// the packed kernels, panel layouts, or the blocked drivers below could
+// shift the performance ranking of tiles — stale picks are then ignored
+// because the cache file name embeds the version.
+const TuneVersion = 1
+
+// Tile is the blocking geometry of one packed-GEMM invocation. The
+// fields never change arithmetic — every output element accumulates its
+// full k depth in registers in a fixed order regardless of blocking, so
+// any Tile produces bit-identical results — they only reorder memory
+// traversal, which is what lets the autotuner pick by time alone.
+//
+//	MR: output-row block in rows (multiple of 4, the panel height). The
+//	    blocked driver walks row panels in MR-row groups, keeping each
+//	    A block resident while the packed B panels stream past; it is
+//	    also the granularity the intra-image fan-out hands a worker.
+//	KC: k-stripe height (even, the tap-pair depth) of the PackBBlocked
+//	    traversal: source rows are revisited stripe by stripe while
+//	    their cache lines are hot.
+//	NR: column block in columns (multiple of 16, the panel width) of
+//	    the PackBBlocked traversal; combined with KC it bounds the
+//	    source window one packing pass touches.
+//
+// The zero value (all fields 0) means "unblocked": whole-matrix
+// traversals, exactly the pre-tiling behaviour of PackB + Gemm8Rows.
+type Tile struct {
+	MR, NR, KC int
+}
+
+// String renders the tile for cache files and logs.
+func (t Tile) String() string {
+	if t == (Tile{}) {
+		return "unblocked"
+	}
+	return "mr" + strconv.Itoa(t.MR) + ":nr" + strconv.Itoa(t.NR) +
+		":kc" + strconv.Itoa(t.KC)
+}
+
+// Normalize clamps a tile to the legal blocking grid of an m×n×k
+// problem: MR to whole 4-row panels within m, NR to whole 16-column
+// panels within n, KC to whole tap pairs within k. A field that is
+// unset, out of range, or covers the whole dimension collapses to 0
+// (unblocked), so equivalent tiles compare equal — the autotuner
+// deduplicates candidates on the normalized form.
+func (t Tile) Normalize(m, n, k int) Tile {
+	norm := func(v, unit, limit int) int {
+		if v <= 0 {
+			return 0
+		}
+		v -= v % unit
+		if v < unit {
+			v = unit
+		}
+		if v >= limit {
+			return 0
+		}
+		return v
+	}
+	return Tile{
+		MR: norm(t.MR, 4, m),
+		NR: norm(t.NR, 16, n),
+		KC: norm(t.KC, 2, k),
+	}
+}
+
+// RowPanels converts a tile's MR (rows) into the row-panel block the
+// drivers iterate by, over a matrix of mp total panels: 0 (unblocked)
+// or an MR covering every row yields mp.
+func RowPanels(mr, mp int) int {
+	if mr <= 0 {
+		return mp
+	}
+	p := mr / 4
+	if p < 1 {
+		p = 1
+	}
+	if p > mp {
+		p = mp
+	}
+	return p
+}
+
+// Gemm8Tuned is the single-threaded blocked driver over the packed
+// kernel: it packs the k×n offset-u8 matrix u8 into pb with the tile's
+// (NR, KC) traversal and computes row panels in MR-row blocks. Output
+// is bit-identical to PackB + Gemm8Rows for every tile (blocking only
+// reorders traversal); this is both the execution shape the plan
+// executor uses when it does not fan rows out and the exact loop the
+// autotuner times. pb must hold PackBSize(pa.K, n) bytes and dst m×n
+// int32s.
+func Gemm8Tuned(dst []int32, pa *PackedA, u8, pb []uint8, n int, t Tile, mult float64, lo, hi int32) {
+	PackBBlocked(pb, u8, pa.K, n, t.NR, t.KC)
+	mrp := RowPanels(t.MR, pa.MP)
+	for p0 := 0; p0 < pa.MP; p0 += mrp {
+		p1 := p0 + mrp
+		if p1 > pa.MP {
+			p1 = pa.MP
+		}
+		Gemm8Rows(dst, pa, pb, n, p0, p1, mult, lo, hi)
+	}
+}
+
+// Gemv8Rows is the n=1 (GEMV-shaped) packed linear kernel: dst rows
+// 4·p0 … min(4·p1, m) receive requant(bias ⊕ A·x) as int8-range codes.
+// xu is the input vector in the offset-u8 domain, padded to 2·KQ
+// entries with 128 for odd k (the offset image of zero, which cancels
+// against the pack's zero tap). The accumulation and the requant are
+// the same int32 + float64 sequence as the gemm8 tile kernels, so the
+// result is bit-identical to the scalar GemvRows + requant composition
+// under AccumFitsU8. Portable on every build — a single output column
+// would waste 15/16 of the 16-wide SIMD tile, so there is no assembly
+// twin to dispatch to.
+func Gemv8Rows(dst []int32, pa *PackedA, xu []uint8, p0, p1 int, mult float64, lo, hi int32) {
+	gemv8Portable.Inc()
+	kq := pa.KQ
+	if len(xu) < 2*kq {
+		panic(fmt.Sprintf("kernels: Gemv8Rows input has %d entries, want %d", len(xu), 2*kq))
+	}
+	flo, fhi := float64(lo), float64(hi)
+	for p := p0; p < p1; p++ {
+		apanel := pa.data[p*kq*8:][:kq*8]
+		var acc [4]int32
+		for q := 0; q < kq; q++ {
+			x0, x1 := int32(xu[2*q]), int32(xu[2*q+1])
+			aa := apanel[q*8:][:8]
+			for r := 0; r < 4; r++ {
+				acc[r] += int32(aa[r*2])*x0 + int32(aa[r*2+1])*x1
+			}
+		}
+		rows := pa.M - 4*p
+		if rows > 4 {
+			rows = 4
+		}
+		for r := 0; r < rows; r++ {
+			f := float64(acc[r]+pa.bias[4*p+r])*mult + roundMagic - roundMagic
+			if f > fhi {
+				f = fhi
+			} else if f < flo {
+				f = flo
+			}
+			dst[4*p+r] = int32(f) //trlint:checked clamped to the [lo, hi] code window above
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build amd64 && !noasm
+
+package kernels
+
+// Implemented in vnni_amd64.s.
+
+// cpuHasAVX512VNNI reports whether the CPU and OS support AVX-512 VNNI:
+// OSXSAVE with the full AVX-512 register state enabled in XCR0 (opmask,
+// ZMM_Hi256, Hi16_ZMM) plus CPUID AVX512F and AVX512_VNNI. VNNI's
+// VPDPBUSD fuses the packed kernel's widen+multiply+accumulate into one
+// instruction over 64 activation bytes; this PR lands the detection and
+// the dispatch seam (Features reports "avx512vnni" so autotune cache
+// entries are keyed per tier), the VPDPBUSD tile kernel itself is the
+// follow-up that drops in behind haveVNNI without re-plumbing.
+func cpuHasAVX512VNNI() bool
+
+var haveVNNI = cpuHasAVX512VNNI()

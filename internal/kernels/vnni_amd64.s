@@ -1,0 +1,39 @@
+//go:build !noasm
+
+// AVX-512 VNNI capability probe, mirroring the cpuHasAVX2FMA gate in
+// fma_amd64.s. Detection only in this revision: the VPDPBUSD tile
+// kernel plugs in behind haveVNNI in a follow-up.
+
+#include "textflag.h"
+
+// func cpuHasAVX512VNNI() bool
+//
+// CPUID.1:ECX must report OSXSAVE(27); XCR0 must have x87/SSE/AVX
+// (bits 1,2) and the AVX-512 state triple opmask/ZMM_Hi256/Hi16_ZMM
+// (bits 5,6,7) set, meaning the OS saves the ZMM registers; and
+// CPUID.7.0 must report AVX512F (EBX bit 16) and AVX512_VNNI (ECX bit
+// 11).
+TEXT ·cpuHasAVX512VNNI(SB), NOSPLIT, $0-1
+	MOVQ $1, AX
+	XORQ CX, CX
+	CPUID
+	ANDL $(1<<27), CX
+	JZ   no
+	XORL CX, CX
+	XGETBV
+	ANDL $0xe6, AX
+	CMPL AX, $0xe6
+	JNE  no
+	MOVQ $7, AX
+	XORQ CX, CX
+	CPUID
+	ANDL $(1<<16), BX
+	JZ   no
+	ANDL $(1<<11), CX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

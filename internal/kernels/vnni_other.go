@@ -1,0 +1,8 @@
+//go:build !amd64 || noasm
+
+package kernels
+
+// No AVX-512 VNNI without the amd64 assembly probe; constant-false lets
+// the compiler delete the (future) VNNI dispatch arms entirely, the
+// same discipline as haveGemm8.
+const haveVNNI = false
