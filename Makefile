@@ -7,7 +7,10 @@
 #   make tier3   vet + trlint (the custom static-invariant suite,
 #                DESIGN.md §8) + race-enabled tests
 #   make lint    trlint alone: quantnarrow, poolarena, asmparity,
-#                floatcmp, errpropagate over every module package
+#                floatcmp, errpropagate, intrange, ctxguard, lockguard
+#                over every module package (DESIGN.md §8 and §13)
+#   make lint-json  same gate, findings as a JSON array on stdout (CI
+#                artifacts and editor tooling)
 #   make bench   integer-inference benchmarks + results/BENCH_intinfer.json
 #   make benchcmp  re-measure and diff ns_per_image against the committed
 #                baseline; fails on a >10% regression on any benchmark
@@ -24,7 +27,7 @@
 
 GO ?= go
 
-.PHONY: tier1 tier1-noasm tier2 tier3 lint bench benchcmp autotune-check serve-smoke serve-bench
+.PHONY: tier1 tier1-noasm tier2 tier3 lint lint-json bench benchcmp autotune-check serve-smoke serve-bench
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -53,6 +56,9 @@ tier3:
 
 lint:
 	$(GO) run ./cmd/trlint ./...
+
+lint-json:
+	$(GO) run ./cmd/trlint -json ./...
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIntegerInference' -benchmem .

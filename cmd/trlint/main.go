@@ -1,18 +1,25 @@
-// Command trlint drives the repository's static-analysis suite: five
-// analyzers enforcing the quantization-safety, kernel-parity, and
-// arena-lifetime invariants the inference runtime is built on (see
-// DESIGN.md §8). It is the offline stand-in for an x/tools
-// multichecker: same analyzer contract, same exit discipline.
+// Command trlint drives the repository's static-analysis suite: eight
+// analyzers enforcing the quantization-safety, kernel-parity,
+// arena-lifetime, and concurrency-contract invariants the inference
+// runtime is built on (see DESIGN.md §8 and §13). It is the offline
+// stand-in for an x/tools multichecker: same analyzer contract, same
+// exit discipline.
 //
 // Usage:
 //
-//	trlint [-analyzers a,b,...] [-list] [packages]
+//	trlint [-analyzers a,b,...] [-tags taglist] [-json] [-list] [packages]
 //
 // With no packages, ./... is analyzed. The exit status is 1 when any
 // unsuppressed finding is reported, 2 on operational failure. A finding
 // is suppressed only by a //trlint:checked comment on its line or the
 // line above — the audited escape hatch for invariants a human has
-// proven by hand.
+// proven by hand. Suppressions themselves are audited: the intrange
+// analyzer rejects bare ones (no justification) and stale ones (the
+// interval analysis now proves the suppressed conversion safe).
+//
+// -json emits the findings as a JSON array on stdout (for CI
+// artifacts); the exit discipline is unchanged. -tags analyzes the
+// tree as a tagged build would compile it (e.g. -tags noasm).
 package main
 
 import (
@@ -23,8 +30,11 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/asmparity"
+	"repro/internal/analysis/ctxguard"
 	"repro/internal/analysis/errpropagate"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/intrange"
+	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/poolarena"
 	"repro/internal/analysis/quantnarrow"
 )
@@ -35,11 +45,16 @@ var all = []*analysis.Analyzer{
 	asmparity.Analyzer,
 	floatcmp.Analyzer,
 	errpropagate.Analyzer,
+	intrange.Analyzer,
+	ctxguard.Analyzer,
+	lockguard.Analyzer,
 }
 
 func main() {
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	tags := flag.String("tags", "", "build tags to analyze under (as for go build -tags)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -70,7 +85,7 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(patterns...)
+	pkgs, err := analysis.LoadWithTags(*tags, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trlint:", err)
 		os.Exit(2)
@@ -80,8 +95,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trlint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "trlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "trlint: %d finding(s)\n", len(findings))

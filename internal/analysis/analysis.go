@@ -26,6 +26,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"repro/internal/analysis/dataflow"
 )
 
 // Analyzer describes one static check. The fields mirror
@@ -62,6 +64,12 @@ type Pass struct {
 	IgnoredFiles []string
 	OtherFiles   []string
 
+	// Flow is the package's shared dataflow cache (CFGs, interval
+	// solutions), built lazily and shared by every analyzer running over
+	// the package — the hook through which any analyzer can consume CFG
+	// facts without re-solving. See internal/analysis/dataflow.
+	Flow *dataflow.Cache
+
 	// Report delivers a diagnostic to the driver.
 	Report func(Diagnostic)
 }
@@ -71,15 +79,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// Reportc reports a formatted diagnostic at pos under a category — a
+// short machine-readable slug the -json output and problem matcher
+// carry alongside the analyzer name.
+func (p *Pass) Reportc(category string, pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: category,
+		Message: fmt.Sprintf(format, args...)})
+}
+
 // Diagnostic is one finding, positioned inside the package's FileSet.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos token.Pos
+	// Category is an optional short slug subdividing the analyzer's
+	// findings (e.g. intrange's "stale-suppression" vs "overflow").
+	Category string
+	Message  string
+	// Unsuppressable findings bypass the //trlint:checked convention.
+	// Audits OF the suppression mechanism itself (stale or bare
+	// directives) set this — such findings necessarily sit on checked
+	// lines and must not be swallowed by the thing they audit.
+	Unsuppressable bool
 }
 
 // Finding is a resolved diagnostic as the driver surfaces it.
 type Finding struct {
 	Analyzer string
+	Category string
 	Pos      token.Position
 	Message  string
 }

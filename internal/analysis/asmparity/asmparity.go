@@ -50,9 +50,9 @@ func run(pass *analysis.Pass) error {
 	for _, stub := range stubs {
 		sib, ok := siblings[stub.name]
 		if !ok {
-			pass.Reportf(stub.pos, "asm stub %s has no portable sibling in a *_other.go file", stub.name)
+			pass.Reportc("missing-sibling", stub.pos, "asm stub %s has no portable sibling in a *_other.go file", stub.name)
 		} else if sib.sig != stub.sig {
-			pass.Reportf(stub.pos, "asm stub %s signature %q differs from portable sibling %q",
+			pass.Reportc("signature-mismatch", stub.pos, "asm stub %s signature %q differs from portable sibling %q",
 				stub.name, stub.sig, sib.sig)
 		}
 		tested, err := referencedInTests(pass, stub.name)
@@ -60,7 +60,7 @@ func run(pass *analysis.Pass) error {
 			return err
 		}
 		if !tested {
-			pass.Reportf(stub.pos, "asm stub %s has no differential test: no *_test.go in the package references it", stub.name)
+			pass.Reportc("missing-test", stub.pos, "asm stub %s has no differential test: no *_test.go in the package references it", stub.name)
 		}
 	}
 	return nil

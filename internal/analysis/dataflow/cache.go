@@ -1,0 +1,82 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Cache memoizes per-function dataflow results for one type-checked
+// package, so several analyzers (and several walks within one analyzer)
+// share CFGs and interval solutions instead of re-solving. The driver
+// creates one Cache per package and hands it to every Pass.
+type Cache struct {
+	info *types.Info
+	cfgs map[ast.Node]*Graph
+	ivs  map[ast.Node]*IntervalFacts
+	file map[*ast.File]*IntervalFacts
+}
+
+// NewCache returns an empty cache over one package's type information.
+func NewCache(info *types.Info) *Cache {
+	return &Cache{
+		info: info,
+		cfgs: make(map[ast.Node]*Graph),
+		ivs:  make(map[ast.Node]*IntervalFacts),
+		file: make(map[*ast.File]*IntervalFacts),
+	}
+}
+
+// Info returns the package type information the cache was built over.
+func (c *Cache) Info() *types.Info { return c.info }
+
+// CFG returns the control-flow graph of fn (an *ast.FuncDecl or
+// *ast.FuncLit), or nil for body-less declarations.
+func (c *Cache) CFG(fn ast.Node) *Graph {
+	if g, ok := c.cfgs[fn]; ok {
+		return g
+	}
+	g := New(c.info, fn)
+	c.cfgs[fn] = g
+	return g
+}
+
+// Intervals returns the interval facts of fn (an *ast.FuncDecl or
+// *ast.FuncLit). Facts cover only fn's own body, not nested literals.
+func (c *Cache) Intervals(fn ast.Node) *IntervalFacts {
+	if f, ok := c.ivs[fn]; ok {
+		return f
+	}
+	f := Intervals(c.info, fn)
+	c.ivs[fn] = f
+	return f
+}
+
+// FileIntervals merges the interval facts of every function declared in
+// file — top-level FuncDecls and all nested FuncLits, each analyzed as
+// its own function — keyed by conversion call site. This is the lookup
+// analyzers use when walking a whole file.
+func (c *Cache) FileIntervals(file *ast.File) *IntervalFacts {
+	if f, ok := c.file[file]; ok {
+		return f
+	}
+	merged := &IntervalFacts{Conv: make(map[*ast.CallExpr]Interval)}
+	var fns []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fns = append(fns, n)
+			}
+		case *ast.FuncLit:
+			fns = append(fns, n)
+		}
+		return true
+	})
+	for _, fn := range fns {
+		for call, iv := range c.Intervals(fn).Conv {
+			merged.Conv[call] = iv
+		}
+	}
+	c.file[file] = merged
+	return merged
+}

@@ -1,0 +1,584 @@
+// Package dataflow builds per-function control-flow graphs from go/ast
+// and runs forward fixpoint analyses over them. It is the semantic tier
+// under trlint (DESIGN.md §13): the syntactic analyzers inspect one
+// node at a time, while the dataflow analyzers (intrange, ctxguard,
+// lockguard) reason about what must hold along every path.
+//
+// The package is stdlib-only, like the rest of the analysis suite: no
+// golang.org/x/tools/go/cfg or /ssa. The CFG is deliberately simpler
+// than ssa — blocks hold raw ast nodes in execution order, and branch
+// conditions live on the *edges* (Edge.Cond with Edge.Branch giving the
+// condition's truth on that edge), which is exactly the shape a
+// branch-refining interval analysis wants.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Graph is the control-flow graph of one function body. Blocks[0] is
+// Entry; Exit is a synthetic empty block every return (and the body's
+// fall-off-the-end path) jumps to. Unreachable blocks may exist (code
+// after return/panic); they have no predecessors and the solver never
+// visits them.
+type Graph struct {
+	Fn     ast.Node // *ast.FuncDecl or *ast.FuncLit
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Loops  []Loop
+	Defers []*ast.DeferStmt // defers recorded in source order
+}
+
+// Block is a straight-line run of statements. Nodes holds statements
+// and header expressions in execution order; control transfers only via
+// Succs. Branch conditions are NOT in Nodes — they are on the outgoing
+// edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+	Preds []*Block
+}
+
+// Edge is one control transfer. Cond, when non-nil, is the branch
+// condition whose truth value on this edge is Branch; a dataflow lattice
+// may refine its fact with that constraint before it flows into To.
+type Edge struct {
+	To     *Block
+	Cond   ast.Expr
+	Branch bool
+}
+
+// Loop records one for/range statement: its header block (the block
+// re-entered each iteration) and the blocks with a back edge to it.
+// Backs is computed after construction as the header predecessors that
+// are reachable from the header itself.
+type Loop struct {
+	Stmt   ast.Stmt // *ast.ForStmt or *ast.RangeStmt
+	Header *Block
+	Backs  []*Block
+}
+
+// RangeHeader is the node placed in a range loop's header block. It
+// wraps the whole *ast.RangeStmt, but consumers must treat it as "the
+// per-iteration Key/Value assignment from X" — scanning the wrapped
+// statement's Body through it would wrongly attribute body facts to the
+// header (the body has its own blocks).
+type RangeHeader struct {
+	*ast.RangeStmt
+}
+
+// New builds the CFG for fn, which must be an *ast.FuncDecl or
+// *ast.FuncLit with a non-nil body; it returns nil otherwise (e.g. a
+// body-less assembly stub declaration). info may be nil; it is only
+// used to type callees for termination detection (panic/os.Exit).
+func New(info *types.Info, fn ast.Node) *Graph {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return nil
+	}
+	b := &builder{
+		info:   info,
+		g:      &Graph{Fn: fn},
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = &Block{Index: -1}
+	b.cur = b.g.Entry
+	b.stmt(body)
+	b.jump(b.g.Exit)
+	for _, ref := range b.gotos {
+		if to := b.labels[ref.name]; to != nil && ref.from != nil {
+			b.edgeTo(ref.from, to, nil, false)
+		}
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	b.finish()
+	return b.g
+}
+
+// target is one enclosing breakable/continuable statement.
+type target struct {
+	label    string // "" when the statement is unlabeled
+	brk      *Block // break destination
+	cont     *Block // continue destination; nil for switch/select
+	isSwitch bool
+}
+
+type gotoRef struct {
+	from *Block
+	name string
+}
+
+type builder struct {
+	info    *types.Info
+	g       *Graph
+	cur     *Block // nil: current point is unreachable
+	targets []target
+	labels  map[string]*Block
+	gotos   []gotoRef
+	fall    *Block // fallthrough destination inside a switch clause
+	pending string // label awaiting attachment to the next loop/switch
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edgeTo(from, to *Block, cond ast.Expr, branch bool) {
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, Branch: branch})
+}
+
+// jump terminates the current block with an unconditional edge to dst
+// (if the current point is reachable) and marks the point unreachable.
+func (b *builder) jump(dst *Block) {
+	if b.cur != nil {
+		b.edgeTo(b.cur, dst, nil, false)
+	}
+	b.cur = nil
+}
+
+// add appends a node to the current block, materializing an unreachable
+// block if needed so that dead code still gets built (gotos may target
+// labels inside it).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// reach ensures there is a current block.
+func (b *builder) reach() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) takePending() string {
+	l := b.pending
+	b.pending = ""
+	return l
+}
+
+func (b *builder) findTarget(label string, forContinue bool) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label != "" && t.label != label {
+			continue
+		}
+		if forContinue {
+			if t.cont == nil {
+				continue // continue skips switch/select
+			}
+			return t.cont
+		}
+		return t.brk
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.jump(lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pending = ""
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(label, false); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if t := b.findTarget(label, true); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, gotoRef{b.cur, label})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if b.fall != nil {
+				b.jump(b.fall)
+			} else {
+				b.cur = nil
+			}
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.terminates(call) {
+			b.cur = nil // panic/os.Exit/…: no fallthrough successor
+		}
+	default:
+		// AssignStmt, IncDecStmt, DeclStmt, GoStmt, SendStmt, EmptyStmt…
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	cond := b.reach()
+	then := b.newBlock()
+	b.edgeTo(cond, then, s.Cond, true)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	if s.Else == nil {
+		join := b.newBlock()
+		b.edgeTo(cond, join, s.Cond, false)
+		if thenEnd != nil {
+			b.edgeTo(thenEnd, join, nil, false)
+		}
+		b.cur = join
+		return
+	}
+	els := b.newBlock()
+	b.edgeTo(cond, els, s.Cond, false)
+	b.cur = els
+	b.stmt(s.Else)
+	elseEnd := b.cur
+	if thenEnd == nil && elseEnd == nil {
+		b.cur = nil
+		return
+	}
+	join := b.newBlock()
+	if thenEnd != nil {
+		b.edgeTo(thenEnd, join, nil, false)
+	}
+	if elseEnd != nil {
+		b.edgeTo(elseEnd, join, nil, false)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takePending()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.newBlock()
+	b.jump(header)
+	b.g.Loops = append(b.g.Loops, Loop{Stmt: s, Header: header})
+	body := b.newBlock()
+	after := b.newBlock()
+	if s.Cond != nil {
+		b.edgeTo(header, body, s.Cond, true)
+		b.edgeTo(header, after, s.Cond, false)
+	} else {
+		b.edgeTo(header, body, nil, false) // `for {}`: exits only via break
+	}
+	cont := header
+	if s.Post != nil {
+		post := b.newBlock()
+		b.cur = post
+		b.stmt(s.Post)
+		b.jump(header)
+		cont = post
+	}
+	b.targets = append(b.targets, target{label: label, brk: after, cont: cont})
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(cont)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takePending()
+	header := b.newBlock()
+	b.jump(header)
+	header.Nodes = append(header.Nodes, RangeHeader{s})
+	b.g.Loops = append(b.g.Loops, Loop{Stmt: s, Header: header})
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edgeTo(header, body, nil, false)
+	b.edgeTo(header, after, nil, false)
+	b.targets = append(b.targets, target{label: label, brk: after, cont: header})
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(header)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takePending()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.reach()
+	if s.Tag != nil {
+		head.Nodes = append(head.Nodes, s.Tag)
+	}
+	after := b.newBlock()
+	b.targets = append(b.targets, target{label: label, brk: after, isSwitch: true})
+	clauses := s.Body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	savedFall := b.fall
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edgeTo(head, blocks[i], nil, false)
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		if i+1 < len(clauses) {
+			b.fall = blocks[i+1]
+		} else {
+			b.fall = nil
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(after)
+	}
+	b.fall = savedFall
+	if !hasDefault {
+		b.edgeTo(head, after, nil, false)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takePending()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.reach()
+	head.Nodes = append(head.Nodes, s.Assign)
+	after := b.newBlock()
+	b.targets = append(b.targets, target{label: label, brk: after, isSwitch: true})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edgeTo(head, blk, nil, false)
+		b.cur = blk
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(after)
+	}
+	if !hasDefault {
+		b.edgeTo(head, after, nil, false)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takePending()
+	head := b.reach()
+	// Select evaluates every clause's channel operand (and the value of
+	// a send) up front, in source order, before blocking — so those
+	// expressions execute on EVERY pass through the statement, whichever
+	// clause fires, and belong in the head block. The comm statement
+	// itself (the received-value binding) stays in its clause block.
+	for _, c := range s.Body.List {
+		switch comm := c.(*ast.CommClause).Comm.(type) {
+		case *ast.SendStmt:
+			b.add(comm.Chan)
+			b.add(comm.Value)
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				b.add(u.X)
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					b.add(u.X)
+				}
+			}
+		}
+	}
+	after := b.newBlock()
+	b.targets = append(b.targets, target{label: label, brk: after, isSwitch: true})
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edgeTo(head, blk, nil, false)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(after)
+	}
+	if !hasDefault && len(s.Body.List) == 0 {
+		// `select {}` blocks forever; keep after unreachable.
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// terminates reports whether call never returns: the panic builtin,
+// os.Exit, runtime.Goexit, or the log.Fatal family.
+func (b *builder) terminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			if obj, ok := b.info.Uses[fun]; ok {
+				_, isBuiltin := obj.(*types.Builtin)
+				return isBuiltin
+			}
+		}
+		return true
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b.info != nil {
+			if _, isPkg := b.info.Uses[pkg].(*types.PkgName); !isPkg {
+				return false
+			}
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit",
+			"log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// finish fills Preds and each Loop's Backs: the header predecessors
+// the header dominates, i.e. the true back-edge sources. Dominance is
+// decided by deletion — header dominates p exactly when p becomes
+// unreachable from entry once the header is removed. ("Reachable from
+// the header" is NOT a correct test: the pre-header of an inner loop is
+// reachable from the inner header by going around the enclosing loop,
+// and using it would dissolve nested loops into their parents.)
+func (b *builder) finish() {
+	for _, blk := range b.g.Blocks {
+		for _, e := range blk.Succs {
+			e.To.Preds = append(e.To.Preds, blk)
+		}
+	}
+	for i := range b.g.Loops {
+		l := &b.g.Loops[i]
+		reach := reachableFrom(b.g.Entry, nil)
+		sansHeader := reachableFrom(b.g.Entry, l.Header)
+		for _, p := range l.Header.Preds {
+			if reach[p] && !sansHeader[p] {
+				l.Backs = append(l.Backs, p)
+			}
+		}
+	}
+}
+
+// reachableFrom walks successors from start, never entering avoid
+// (which may be nil).
+func reachableFrom(start, avoid *Block) map[*Block]bool {
+	if start == avoid {
+		return nil
+	}
+	seen := map[*Block]bool{start: true}
+	work := []*Block{start}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range blk.Succs {
+			if !seen[e.To] && e.To != avoid {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// NaturalLoop returns the set of blocks belonging to l: the header plus
+// every block that reaches a back-edge source without passing through
+// the header (computed by walking predecessors from the back sources).
+func (g *Graph) NaturalLoop(l Loop) map[*Block]bool {
+	in := map[*Block]bool{l.Header: true}
+	work := make([]*Block, 0, len(l.Backs))
+	for _, bk := range l.Backs {
+		if !in[bk] {
+			in[bk] = true
+			work = append(work, bk)
+		}
+	}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range blk.Preds {
+			if !in[p] {
+				in[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,1024 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+)
+
+// Interval is an inclusive range of values, with ±Inf for unbounded
+// ends. Bounds are float64; to keep float64 rounding from silently
+// shrinking an integer bound, every integer-arithmetic result is passed
+// through norm, which saturates any bound of magnitude beyond 2^53 (the
+// last integer width float64 represents exactly) toward the safe side.
+// Float-typed arithmetic instead nudges bounds outward by one ulp.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// maxExact is 2^53: the largest magnitude at which every integer is
+// exactly representable in a float64.
+const maxExact = float64(1 << 53)
+
+var top = Interval{math.Inf(-1), math.Inf(1)}
+
+// Top returns the unbounded interval.
+func Top() Interval { return top }
+
+// norm saturates bounds whose magnitude exceeds 2^53: past that,
+// float64 rounding could move a computed bound inward (unsound), so the
+// bound is replaced by the nearest value that is safe regardless of
+// rounding direction.
+func (iv Interval) norm() Interval {
+	if iv.Lo < -maxExact {
+		iv.Lo = math.Inf(-1)
+	} else if iv.Lo > maxExact {
+		iv.Lo = maxExact
+	}
+	if iv.Hi > maxExact {
+		iv.Hi = math.Inf(1)
+	} else if iv.Hi < -maxExact {
+		iv.Hi = -maxExact
+	}
+	return iv
+}
+
+// outward widens both bounds by one ulp — the float-arithmetic
+// counterpart of norm (nearest-rounding on a bound may round inward).
+func (iv Interval) outward() Interval {
+	if !math.IsInf(iv.Lo, 0) {
+		iv.Lo = math.Nextafter(iv.Lo, math.Inf(-1))
+	}
+	if !math.IsInf(iv.Hi, 0) {
+		iv.Hi = math.Nextafter(iv.Hi, math.Inf(1))
+	}
+	return iv
+}
+
+func (iv Interval) finite() bool {
+	return !math.IsInf(iv.Lo, 0) && !math.IsInf(iv.Hi, 0)
+}
+
+func joinIv(a, b Interval) Interval {
+	return Interval{math.Min(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// typeDomain is the interval every value of t lies in, normed: int64,
+// int, uint64, uint and uintptr have bounds past 2^53 and so come back
+// (partially) unbounded.
+func typeDomain(t types.Type) Interval {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return top
+	}
+	d, ok := rawDomain(b.Kind())
+	if !ok {
+		return top
+	}
+	return d.norm()
+}
+
+// rawDomain is the exact (un-normed) domain of an integer kind. The
+// int64/uint64 upper bounds round up under float64 — harmless, because
+// every interval tested against them has already been normed, so its
+// finite bounds are ≤ 2^53.
+func rawDomain(k types.BasicKind) (Interval, bool) {
+	switch k {
+	case types.Int8:
+		return Interval{math.MinInt8, math.MaxInt8}, true
+	case types.Int16:
+		return Interval{math.MinInt16, math.MaxInt16}, true
+	case types.Int32:
+		return Interval{math.MinInt32, math.MaxInt32}, true
+	case types.Int64, types.Int, types.UntypedInt:
+		return Interval{math.MinInt64, math.MaxInt64}, true
+	case types.Uint8:
+		return Interval{0, math.MaxUint8}, true
+	case types.Uint16:
+		return Interval{0, math.MaxUint16}, true
+	case types.Uint32:
+		return Interval{0, math.MaxUint32}, true
+	case types.Uint64, types.Uint, types.Uintptr:
+		return Interval{0, math.MaxUint64}, true
+	}
+	return Interval{}, false
+}
+
+// Domain returns the exact (un-normed) value domain of an integer
+// type, for callers that need to compare an operand interval against
+// the destination range (e.g. intrange's definite-overflow check).
+func Domain(t types.Type) (Interval, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return Interval{}, false
+	}
+	return rawDomain(b.Kind())
+}
+
+// Fits reports whether every value in src — the abstract interval of an
+// expression of static type srcT — converts to dstT without leaving
+// dstT's integer domain. Float sources follow Go conversion semantics
+// (truncation toward zero, which is monotone); NaN is outside the model
+// — a clamp proof over floats assumes the clamped value is not NaN,
+// the same blind spot a hand-written clamp has.
+func Fits(src Interval, srcT, dstT types.Type) bool {
+	db, ok := dstT.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	dom, ok := rawDomain(db.Kind())
+	if !ok {
+		return false
+	}
+	sb, ok := srcT.Underlying().(*types.Basic)
+	if !ok || sb.Info()&types.IsNumeric == 0 {
+		return false
+	}
+	if !src.finite() {
+		return false
+	}
+	lo, hi := src.Lo, src.Hi
+	if sb.Info()&types.IsFloat != 0 {
+		lo, hi = math.Trunc(lo), math.Trunc(hi)
+	}
+	return lo >= dom.Lo && hi <= dom.Hi
+}
+
+// Env maps tracked local variables to their interval at a program
+// point. A nil Env is the unreachable fact (bottom); a missing key
+// means "anything its type allows". Envs are persistent values: every
+// mutation goes through clone.
+type Env map[*types.Var]Interval
+
+func (e Env) clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// evaluator evaluates expressions and statements over Env. tracked
+// holds the function-local numeric variables that are never
+// address-taken and never touched by a nested function literal — the
+// only ones whose env entry can be trusted across statements.
+type evaluator struct {
+	info    *types.Info
+	tracked map[*types.Var]bool
+}
+
+func newEvaluator(info *types.Info, fn ast.Node) *evaluator {
+	ev := &evaluator{info: info, tracked: make(map[*types.Var]bool)}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok && isNumericVar(v) {
+				ev.tracked[v] = true
+			}
+		}
+		return true
+	})
+	// Second pass: untrack anything address-taken or referenced inside
+	// a nested function literal (a closure may mutate it at any time).
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if ast.Node(n) == fn {
+				return true // the root literal is the function under analysis
+			}
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := ev.info.Uses[id].(*types.Var); ok {
+						delete(ev.tracked, v)
+					}
+					if v, ok := ev.info.Defs[id].(*types.Var); ok {
+						delete(ev.tracked, v)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := unparen(n.X).(*ast.Ident); ok {
+					if v, ok := ev.info.Uses[id].(*types.Var); ok {
+						delete(ev.tracked, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+func isNumericVar(v *types.Var) bool {
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func (ev *evaluator) objOf(id *ast.Ident) types.Object {
+	if o := ev.info.Defs[id]; o != nil {
+		return o
+	}
+	return ev.info.Uses[id]
+}
+
+func (ev *evaluator) typeOf(e ast.Expr) types.Type {
+	if tv, ok := ev.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (ev *evaluator) domainOf(e ast.Expr) Interval {
+	if t := ev.typeOf(e); t != nil {
+		return typeDomain(t)
+	}
+	return top
+}
+
+// eval computes the interval of e under env. It is pure: no env
+// mutation.
+func (ev *evaluator) eval(e ast.Expr, env Env) Interval {
+	if tv, ok := ev.info.Types[e]; ok && tv.Value != nil {
+		if iv, ok := constInterval(tv.Value); ok {
+			return iv
+		}
+		return top
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ev.eval(e.X, env)
+	case *ast.Ident:
+		if v, ok := ev.objOf(e).(*types.Var); ok {
+			if iv, ok := env[v]; ok {
+				return iv
+			}
+		}
+		return ev.domainOf(e)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.SUB:
+			x := ev.eval(e.X, env)
+			return ev.clampToType(Interval{-x.Hi, -x.Lo}, ev.typeOf(e))
+		case token.ADD:
+			return ev.eval(e.X, env)
+		}
+		return ev.domainOf(e)
+	case *ast.BinaryExpr:
+		return ev.binop(e.Op, ev.eval(e.X, env), ev.eval(e.Y, env), ev.typeOf(e))
+	case *ast.CallExpr:
+		return ev.evalCall(e, env)
+	default:
+		return ev.domainOf(e)
+	}
+}
+
+func (ev *evaluator) evalCall(call *ast.CallExpr, env Env) Interval {
+	// Conversion T(x)?
+	if tv, ok := ev.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return ev.convert(ev.eval(call.Args[0], env), ev.typeOf(call.Args[0]), tv.Type)
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := ev.objOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap":
+				return Interval{0, math.Inf(1)}
+			case "min", "max":
+				if len(call.Args) > 0 {
+					iv := ev.eval(call.Args[0], env)
+					for _, a := range call.Args[1:] {
+						b := ev.eval(a, env)
+						if id.Name == "min" {
+							iv = Interval{math.Min(iv.Lo, b.Lo), math.Min(iv.Hi, b.Hi)}
+						} else {
+							iv = Interval{math.Max(iv.Lo, b.Lo), math.Max(iv.Hi, b.Hi)}
+						}
+					}
+					return iv
+				}
+			}
+		}
+	}
+	return ev.domainOf(call)
+}
+
+// convert models a Go conversion of a value in src (static type srcT)
+// to dst: the identity when the interval provably fits, the full
+// destination domain when it may not (overflow wraps or is
+// implementation-defined — no tighter claim is sound).
+func (ev *evaluator) convert(src Interval, srcT, dstT types.Type) Interval {
+	if srcT == nil || dstT == nil {
+		return top
+	}
+	db, ok := dstT.Underlying().(*types.Basic)
+	if !ok {
+		return top
+	}
+	sb, ok := srcT.Underlying().(*types.Basic)
+	if !ok || sb.Info()&types.IsNumeric == 0 {
+		return typeDomain(dstT)
+	}
+	switch {
+	case db.Info()&types.IsInteger != 0:
+		if Fits(src, srcT, dstT) {
+			if sb.Info()&types.IsFloat != 0 {
+				return Interval{math.Trunc(src.Lo), math.Trunc(src.Hi)}
+			}
+			return src
+		}
+		return typeDomain(dstT)
+	case db.Kind() == types.Float32:
+		// Rounding to float32 may move past a float64 bound; widen by a
+		// float32 ulp on each side.
+		out := src
+		if !math.IsInf(out.Lo, 0) {
+			out.Lo = float64(math.Nextafter32(float32(out.Lo), float32(math.Inf(-1))))
+		}
+		if !math.IsInf(out.Hi, 0) {
+			out.Hi = float64(math.Nextafter32(float32(out.Hi), float32(math.Inf(1))))
+		}
+		return out
+	case db.Info()&types.IsFloat != 0:
+		return src // int→float64 / float64→float64: exact for normed bounds
+	}
+	return top
+}
+
+// clampToType keeps a computed math interval when it provably fits t's
+// exact domain and otherwise returns the full domain: overflow wraps,
+// and a wrapped value can land anywhere in the type.
+func (ev *evaluator) clampToType(iv Interval, t types.Type) Interval {
+	if t == nil {
+		return top
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return top
+	}
+	if b.Info()&types.IsFloat != 0 {
+		return iv.outward()
+	}
+	dom, ok := rawDomain(b.Kind())
+	if !ok {
+		return top
+	}
+	iv = iv.norm()
+	if iv.finite() && iv.Lo >= dom.Lo && iv.Hi <= dom.Hi {
+		return iv
+	}
+	return typeDomain(t)
+}
+
+func (ev *evaluator) binop(op token.Token, a, b Interval, t types.Type) Interval {
+	var iv Interval
+	switch op {
+	case token.ADD:
+		iv = Interval{a.Lo + b.Lo, a.Hi + b.Hi}
+	case token.SUB:
+		iv = Interval{a.Lo - b.Hi, a.Hi - b.Lo}
+	case token.MUL:
+		c1, c2 := mulBound(a.Lo, b.Lo), mulBound(a.Lo, b.Hi)
+		c3, c4 := mulBound(a.Hi, b.Lo), mulBound(a.Hi, b.Hi)
+		iv = Interval{
+			math.Min(math.Min(c1, c2), math.Min(c3, c4)),
+			math.Max(math.Max(c1, c2), math.Max(c3, c4)),
+		}
+	case token.QUO:
+		iv = ev.divIv(a, b, t)
+	case token.REM:
+		iv = remIv(a, b)
+	case token.SHL:
+		iv = shiftIv(a, b, true)
+	case token.SHR:
+		iv = shiftIv(a, b, false)
+	case token.AND:
+		switch {
+		case b.Lo >= 0 && !math.IsInf(b.Hi, 1):
+			iv = Interval{0, b.Hi}
+			if a.Lo >= 0 {
+				iv.Hi = math.Min(iv.Hi, a.Hi)
+			}
+		case a.Lo >= 0 && !math.IsInf(a.Hi, 1):
+			iv = Interval{0, a.Hi}
+		default:
+			return ev.safeDomain(t)
+		}
+	case token.OR, token.XOR:
+		if a.Lo >= 0 && b.Lo >= 0 && !math.IsInf(a.Hi, 1) && !math.IsInf(b.Hi, 1) {
+			iv = Interval{0, nextPow2(math.Max(a.Hi, b.Hi)) - 1}
+		} else {
+			return ev.safeDomain(t)
+		}
+	case token.AND_NOT:
+		if a.Lo >= 0 {
+			iv = Interval{0, a.Hi}
+		} else {
+			return ev.safeDomain(t)
+		}
+	default:
+		return ev.safeDomain(t)
+	}
+	return ev.clampToType(iv, t)
+}
+
+func (ev *evaluator) safeDomain(t types.Type) Interval {
+	if t == nil {
+		return top
+	}
+	return typeDomain(t)
+}
+
+func mulBound(x, y float64) float64 {
+	if x == 0 || y == 0 {
+		return 0 // 0·(±Inf placeholder for "unbounded finite") is 0
+	}
+	return x * y
+}
+
+func (ev *evaluator) divIv(a, b Interval, t types.Type) Interval {
+	isFloat := false
+	if t != nil {
+		if bt, ok := t.Underlying().(*types.Basic); ok {
+			isFloat = bt.Info()&types.IsFloat != 0
+		}
+	}
+	if b.Lo > 0 || b.Hi < 0 { // divisor bounded away from zero
+		if b.finite() && a.finite() {
+			c1, c2 := a.Lo/b.Lo, a.Lo/b.Hi
+			c3, c4 := a.Hi/b.Lo, a.Hi/b.Hi
+			lo := math.Min(math.Min(c1, c2), math.Min(c3, c4))
+			hi := math.Max(math.Max(c1, c2), math.Max(c3, c4))
+			if !isFloat {
+				lo, hi = math.Trunc(lo), math.Trunc(hi)
+			}
+			return Interval{lo, hi}
+		}
+	}
+	if !isFloat {
+		// |x/y| ≤ |x| for any integer divisor the runtime accepts.
+		m := math.Max(math.Abs(a.Lo), math.Abs(a.Hi))
+		return Interval{-m, m}
+	}
+	return top
+}
+
+func remIv(a, b Interval) Interval {
+	m := math.Max(math.Abs(b.Lo), math.Abs(b.Hi))
+	var bound float64
+	if math.IsInf(m, 1) {
+		bound = math.Max(math.Abs(a.Lo), math.Abs(a.Hi))
+	} else {
+		bound = m - 1
+		if am := math.Max(math.Abs(a.Lo), math.Abs(a.Hi)); am < bound {
+			bound = am
+		}
+	}
+	lo, hi := -bound, bound
+	if a.Lo >= 0 {
+		lo = 0
+	}
+	if a.Hi <= 0 {
+		hi = 0
+	}
+	return Interval{lo, hi}
+}
+
+func shiftIv(a, b Interval, left bool) Interval {
+	kLo, kHi := math.Max(0, b.Lo), b.Hi
+	if kHi > 63 {
+		kHi = 63
+	}
+	if kHi < kLo {
+		return top
+	}
+	if left {
+		p := Interval{math.Pow(2, kLo), math.Pow(2, kHi)}
+		c1, c2 := mulBound(a.Lo, p.Lo), mulBound(a.Lo, p.Hi)
+		c3, c4 := mulBound(a.Hi, p.Lo), mulBound(a.Hi, p.Hi)
+		return Interval{
+			math.Min(math.Min(c1, c2), math.Min(c3, c4)),
+			math.Max(math.Max(c1, c2), math.Max(c3, c4)),
+		}
+	}
+	if a.Lo >= 0 {
+		hi := a.Hi
+		if !math.IsInf(hi, 1) {
+			hi = math.Floor(hi / math.Pow(2, kLo))
+		}
+		return Interval{0, hi}
+	}
+	m := math.Max(math.Abs(a.Lo), math.Abs(a.Hi))
+	return Interval{-m, m}
+}
+
+func nextPow2(x float64) float64 {
+	p := 1.0
+	for p <= x && p < maxExact {
+		p *= 2
+	}
+	return p
+}
+
+func constInterval(v constant.Value) (Interval, bool) {
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		f, exact := constant.Float64Val(constant.ToFloat(v))
+		iv := Interval{f, f}
+		if !exact {
+			iv = iv.outward()
+		}
+		return iv.norm(), true
+	}
+	return Interval{}, false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ---- the lattice ----
+
+type ivLattice struct {
+	ev *evaluator
+}
+
+func (l ivLattice) Entry() Env { return Env{} }
+
+func (l ivLattice) Join(a, b Env) Env {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(Env)
+	for v, av := range a {
+		if bv, ok := b[v]; ok {
+			out[v] = joinIv(av, bv)
+		}
+	}
+	return out
+}
+
+func (l ivLattice) Equal(a, b Env) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for v, av := range a {
+		bv, ok := b[v]
+		if !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func (l ivLattice) Widen(old, next Env) Env {
+	if old == nil || next == nil {
+		return next
+	}
+	out := make(Env, len(next))
+	for v, niv := range next {
+		oiv, ok := old[v]
+		if !ok {
+			out[v] = niv
+			continue
+		}
+		w := niv
+		if niv.Lo < oiv.Lo {
+			w.Lo = math.Inf(-1)
+		}
+		if niv.Hi > oiv.Hi {
+			w.Hi = math.Inf(1)
+		}
+		out[v] = w
+	}
+	return out
+}
+
+func (l ivLattice) Transfer(n ast.Node, f Env) Env {
+	if f == nil {
+		return nil
+	}
+	ev := l.ev
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return ev.assign(n, f)
+	case *ast.IncDecStmt:
+		cur := ev.eval(n.X, f)
+		one := Interval{1, 1}
+		op := token.ADD
+		if n.Tok == token.DEC {
+			op = token.SUB
+		}
+		return ev.setVar(n.X, ev.binop(op, cur, one, ev.typeOf(n.X)), f)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return f
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			switch {
+			case len(vs.Values) == 0:
+				for _, name := range vs.Names {
+					f = ev.setIdent(name, Interval{0, 0}, f) // zero value
+				}
+			case len(vs.Values) == len(vs.Names):
+				for i, name := range vs.Names {
+					f = ev.setIdent(name, ev.eval(vs.Values[i], f), f)
+				}
+			default: // tuple from one call
+				for _, name := range vs.Names {
+					f = ev.dropIdent(name, f)
+				}
+			}
+		}
+		return f
+	case RangeHeader:
+		return ev.rangeAssign(n, f)
+	}
+	return f
+}
+
+func (l ivLattice) Refine(cond ast.Expr, branch bool, f Env) Env {
+	return l.ev.refine(cond, branch, f)
+}
+
+func (ev *evaluator) assign(s *ast.AssignStmt, env Env) Env {
+	if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+		if len(s.Lhs) == len(s.Rhs) {
+			vals := make([]Interval, len(s.Rhs))
+			for i := range s.Rhs {
+				vals[i] = ev.eval(s.Rhs[i], env) // all RHS at the pre-state
+			}
+			for i, lhs := range s.Lhs {
+				env = ev.setVar(lhs, vals[i], env)
+			}
+			return env
+		}
+		for _, lhs := range s.Lhs { // tuple assignment
+			env = ev.dropVar(lhs, env)
+		}
+		return env
+	}
+	// Compound x op= e.
+	op, ok := compoundOp(s.Tok)
+	if !ok || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return env
+	}
+	cur := ev.eval(s.Lhs[0], env)
+	rhs := ev.eval(s.Rhs[0], env)
+	return ev.setVar(s.Lhs[0], ev.binop(op, cur, rhs, ev.typeOf(s.Lhs[0])), env)
+}
+
+func compoundOp(t token.Token) (token.Token, bool) {
+	switch t {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	case token.REM_ASSIGN:
+		return token.REM, true
+	case token.AND_ASSIGN:
+		return token.AND, true
+	case token.OR_ASSIGN:
+		return token.OR, true
+	case token.XOR_ASSIGN:
+		return token.XOR, true
+	case token.SHL_ASSIGN:
+		return token.SHL, true
+	case token.SHR_ASSIGN:
+		return token.SHR, true
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT, true
+	}
+	return token.ILLEGAL, false
+}
+
+func (ev *evaluator) rangeAssign(rh RangeHeader, env Env) Env {
+	s := rh.RangeStmt
+	if s.Key != nil {
+		var iv Interval
+		known := false
+		if xt := ev.typeOf(s.X); xt != nil {
+			switch u := xt.Underlying().(type) {
+			case *types.Slice, *types.Array:
+				iv, known = Interval{0, math.Inf(1)}, true
+			case *types.Pointer:
+				if _, isArr := u.Elem().Underlying().(*types.Array); isArr {
+					iv, known = Interval{0, math.Inf(1)}, true
+				}
+			case *types.Basic:
+				if u.Info()&types.IsString != 0 {
+					iv, known = Interval{0, math.Inf(1)}, true
+				} else if u.Info()&types.IsInteger != 0 { // range over int (go1.22)
+					n := ev.eval(s.X, env)
+					iv, known = Interval{0, math.Max(0, n.Hi-1)}, true
+				}
+			}
+		}
+		if known {
+			env = ev.setVar(s.Key, iv, env)
+		} else {
+			env = ev.dropVar(s.Key, env)
+		}
+	}
+	if s.Value != nil {
+		env = ev.dropVar(s.Value, env)
+	}
+	return env
+}
+
+func (ev *evaluator) setVar(lhs ast.Expr, iv Interval, env Env) Env {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return env
+	}
+	return ev.setIdent(id, iv, env)
+}
+
+func (ev *evaluator) setIdent(id *ast.Ident, iv Interval, env Env) Env {
+	v, ok := ev.objOf(id).(*types.Var)
+	if !ok || !ev.tracked[v] {
+		return env
+	}
+	if env == nil {
+		return nil
+	}
+	env = env.clone()
+	env[v] = iv
+	return env
+}
+
+func (ev *evaluator) dropVar(lhs ast.Expr, env Env) Env {
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok {
+		return env
+	}
+	return ev.dropIdent(id, env)
+}
+
+func (ev *evaluator) dropIdent(id *ast.Ident, env Env) Env {
+	v, ok := ev.objOf(id).(*types.Var)
+	if !ok {
+		return env
+	}
+	if _, present := env[v]; !present {
+		return env
+	}
+	env = env.clone()
+	delete(env, v)
+	return env
+}
+
+// refine narrows env with the knowledge that cond evaluated to truth.
+// It understands !, parens, comparisons against anything evaluable, the
+// true edge of &&, and — by De Morgan — the false edge of || (both
+// disjuncts are false there: `if e < 0 || e > hi { panic }` proves
+// e ∈ [0,hi] on the fallthrough edge). A contradiction returns nil:
+// the edge is dead.
+func (ev *evaluator) refine(cond ast.Expr, truth bool, env Env) Env {
+	if env == nil {
+		return nil
+	}
+	switch c := unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return ev.refine(c.X, !truth, env)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if truth {
+				return ev.refine(c.Y, true, ev.refine(c.X, true, env))
+			}
+		case token.LOR:
+			if !truth {
+				return ev.refine(c.Y, false, ev.refine(c.X, false, env))
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			return ev.refineCmp(c, truth, env)
+		}
+	}
+	return env
+}
+
+func (ev *evaluator) refineCmp(c *ast.BinaryExpr, truth bool, env Env) Env {
+	op := c.Op
+	if !truth {
+		op = negateCmp(op)
+	}
+	if op == token.NEQ {
+		return env // x != y carves a hole, not an interval
+	}
+	integral := ev.isIntegral(c.X) && ev.isIntegral(c.Y)
+	xiv := ev.eval(c.X, env)
+	yiv := ev.eval(c.Y, env)
+	env = ev.clampVar(c.X, op, yiv, integral, env)
+	env = ev.clampVar(c.Y, flipCmp(op), xiv, integral, env)
+	return env
+}
+
+func (ev *evaluator) isIntegral(e ast.Expr) bool {
+	t := ev.typeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// clampVar applies `e op bound` when e is a tracked variable: e's
+// interval shrinks against the bound interval's far edge (strict
+// comparisons tighten by 1 in the all-integer case).
+func (ev *evaluator) clampVar(e ast.Expr, op token.Token, bound Interval, integral bool, env Env) Env {
+	if env == nil {
+		return nil
+	}
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return env
+	}
+	v, ok := ev.objOf(id).(*types.Var)
+	if !ok || !ev.tracked[v] {
+		return env
+	}
+	cur, ok := env[v]
+	if !ok {
+		cur = typeDomain(v.Type())
+	}
+	eps := 0.0
+	if integral {
+		eps = 1
+	}
+	next := cur
+	switch op {
+	case token.LSS:
+		if h := bound.Hi - eps; h < next.Hi {
+			next.Hi = h
+		}
+	case token.LEQ:
+		if bound.Hi < next.Hi {
+			next.Hi = bound.Hi
+		}
+	case token.GTR:
+		if lo := bound.Lo + eps; lo > next.Lo {
+			next.Lo = lo
+		}
+	case token.GEQ:
+		if bound.Lo > next.Lo {
+			next.Lo = bound.Lo
+		}
+	case token.EQL:
+		if bound.Lo > next.Lo {
+			next.Lo = bound.Lo
+		}
+		if bound.Hi < next.Hi {
+			next.Hi = bound.Hi
+		}
+	default:
+		return env
+	}
+	if next.Lo > next.Hi {
+		return nil // contradiction: this edge cannot be taken
+	}
+	if next == cur {
+		return env
+	}
+	env = env.clone()
+	env[v] = next
+	return env
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op // EQL is symmetric
+}
+
+// ---- facts ----
+
+// IntervalFacts caches, for every type-conversion call in one function,
+// the interval of its operand at that program point.
+type IntervalFacts struct {
+	Conv map[*ast.CallExpr]Interval
+}
+
+// Intervals solves the interval analysis over fn (an *ast.FuncDecl or
+// *ast.FuncLit) and replays it to record the operand interval at every
+// conversion site. Nested function literals are NOT descended into —
+// analyze them separately; their conversions get their own facts.
+func Intervals(info *types.Info, fn ast.Node) *IntervalFacts {
+	facts := &IntervalFacts{Conv: make(map[*ast.CallExpr]Interval)}
+	g := New(info, fn)
+	if g == nil {
+		return facts
+	}
+	ev := newEvaluator(info, fn)
+	lat := ivLattice{ev}
+	in := Forward[Env](g, lat)
+	for _, blk := range g.Blocks {
+		env, reached := in[blk]
+		if !reached {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			ev.recordConvs(n, env, facts)
+			env = lat.Transfer(n, env)
+		}
+		for _, e := range blk.Succs {
+			if e.Cond != nil {
+				ev.recordConvs(e.Cond, env, facts)
+			}
+		}
+	}
+	return facts
+}
+
+func (ev *evaluator) recordConvs(n ast.Node, env Env, facts *IntervalFacts) {
+	if rh, ok := n.(RangeHeader); ok {
+		// Only the header's own expressions; Body belongs to other blocks.
+		ev.recordConvs(rh.X, env, facts)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := ev.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			facts.Conv[call] = ev.eval(call.Args[0], env)
+		}
+		return true
+	})
+}
+
+// ProvesConv reports whether the recorded operand interval at call
+// proves the conversion cannot leave the destination type's domain.
+func (f *IntervalFacts) ProvesConv(info *types.Info, call *ast.CallExpr) bool {
+	if f == nil || len(call.Args) != 1 {
+		return false
+	}
+	iv, ok := f.Conv[call]
+	if !ok {
+		return false
+	}
+	srcTV, ok := info.Types[call.Args[0]]
+	if !ok || srcTV.Type == nil {
+		return false
+	}
+	dstTV, ok := info.Types[call]
+	if !ok || dstTV.Type == nil {
+		return false
+	}
+	return Fits(iv, srcTV.Type, dstTV.Type)
+}

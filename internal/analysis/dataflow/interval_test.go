@@ -1,0 +1,211 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"math"
+	"testing"
+)
+
+// convsTo returns the conversion calls in fn whose destination type
+// prints as dst, in source order.
+func convsTo(info *types.Info, fn ast.Node, dst string) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			if tv.Type.String() == dst {
+				out = append(out, call)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestIntervalProvesFloatClamp(t *testing.T) {
+	_, file, info := typecheckSrc(t, `package p
+func f(x float64) int8 {
+	c := x
+	if c > 127 {
+		c = 127
+	} else if c < -127 {
+		c = -127
+	}
+	return int8(c)
+}`)
+	fn := funcDecl(t, file, "f")
+	facts := Intervals(info, fn)
+	convs := convsTo(info, fn, "int8")
+	if len(convs) != 1 {
+		t.Fatalf("conversions = %d, want 1", len(convs))
+	}
+	if !facts.ProvesConv(info, convs[0]) {
+		t.Fatalf("clamp to [-127,127] not proven; got %+v", facts.Conv[convs[0]])
+	}
+}
+
+func TestIntervalProvesPanicGuardWithOr(t *testing.T) {
+	_, file, info := typecheckSrc(t, `package p
+func g(e int) uint8 {
+	if e < 0 || e > 0xff {
+		panic("out of range")
+	}
+	return uint8(e)
+}`)
+	fn := funcDecl(t, file, "g")
+	facts := Intervals(info, fn)
+	convs := convsTo(info, fn, "uint8")
+	if len(convs) != 1 {
+		t.Fatalf("conversions = %d, want 1", len(convs))
+	}
+	if !facts.ProvesConv(info, convs[0]) {
+		t.Fatalf("panic-guarded conversion not proven; got %+v", facts.Conv[convs[0]])
+	}
+}
+
+func TestIntervalProvesNegatedMagnitude(t *testing.T) {
+	_, file, info := typecheckSrc(t, `package p
+func m(v int32) uint32 {
+	if v < 0 {
+		return uint32(-int64(v))
+	}
+	return uint32(v)
+}`)
+	fn := funcDecl(t, file, "m")
+	facts := Intervals(info, fn)
+	convs := convsTo(info, fn, "uint32")
+	if len(convs) != 2 {
+		t.Fatalf("conversions = %d, want 2", len(convs))
+	}
+	for i, c := range convs {
+		if !facts.ProvesConv(info, c) {
+			t.Errorf("uint32 conversion %d not proven; got %+v", i, facts.Conv[c])
+		}
+	}
+}
+
+func TestIntervalClampAgainstVariableBounds(t *testing.T) {
+	// The Gemv8Rows pattern: float bounds derived from int32 params,
+	// the clamp target proven through the bound variables' intervals.
+	_, file, info := typecheckSrc(t, `package p
+func q(f float64, lo, hi int32) int32 {
+	flo, fhi := float64(lo), float64(hi)
+	if f > fhi {
+		f = fhi
+	} else if f < flo {
+		f = flo
+	}
+	return int32(f)
+}`)
+	fn := funcDecl(t, file, "q")
+	facts := Intervals(info, fn)
+	convs := convsTo(info, fn, "int32")
+	if len(convs) != 1 {
+		t.Fatalf("conversions = %d, want 1", len(convs))
+	}
+	if !facts.ProvesConv(info, convs[0]) {
+		t.Fatalf("param-derived clamp not proven; got %+v", facts.Conv[convs[0]])
+	}
+}
+
+func TestIntervalRejectsUnprovenNarrowing(t *testing.T) {
+	_, file, info := typecheckSrc(t, `package p
+func r(x int) int8 {
+	return int8(x)
+}
+func s() int8 {
+	x := 300
+	return int8(x)
+}`)
+	for _, name := range []string{"r", "s"} {
+		fn := funcDecl(t, file, name)
+		facts := Intervals(info, fn)
+		convs := convsTo(info, fn, "int8")
+		if len(convs) != 1 {
+			t.Fatalf("%s: conversions = %d, want 1", name, len(convs))
+		}
+		if facts.ProvesConv(info, convs[0]) {
+			t.Errorf("%s: unsafe narrowing wrongly proven", name)
+		}
+	}
+}
+
+func TestIntervalDefinitelyOutside(t *testing.T) {
+	_, file, info := typecheckSrc(t, `package p
+func s() int8 {
+	x := 300
+	return int8(x)
+}`)
+	fn := funcDecl(t, file, "s")
+	facts := Intervals(info, fn)
+	convs := convsTo(info, fn, "int8")
+	iv, ok := facts.Conv[convs[0]]
+	if !ok {
+		t.Fatal("no fact recorded")
+	}
+	if iv.Lo != 300 || iv.Hi != 300 {
+		t.Fatalf("interval = %+v, want [300,300]", iv)
+	}
+	// Wholly outside int8: the definite-overflow predicate intrange uses.
+	if iv.Hi >= math.MinInt8 && iv.Lo <= math.MaxInt8 {
+		t.Fatal("interval unexpectedly overlaps int8")
+	}
+}
+
+func TestIntervalWideningTerminates(t *testing.T) {
+	_, file, info := typecheckSrc(t, `package p
+func w(n int) int {
+	s := 0
+	for i := 0; ; i++ {
+		s += i
+		if s > n {
+			break
+		}
+	}
+	return s
+}`)
+	// The assertion is termination itself (widening caps the chain).
+	Intervals(info, funcDecl(t, file, "w"))
+}
+
+func TestIntervalCompoundAndMask(t *testing.T) {
+	_, file, info := typecheckSrc(t, `package p
+func h(x int) uint8 {
+	return uint8(x & 0x7f)
+}
+func k(x int32) int8 {
+	y := x % 100
+	return int8(y)
+}`)
+	for _, tc := range []struct{ fn, dst string }{{"h", "uint8"}, {"k", "int8"}} {
+		fn := funcDecl(t, file, tc.fn)
+		facts := Intervals(info, fn)
+		convs := convsTo(info, fn, tc.dst)
+		if len(convs) != 1 {
+			t.Fatalf("%s: conversions = %d, want 1", tc.fn, len(convs))
+		}
+		if !facts.ProvesConv(info, convs[0]) {
+			t.Errorf("%s: masked/mod value not proven; got %+v", tc.fn, facts.Conv[convs[0]])
+		}
+	}
+}
+
+func TestIntervalAddressTakenUntracked(t *testing.T) {
+	_, file, info := typecheckSrc(t, `package p
+func mut(p *int) { *p = 1000 }
+func a() int8 {
+	x := 5
+	mut(&x)
+	return int8(x)
+}`)
+	fn := funcDecl(t, file, "a")
+	facts := Intervals(info, fn)
+	convs := convsTo(info, fn, "int8")
+	if facts.ProvesConv(info, convs[0]) {
+		t.Fatal("address-taken variable wrongly proven")
+	}
+}

@@ -1,0 +1,86 @@
+package dataflow
+
+import "go/ast"
+
+// Lattice is the pluggable abstract domain for the forward solver. F is
+// the per-program-point fact. Implementations must make Join/Widen
+// monotone and Widen must bound every ascending chain (the solver
+// switches from Join to Widen on a block after widenAfter visits, so a
+// lattice of infinite height — intervals — still terminates).
+type Lattice[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Join merges two facts at a control-flow merge point.
+	Join(a, b F) F
+	// Equal reports whether two facts are indistinguishable (fixpoint
+	// detection).
+	Equal(a, b F) bool
+	// Widen accelerates convergence: it must return a fact at least as
+	// large as next, such that repeated widening stabilizes.
+	Widen(prev, next F) F
+	// Transfer pushes a fact through one block node (a statement, a
+	// switch tag expression, or a RangeHeader).
+	Transfer(n ast.Node, f F) F
+	// Refine narrows a fact with the knowledge that cond evaluated to
+	// branch on the edge being followed.
+	Refine(cond ast.Expr, branch bool, f F) F
+}
+
+// widenAfter is how many times a block's input may change before joins
+// are widened. High enough that short clamp chains converge exactly,
+// low enough that counted loops don't spin.
+const widenAfter = 16
+
+// Forward computes the least (modulo widening) fixpoint of l over g and
+// returns the fact at the ENTRY of each reached block. Unreachable
+// blocks are absent from the result. Callers recover per-statement
+// facts by replaying Transfer through a block's Nodes.
+func Forward[F any](g *Graph, l Lattice[F]) map[*Block]F {
+	if g == nil {
+		return nil
+	}
+	in := make(map[*Block]F, len(g.Blocks))
+	visits := make(map[*Block]int)
+	inQueue := make(map[*Block]bool)
+	in[g.Entry] = l.Entry()
+	queue := []*Block{g.Entry}
+	inQueue[g.Entry] = true
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		inQueue[blk] = false
+		f := in[blk]
+		for _, n := range blk.Nodes {
+			f = l.Transfer(n, f)
+		}
+		for _, e := range blk.Succs {
+			out := f
+			if e.Cond != nil {
+				out = l.Refine(e.Cond, e.Branch, out)
+			}
+			old, seen := in[e.To]
+			var next F
+			if !seen {
+				next = out
+			} else {
+				next = l.Join(old, out)
+				if l.Equal(next, old) {
+					continue
+				}
+				visits[e.To]++
+				if visits[e.To] > widenAfter {
+					next = l.Widen(old, next)
+					if l.Equal(next, old) {
+						continue
+					}
+				}
+			}
+			in[e.To] = next
+			if !inQueue[e.To] {
+				inQueue[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return in
+}

@@ -78,7 +78,7 @@ func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
 		if !ok || id.Name != "_" || rhsTypes[i] == nil || !isError(rhsTypes[i]) {
 			continue
 		}
-		pass.Reportf(id.Pos(), "error result discarded via _; propagate it (batch workers must reach the first-error stop) or annotate //trlint:checked")
+		pass.Reportc("discarded-error", id.Pos(), "error result discarded via _; propagate it (batch workers must reach the first-error stop) or annotate //trlint:checked")
 	}
 }
 
@@ -88,7 +88,7 @@ func checkDropped(pass *analysis.Pass, call *ast.CallExpr, prefix string) {
 	if t == nil || !returnsError(t) || exemptCallee(pass, call) {
 		return
 	}
-	pass.Reportf(call.Pos(), "%scall drops its error result; handle it or annotate //trlint:checked", prefix)
+	pass.Reportc("dropped-error", call.Pos(), "%scall drops its error result; handle it or annotate //trlint:checked", prefix)
 }
 
 func returnsError(t types.Type) bool {

@@ -23,6 +23,13 @@ var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 // typically ./testdata/src/<analyzer>/<case>), runs the analyzer over it,
 // and matches the findings against the fixture's want comments. It is the
 // offline stand-in for analysistest.Run.
+//
+// Matching is per line and maximum-bipartite: a line may carry several
+// want patterns and receive several diagnostics, and the harness pairs
+// them up in whatever order makes everything match — overlapping
+// patterns cannot spuriously fail on claim order. Every unexpected
+// diagnostic and every unmatched want (reported at the file:line:column
+// of the pattern itself) is an error.
 func RunFixture(t *testing.T, a *Analyzer, dir string) {
 	t.Helper()
 	pkgs, err := Load(dir)
@@ -36,62 +43,133 @@ func RunFixture(t *testing.T, a *Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}
-
-	type want struct {
-		re      *regexp.Regexp
-		matched bool
-	}
-	wants := make(map[lineKey][]*want)
+	files := make(map[string][]string)
 	for _, pkg := range pkgs {
 		for _, path := range pkg.GoFiles {
-			for ln, text := range fixtureLines(t, path) {
-				m := wantRE.FindStringSubmatch(text)
-				if m == nil {
+			files[path] = fixtureLines(t, path)
+		}
+	}
+	for _, problem := range matchFixture(files, findings) {
+		t.Error(problem)
+	}
+}
+
+// fixtureWant is one compiled want pattern, pinned to the position of
+// the pattern text inside its comment.
+type fixtureWant struct {
+	re  *regexp.Regexp
+	pos string // file:line:column of the quoted pattern
+}
+
+// matchFixture pairs findings against the want comments in files
+// (path → lines) and returns every mismatch as a problem string, sorted.
+// It is the pure core of RunFixture, separated so the harness itself is
+// testable with synthetic findings.
+func matchFixture(files map[string][]string, findings []Finding) []string {
+	var problems []string
+	wants := make(map[lineKey][]*fixtureWant)
+	for path, lines := range files {
+		for ln, text := range lines {
+			loc := wantRE.FindStringSubmatchIndex(text)
+			if loc == nil {
+				continue
+			}
+			wantText := text[loc[2]:loc[3]]
+			qs := quotedRE.FindAllStringSubmatchIndex(wantText, -1)
+			if len(qs) == 0 {
+				problems = append(problems, fmt.Sprintf(
+					"%s:%d:%d: malformed want comment %q",
+					path, ln+1, loc[0]+1, text[loc[0]:]))
+				continue
+			}
+			for _, q := range qs {
+				pat := wantText[q[2]:q[3]]
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf(
+						"%s:%d:%d: bad want pattern %q: %v",
+						path, ln+1, loc[2]+q[2]+1, pat, err))
 					continue
 				}
-				qs := quotedRE.FindAllStringSubmatch(m[1], -1)
-				if len(qs) == 0 {
-					t.Fatalf("%s:%d: malformed want comment %q", path, ln+1, text)
-				}
-				for _, q := range qs {
-					re, err := regexp.Compile(q[1])
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", path, ln+1, q[1], err)
-					}
-					key := lineKey{path, ln + 1}
-					wants[key] = append(wants[key], &want{re: re})
-				}
+				key := lineKey{path, ln + 1}
+				wants[key] = append(wants[key], &fixtureWant{
+					re:  re,
+					pos: fmt.Sprintf("%s:%d:%d", path, ln+1, loc[2]+q[2]+1),
+				})
 			}
 		}
 	}
 
+	byLine := make(map[lineKey][]Finding)
 	for _, f := range findings {
 		key := lineKey{f.Pos.Filename, f.Pos.Line}
-		claimed := false
-		for _, w := range wants[key] {
-			if !w.matched && w.re.MatchString(f.Message) {
-				w.matched = true
-				claimed = true
-				break
+		byLine[key] = append(byLine[key], f)
+	}
+	keys := make(map[lineKey]bool)
+	for k := range wants {
+		keys[k] = true
+	}
+	for k := range byLine {
+		keys[k] = true
+	}
+	for key := range keys {
+		fs, ws := byLine[key], wants[key]
+		wantOf := matchLine(fs, ws)
+		claimed := make([]bool, len(ws))
+		for i, f := range fs {
+			if wantOf[i] < 0 {
+				problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", f))
+				continue
+			}
+			claimed[wantOf[i]] = true
+		}
+		for j, w := range ws {
+			if !claimed[j] {
+				problems = append(problems, fmt.Sprintf(
+					"%s: no diagnostic matching %q", w.pos, w.re.String()))
 			}
 		}
-		if !claimed {
-			t.Errorf("unexpected diagnostic: %s", f)
-		}
 	}
-	var missing []string
-	for key, ws := range wants {
-		for _, w := range ws {
-			if !w.matched {
-				missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q",
-					key.file, key.line, w.re.String()))
+	sort.Strings(problems)
+	return problems
+}
+
+// matchLine computes a maximum bipartite matching between one line's
+// findings and its want patterns (edge: pattern matches message),
+// via augmenting paths. It returns, per finding, the index of the want
+// that claimed it, or -1.
+func matchLine(fs []Finding, ws []*fixtureWant) []int {
+	matchW := make([]int, len(ws)) // want j ← finding matchW[j]
+	for j := range matchW {
+		matchW[j] = -1
+	}
+	var try func(i int, seen []bool) bool
+	try = func(i int, seen []bool) bool {
+		for j, w := range ws {
+			if seen[j] || !w.re.MatchString(fs[i].Message) {
+				continue
+			}
+			seen[j] = true
+			if matchW[j] == -1 || try(matchW[j], seen) {
+				matchW[j] = i
+				return true
 			}
 		}
+		return false
 	}
-	sort.Strings(missing)
-	for _, m := range missing {
-		t.Error(m)
+	for i := range fs {
+		try(i, make([]bool, len(ws)))
 	}
+	wantOf := make([]int, len(fs))
+	for i := range wantOf {
+		wantOf[i] = -1
+	}
+	for j, i := range matchW {
+		if i >= 0 {
+			wantOf[i] = j
+		}
+	}
+	return wantOf
 }
 
 // fixtureLines reads a fixture file and returns its lines (0-indexed).

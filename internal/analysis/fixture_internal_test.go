@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func fixtureFinding(file string, line int, msg string) Finding {
+	return Finding{
+		Analyzer: "test",
+		Pos:      token.Position{Filename: file, Line: line, Column: 2},
+		Message:  msg,
+	}
+}
+
+// TestMatchFixtureMultipleDiagnosticsPerLine is the regression test for
+// the harness's old greedy claiming: with overlapping patterns, a
+// finding could claim the broader want first and strand its sibling.
+// The bipartite matcher must accept any satisfiable assignment.
+func TestMatchFixtureMultipleDiagnosticsPerLine(t *testing.T) {
+	files := map[string][]string{
+		"f.go": {
+			`package fx`,
+			`var x = bad() // want "conv" "conversion overflow"`,
+		},
+	}
+	findings := []Finding{
+		// Order chosen so greedy first-fit fails: the first finding
+		// matches both patterns and greedy gives it "conv", leaving the
+		// second finding (which only matches "conv") unclaimed.
+		fixtureFinding("f.go", 2, "conversion overflow of int8"),
+		fixtureFinding("f.go", 2, "conv goes wrong"),
+	}
+	if problems := matchFixture(files, findings); len(problems) != 0 {
+		t.Fatalf("want clean match, got problems:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestMatchFixtureUnmatchedWantHasColumn(t *testing.T) {
+	line := `var y = 1 // want "never produced"`
+	files := map[string][]string{"g.go": {`package fx`, line}}
+	problems := matchFixture(files, nil)
+	if len(problems) != 1 {
+		t.Fatalf("problems = %d, want 1: %v", len(problems), problems)
+	}
+	col := strings.Index(line, "never produced") + 1
+	wantPrefix := fmt.Sprintf("g.go:2:%d: no diagnostic matching", col)
+	if !strings.HasPrefix(problems[0], wantPrefix) {
+		t.Fatalf("problem %q does not carry the pattern position %q", problems[0], wantPrefix)
+	}
+}
+
+func TestMatchFixtureUnexpectedAndMalformed(t *testing.T) {
+	files := map[string][]string{
+		"h.go": {
+			`package fx`,
+			`var z = 1 // want no-quotes-here`,
+		},
+	}
+	findings := []Finding{fixtureFinding("h.go", 4, "stray diagnostic")}
+	problems := matchFixture(files, findings)
+	if len(problems) != 2 {
+		t.Fatalf("problems = %d, want 2: %v", len(problems), problems)
+	}
+	var sawMalformed, sawUnexpected bool
+	for _, p := range problems {
+		if strings.Contains(p, "malformed want comment") {
+			sawMalformed = true
+		}
+		if strings.Contains(p, "unexpected diagnostic") {
+			sawUnexpected = true
+		}
+	}
+	if !sawMalformed || !sawUnexpected {
+		t.Fatalf("missing problem kinds in %v", problems)
+	}
+}
+
+func TestMatchFixtureDistinctWantsBothRequired(t *testing.T) {
+	files := map[string][]string{
+		"i.go": {
+			`package fx`,
+			`var w = 1 // want "alpha" "beta"`,
+		},
+	}
+	// Only one of the two wants is satisfied; the beta want must be
+	// reported missing, not silently absorbed.
+	findings := []Finding{fixtureFinding("i.go", 2, "alpha happened")}
+	problems := matchFixture(files, findings)
+	if len(problems) != 1 || !strings.Contains(problems[0], `"beta"`) {
+		t.Fatalf("problems = %v, want exactly the missing beta want", problems)
+	}
+}

@@ -5,8 +5,11 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/asmparity"
+	"repro/internal/analysis/ctxguard"
 	"repro/internal/analysis/errpropagate"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/intrange"
+	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/poolarena"
 	"repro/internal/analysis/quantnarrow"
 )
@@ -40,4 +43,19 @@ func TestFloatcmpFixtures(t *testing.T) {
 func TestErrpropagateFixtures(t *testing.T) {
 	analysis.RunFixture(t, errpropagate.Analyzer, "./testdata/src/errpropagate/a")
 	analysis.RunFixture(t, errpropagate.Analyzer, "./testdata/src/errpropagate/b")
+}
+
+func TestIntrangeFixtures(t *testing.T) {
+	analysis.RunFixture(t, intrange.Analyzer, "./testdata/src/intrange/a")
+	analysis.RunFixture(t, intrange.Analyzer, "./testdata/src/intrange/b")
+}
+
+func TestCtxguardFixtures(t *testing.T) {
+	analysis.RunFixture(t, ctxguard.Analyzer, "./testdata/src/ctxguard/a")
+	analysis.RunFixture(t, ctxguard.Analyzer, "./testdata/src/ctxguard/b")
+}
+
+func TestLockguardFixtures(t *testing.T) {
+	analysis.RunFixture(t, lockguard.Analyzer, "./testdata/src/lockguard/a")
+	analysis.RunFixture(t, lockguard.Analyzer, "./testdata/src/lockguard/b")
 }

@@ -52,7 +52,7 @@ func run(pass *analysis.Pass) error {
 		if nanProbe(be) {
 			return true
 		}
-		pass.Reportf(be.OpPos, "%s on floating-point operands is bit-inexact; compare with an epsilon or math.Float64bits, or annotate //trlint:checked",
+		pass.Reportc("float-compare", be.OpPos, "%s on floating-point operands is bit-inexact; compare with an epsilon or math.Float64bits, or annotate //trlint:checked",
 			be.Op)
 		return true
 	})

@@ -1,0 +1,181 @@
+// Package intrange is the interval tier over the quantized data path:
+// it runs the abstract-interpretation interval analysis
+// (internal/analysis/dataflow) across internal/kernels, internal/term,
+// internal/quant and internal/intinfer and reports three things the
+// syntactic analyzers cannot see:
+//
+//   - "overflow": a narrowing conversion whose operand interval lies
+//     WHOLLY outside the destination domain — not "may truncate" but
+//     "always truncates". (Overlapping-but-unproven narrowings stay
+//     quantnarrow's business; intrange only asserts what it can prove.)
+//
+//   - "stale-suppression": a //trlint:checked directive whose blessed
+//     lines contain narrowing conversions that the interval analysis
+//     now proves safe — the suppression documents a proof the machine
+//     has taken over, so it must be deleted. These findings bypass the
+//     suppression mechanism (they sit on the very lines it blesses).
+//
+//   - "bare-suppression": a //trlint:checked with no justification
+//     text. Every surviving suppression must say in one line why a
+//     human believes the code is safe; a bare directive is an unaudited
+//     escape. Also unsuppressable, for the same reason.
+//
+// The stale check reuses quantnarrow's own Hazardous/Accepted predicates,
+// so "intrange proves it" and "quantnarrow stops flagging it" are the
+// same event by construction: deleting a stale suppression can never
+// resurface a finding.
+package intrange
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+	"repro/internal/analysis/quantnarrow"
+)
+
+// Analyzer is the intrange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "intrange",
+	Doc:  "prove integer ranges through the quantized kernels: definite overflows, stale and bare //trlint:checked suppressions",
+	Run:  run,
+}
+
+// scope is where the interval checks (overflow, stale) run: the
+// packages carrying the paper's integer-domain invariants, plus this
+// analyzer's fixtures.
+var scope = regexp.MustCompile(`internal/(kernels|intinfer|term|quant)$|testdata/src/intrange/`)
+
+// fixtureRE recognizes fixture packages of OTHER analyzers, which the
+// global bare-suppression audit must leave alone (their b/ suites pin
+// the suppression mechanics they test).
+var fixtureRE = regexp.MustCompile(`testdata/src/`)
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	inScope := scope.MatchString(path)
+	foreignFixture := fixtureRE.MatchString(path) && !strings.Contains(path, "testdata/src/intrange/")
+	if !inScope && foreignFixture {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var facts *dataflow.IntervalFacts
+		if pass.Flow != nil && inScope {
+			facts = pass.Flow.FileIntervals(file)
+		}
+		if inScope {
+			checkOverflows(pass, file, facts)
+		}
+		checkSuppressions(pass, file, facts, inScope)
+	}
+	return nil
+}
+
+// checkOverflows reports conversions whose operand interval cannot
+// intersect the destination domain: every execution truncates.
+func checkOverflows(pass *analysis.Pass, file *ast.File, facts *dataflow.IntervalFacts) {
+	if facts == nil {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		detail, src, dst, hazard := quantnarrow.Hazardous(pass.TypesInfo, call)
+		if !hazard {
+			return true
+		}
+		iv, ok := facts.Conv[call]
+		if !ok {
+			return true
+		}
+		dom, ok := dataflow.Domain(pass.TypesInfo.Types[call].Type)
+		if !ok {
+			return true
+		}
+		// Wholly outside: even one-sided knowledge suffices (an operand
+		// proven ≥ 300 can never fit int8, bounded above or not).
+		if iv.Lo > dom.Hi || iv.Hi < dom.Lo {
+			pass.Reportc("overflow", call.Pos(),
+				"%s conversion %s -> %s provably overflows: operand interval [%g, %g] lies outside [%g, %g]",
+				detail, src, dst, iv.Lo, iv.Hi, dom.Lo, dom.Hi)
+		}
+		return true
+	})
+}
+
+// checkSuppressions audits every //trlint:checked directive in file:
+// bare directives (no justification) everywhere, stale directives
+// (interval analysis now proves every narrowing conversion on the
+// blessed lines) inside the interval scope. Both reports are
+// unsuppressable — they live on the very lines the directive blesses.
+func checkSuppressions(pass *analysis.Pass, file *ast.File, facts *dataflow.IntervalFacts, inScope bool) {
+	// Narrowing conversions by line, for the stale check.
+	convs := make(map[int][]*ast.CallExpr)
+	if inScope && facts != nil {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, _, _, hazard := quantnarrow.Hazardous(pass.TypesInfo, call); hazard {
+				line := pass.Fset.Position(call.Pos()).Line
+				convs[line] = append(convs[line], call)
+			}
+			return true
+		})
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, analysis.CheckedDirective) {
+				continue
+			}
+			just := strings.TrimSpace(strings.TrimPrefix(text, analysis.CheckedDirective))
+			if i := strings.Index(just, "// want "); i >= 0 {
+				// A fixture expectation shares the directive's line comment
+				// (a line comment runs to end of line); it is the harness
+				// talking, not a justification.
+				just = strings.TrimSpace(just[:i])
+			}
+			if just == "" {
+				pass.Report(analysis.Diagnostic{
+					Pos:            c.Pos(),
+					Category:       "bare-suppression",
+					Unsuppressable: true,
+					Message:        "bare //trlint:checked: add a one-line justification for why this is safe",
+				})
+				continue
+			}
+			if !inScope || facts == nil {
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			var blessed []*ast.CallExpr
+			blessed = append(blessed, convs[line]...)
+			blessed = append(blessed, convs[line+1]...)
+			if len(blessed) == 0 {
+				continue // suppression for some other analyzer's finding
+			}
+			allProven := true
+			for _, call := range blessed {
+				if !quantnarrow.Accepted(pass.TypesInfo, facts, call) {
+					allProven = false
+					break
+				}
+			}
+			if allProven {
+				pass.Report(analysis.Diagnostic{
+					Pos:            c.Pos(),
+					Category:       "stale-suppression",
+					Unsuppressable: true,
+					Message: "stale //trlint:checked: interval analysis proves every narrowing conversion " +
+						"on the suppressed line; delete the directive",
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the machine-readable shape of one finding, stable for
+// CI consumers (the dataflow-lint job uploads an array of these as its
+// artifact). Field names are part of the interface; add, don't rename.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category,omitempty"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes findings to w as an indented JSON array (an empty
+// slice encodes as [], never null, so consumers can index
+// unconditionally).
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			Category: f.Category,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	findings := []Finding{
+		{
+			Analyzer: "intrange",
+			Category: "stale-suppression",
+			Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+			Message:  "suppression is stale",
+		},
+		{
+			Analyzer: "quantnarrow",
+			Pos:      token.Position{Filename: "b.go", Line: 10, Column: 2},
+			Message:  "narrowing conversion",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d findings, want 2", len(decoded))
+	}
+	first := decoded[0]
+	if first["analyzer"] != "intrange" || first["category"] != "stale-suppression" ||
+		first["file"] != "a.go" || first["line"] != float64(3) || first["column"] != float64(7) {
+		t.Errorf("first finding mangled: %v", first)
+	}
+	if _, hasCat := decoded[1]["category"]; hasCat {
+		t.Errorf("empty category should be omitted: %v", decoded[1])
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("empty findings must encode as []: %v (%s)", err, buf.String())
+	}
+	if decoded == nil {
+		t.Fatalf("empty findings encoded as null, want []: %s", buf.String())
+	}
+}

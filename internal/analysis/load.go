@@ -50,10 +50,23 @@ type listPackage struct {
 // the ordinary build cache. This is the same division of labour as an
 // x/tools driver running in "export data" mode.
 func Load(patterns ...string) ([]*Package, error) {
+	return LoadWithTags("", patterns...)
+}
+
+// LoadWithTags is Load under an explicit build-tag set (the -tags
+// argument to the go tool, e.g. "noasm"). The tag set changes which
+// files are build-selected — GoFiles vs IgnoredFiles — so analyzers see
+// exactly the package the tagged build compiles; asm-gated sources land
+// in IgnoredFiles where asmparity expects them.
+func LoadWithTags(tags string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr

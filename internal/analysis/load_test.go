@@ -53,6 +53,91 @@ func TestLoadTypeChecksModulePackages(t *testing.T) {
 	}
 }
 
+// kernelSeams are the asm-gated file pairs in internal/kernels: for each
+// seam exactly one variant must be build-selected whatever the tag set —
+// the invariant the gemm8/VNNI dispatch (and asmparity's IgnoredFiles
+// contract) relies on.
+var kernelSeams = []struct {
+	arch, portable string
+}{
+	{"fma_amd64.go", "fma_other.go"},
+	{"gemm8_amd64.go", "gemm8_other.go"},
+	{"vnni_amd64.go", "vnni_other.go"},
+	{"neon_arm64.go", "neon_other.go"},
+}
+
+func loadKernels(t *testing.T, tags string) *Package {
+	t.Helper()
+	pkgs, err := LoadWithTags(tags, "repro/internal/kernels")
+	if err != nil {
+		t.Fatalf("LoadWithTags(%q): %v", tags, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("LoadWithTags(%q) matched %d packages, want 1", tags, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+func baseNameSet(paths []string) map[string]bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			p = p[i+1:]
+		}
+		set[p] = true
+	}
+	return set
+}
+
+// TestLoadKernelsNoasm pins the loader's build-tag handling: under
+// -tags noasm every asm-gated file moves to IgnoredFiles and its
+// portable sibling is selected, consistently across all seams.
+func TestLoadKernelsNoasm(t *testing.T) {
+	pkg := loadKernels(t, "noasm")
+	selected := baseNameSet(pkg.GoFiles)
+	ignored := baseNameSet(pkg.IgnoredFiles)
+	for _, seam := range kernelSeams {
+		if !selected[seam.portable] {
+			t.Errorf("noasm: portable %s not build-selected", seam.portable)
+		}
+		if selected[seam.arch] {
+			t.Errorf("noasm: asm-gated %s wrongly build-selected", seam.arch)
+		}
+		if !ignored[seam.arch] {
+			t.Errorf("noasm: asm-gated %s missing from IgnoredFiles", seam.arch)
+		}
+	}
+	for name := range selected {
+		if strings.HasSuffix(name, "_amd64.go") || strings.HasSuffix(name, "_arm64.go") {
+			t.Errorf("noasm: architecture file %s selected", name)
+		}
+	}
+}
+
+// TestLoadKernelsSeamExclusive checks the default tag set the same way:
+// exactly one variant of each seam is selected, and the other side is
+// visible to asmparity via IgnoredFiles.
+func TestLoadKernelsSeamExclusive(t *testing.T) {
+	pkg := loadKernels(t, "")
+	selected := baseNameSet(pkg.GoFiles)
+	ignored := baseNameSet(pkg.IgnoredFiles)
+	for _, seam := range kernelSeams {
+		archSel, portSel := selected[seam.arch], selected[seam.portable]
+		if archSel == portSel {
+			t.Errorf("seam %s/%s: selected arch=%v portable=%v, want exactly one",
+				seam.arch, seam.portable, archSel, portSel)
+		}
+		other := seam.arch
+		if archSel {
+			other = seam.portable
+		}
+		if !ignored[other] {
+			t.Errorf("seam %s/%s: unselected variant %s missing from IgnoredFiles",
+				seam.arch, seam.portable, other)
+		}
+	}
+}
+
 // TestLoadExplicitTestdataPath checks that fixture packages under
 // testdata/src (invisible to ./... wildcards) load when named explicitly
 // — the property RunFixture depends on.

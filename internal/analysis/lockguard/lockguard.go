@@ -1,0 +1,388 @@
+// Package lockguard checks //trlint:guarded-by annotations: a struct
+// field or package-level variable annotated
+//
+//	//trlint:guarded-by(mu)
+//
+// may only be touched while the named mutex is held — a read lock
+// (RLock) suffices for reads, writes require the exclusive lock. Helper
+// functions that are only called under the lock declare it with
+//
+//	//trlint:holds(mu)
+//
+// on the declaration, which seeds the analysis with the lock already
+// held at entry.
+//
+// Lock state is tracked per CFG block with the dataflow solver: the
+// fact is the set of held locks (by expression path, e.g. "s.mu"),
+// Lock/RLock generate, Unlock/RUnlock kill, and joins intersect —
+// a lock only counts as held at a merge point if it is held on every
+// path into it. Deferred unlocks are deliberately ignored: a deferred
+// mu.Unlock() means held-to-exit, which is exactly what the guarded
+// accesses after it rely on.
+//
+// Known limits, chosen over false positives: lock paths are syntactic
+// (s.mu and t.mu are different locks even when s == t — no aliasing),
+// and function-literal bodies are not checked (a closure may run on
+// another goroutine where the caller's lock set means nothing).
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated //trlint:guarded-by(mu) must only be accessed with mu held; writes need the exclusive lock",
+	Run:  run,
+}
+
+var (
+	guardedRE = regexp.MustCompile(`^//\s*trlint:guarded-by\(([^)]+)\)`)
+	holdsRE   = regexp.MustCompile(`^//\s*trlint:holds\(([^)]+)\)`)
+)
+
+// Held levels. Absent from the set means not held.
+const (
+	heldRead  = 1
+	heldWrite = 2
+)
+
+type lockSet map[string]int
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil // annotation-driven: nothing declared, nothing to check
+	}
+	c := &checker{pass: pass, guarded: guarded}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps every annotated object — struct field or
+// package-level var — to the name of its guarding lock.
+func collectGuarded(pass *analysis.Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	note := func(names []*ast.Ident, groups ...*ast.CommentGroup) {
+		lock := directive(guardedRE, groups...)
+		if lock == "" {
+			return
+		}
+		for _, name := range names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				guarded[obj] = lock
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					note(field.Names, field.Doc, field.Comment)
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						note(vs.Names, vs.Doc, vs.Comment, n.Doc)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// directive returns the first capture of re in any comment line of the
+// given groups, or "".
+func directive(re *regexp.Regexp, groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if m := re.FindStringSubmatch(strings.TrimSpace(c.Text)); m != nil {
+				return strings.TrimSpace(m[1])
+			}
+		}
+	}
+	return ""
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[types.Object]string
+}
+
+// checkFunc solves the lock-state dataflow over fd and replays it to
+// judge every guarded access.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	if c.pass.Flow == nil {
+		return
+	}
+	g := c.pass.Flow.CFG(fd)
+	if g == nil {
+		return
+	}
+	l := &lockLattice{info: c.pass.TypesInfo, entry: entrySet(fd)}
+	facts := dataflow.Forward[lockSet](g, l)
+	for _, b := range g.Blocks {
+		f, reached := facts[b]
+		if !reached {
+			continue
+		}
+		for _, n := range b.Nodes {
+			c.checkNode(n, f)
+			f = l.Transfer(n, f)
+		}
+	}
+}
+
+// entrySet seeds the lock set from //trlint:holds(name) on the
+// declaration: the named lock is held exclusively at entry, both as the
+// bare name (package-level mutex) and as receiver.name (the usual
+// method form, e.g. loadLocked holding s.mu).
+func entrySet(fd *ast.FuncDecl) lockSet {
+	name := directive(holdsRE, fd.Doc)
+	if name == "" {
+		return lockSet{}
+	}
+	entry := lockSet{name: heldWrite}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		entry[fd.Recv.List[0].Names[0].Name+"."+name] = heldWrite
+	}
+	return entry
+}
+
+// lockLattice tracks held locks through the CFG.
+type lockLattice struct {
+	info  *types.Info
+	entry lockSet
+}
+
+func (l *lockLattice) Entry() lockSet {
+	f := make(lockSet, len(l.entry))
+	for k, v := range l.entry {
+		f[k] = v
+	}
+	return f
+}
+
+// Join intersects: a lock is held after a merge only if held on every
+// incoming path, and only at the weaker of the two levels.
+func (l *lockLattice) Join(a, b lockSet) lockSet {
+	out := make(lockSet)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				va = vb
+			}
+			out[k] = va
+		}
+	}
+	return out
+}
+
+func (l *lockLattice) Equal(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Widen is Join: the lattice is finite (locks syntactically present in
+// the function), so chains already stabilize.
+func (l *lockLattice) Widen(prev, next lockSet) lockSet { return l.Join(prev, next) }
+
+func (l *lockLattice) Refine(cond ast.Expr, branch bool, f lockSet) lockSet { return f }
+
+// Transfer applies every lock operation inside the node. Deferred
+// statements are skipped: their unlocks run at function exit, so the
+// lock stays held for the rest of the body (held-to-exit). Function
+// literals are skipped too — their bodies execute elsewhere.
+func (l *lockLattice) Transfer(n ast.Node, f lockSet) lockSet {
+	if rh, ok := n.(dataflow.RangeHeader); ok {
+		if rh.X == nil {
+			return f
+		}
+		n = rh.X
+	}
+	out := f
+	mutated := false
+	set := func(path string, level int, kill bool) {
+		if !mutated {
+			cp := make(lockSet, len(out))
+			for k, v := range out {
+				cp[k] = v
+			}
+			out = cp
+			mutated = true
+		}
+		if kill {
+			delete(out, path)
+		} else if out[path] < level {
+			out[path] = level
+		}
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !isMutex(l.info.Types[sel.X].Type) {
+				return true
+			}
+			path := types.ExprString(sel.X)
+			switch sel.Sel.Name {
+			case "Lock":
+				set(path, heldWrite, false)
+			case "RLock":
+				set(path, heldRead, false)
+			case "Unlock", "RUnlock":
+				set(path, 0, true)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkNode reports every guarded access in n that the lock set f does
+// not license.
+func (c *checker) checkNode(n ast.Node, f lockSet) {
+	if rh, ok := n.(dataflow.RangeHeader); ok {
+		if rh.X == nil {
+			return
+		}
+		n = rh.X
+	}
+	writes := writeRoots(c.pass.TypesInfo, n)
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			if lock, ok := c.guarded[c.pass.TypesInfo.Uses[n.Sel]]; ok {
+				c.judge(n, types.ExprString(n.X)+"."+lock, writes[n], f)
+			}
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[n]
+			if lock, ok := c.guarded[obj]; ok && isPkgLevel(obj) {
+				c.judge(n, lock, writes[n], f)
+			}
+		}
+		return true
+	})
+}
+
+func isPkgLevel(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func (c *checker) judge(at ast.Expr, lockPath string, isWrite bool, f lockSet) {
+	held := f[lockPath]
+	name := types.ExprString(at)
+	switch {
+	case isWrite && held < heldWrite:
+		c.pass.Reportc("guarded-by", at.Pos(),
+			"write to %s requires %s held exclusively (//trlint:guarded-by)", name, lockPath)
+	case !isWrite && held < heldRead:
+		c.pass.Reportc("guarded-by", at.Pos(),
+			"read of %s requires %s held (//trlint:guarded-by)", name, lockPath)
+	}
+}
+
+// writeRoots collects the expressions n mutates: assignment targets,
+// inc/dec operands, address-taken operands, and close/delete arguments
+// — each stripped of index/star/slice wrappers down to the variable or
+// selector actually being written through.
+func writeRoots(info *types.Info, n ast.Node) map[ast.Expr]bool {
+	writes := make(map[ast.Expr]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.SliceExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			default:
+				writes[e] = true
+				return
+			}
+		}
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.CallExpr:
+			if tv := info.Types[n.Fun]; tv.IsBuiltin() {
+				if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "close" || id.Name == "delete") && len(n.Args) > 0 {
+					mark(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return writes
+}

@@ -185,7 +185,7 @@ func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquir
 				continue
 			}
 			if pos, used := usesObject(pass, lit.Body, a.obj); used {
-				pass.Reportf(pos, "pooled object %s (from %s) captured by goroutine; the pool may recycle it after %s returns",
+				pass.Reportc("goroutine-capture", pos, "pooled object %s (from %s) captured by goroutine; the pool may recycle it after %s returns",
 					a.obj.Name(), a.expr, name)
 			}
 		}
@@ -204,7 +204,7 @@ func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquir
 		}
 		if len(rets) == 0 {
 			if len(puts) == 0 {
-				pass.Reportf(a.pos, "%s acquires a pooled object but %s never calls Put",
+				pass.Reportc("missing-put", a.pos, "%s acquires a pooled object but %s never calls Put",
 					a.expr, name)
 			}
 			continue
@@ -215,7 +215,7 @@ func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquir
 			}
 			if returnsObject(pass, ret, a.obj) {
 				if !selfAcquirer {
-					pass.Reportf(ret.Pos(), "pooled object from %s escapes via return; only //trlint:arena-acquire helpers may transfer ownership",
+					pass.Reportc("escaping-return", ret.Pos(), "pooled object from %s escapes via return; only //trlint:arena-acquire helpers may transfer ownership",
 						a.expr)
 				}
 				continue
@@ -229,7 +229,7 @@ func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt, selfAcquir
 				}
 			}
 			if !released {
-				pass.Reportf(ret.Pos(), "return path drops pooled object from %s without Put (acquired at line %d)",
+				pass.Reportc("dropped-put", ret.Pos(), "return path drops pooled object from %s without Put (acquired at line %d)",
 					a.expr, pass.Fset.Position(a.pos).Line)
 			}
 		}

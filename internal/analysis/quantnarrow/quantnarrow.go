@@ -6,7 +6,10 @@
 // that argument breaks, which is exactly the class of bit-level hazard
 // the paper's encodings manage explicitly. A conversion is accepted only
 // when the operand is statically bounded: a representable constant, a
-// mask (x & c) that fits the destination, or a clamp/saturate call.
+// mask (x & c) that fits the destination, a clamp/saturate call, or —
+// since the dataflow tier — an operand whose interval analysis
+// (internal/analysis/dataflow) proves the value fits the destination
+// domain, which retires most of the old //trlint:checked escapes.
 // Anything else needs a //trlint:checked justification.
 package quantnarrow
 
@@ -18,12 +21,13 @@ import (
 	"regexp"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
 )
 
 // Analyzer is the quantnarrow pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "quantnarrow",
-	Doc:  "flag implicit narrowing conversions on quantized values unless clamped, masked, or //trlint:checked",
+	Doc:  "flag implicit narrowing conversions on quantized values unless clamped, masked, interval-proven, or //trlint:checked",
 	Run:  run,
 }
 
@@ -38,40 +42,74 @@ func run(pass *analysis.Pass) error {
 	if !scope.MatchString(pass.Pkg.Path()) {
 		return nil
 	}
-	pass.Inspect(func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) != 1 {
+	for _, file := range pass.Files {
+		var facts *dataflow.IntervalFacts
+		if pass.Flow != nil {
+			facts = pass.Flow.FileIntervals(file)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			detail, src, dst, hazard := Hazardous(pass.TypesInfo, call)
+			if !hazard || Accepted(pass.TypesInfo, facts, call) {
+				return true
+			}
+			pass.Reportc("narrowing", call.Pos(),
+				"implicit %s conversion %s -> %s may truncate; clamp or mask the operand first, or annotate //trlint:checked",
+				detail, src, dst)
 			return true
-		}
-		tv, ok := pass.TypesInfo.Types[call.Fun]
-		if !ok || !tv.IsType() {
-			return true
-		}
-		dst, ok := basicKind(tv.Type)
-		if !ok {
-			return true
-		}
-		arg := call.Args[0]
-		atv := pass.TypesInfo.Types[arg]
-		src, ok := basicKind(atv.Type)
-		if !ok {
-			return true
-		}
-		hazard, detail := narrows(dst, src)
-		if !hazard {
-			return true
-		}
-		if atv.Value != nil && representable(atv.Value, dst) {
-			return true // constant, provably in range
-		}
-		if boundedExpr(pass, arg, dst) {
-			return true
-		}
-		pass.Reportf(call.Pos(), "implicit %s conversion %s -> %s may truncate; clamp or mask the operand first, or annotate //trlint:checked",
-			detail, basicName(src), basicName(dst))
-		return true
-	})
+		})
+	}
 	return nil
+}
+
+// Hazardous reports whether call is a narrowing conversion this
+// analyzer polices — independent of whether the operand is provably
+// bounded. The strings name the hazard and the source/destination types
+// for diagnostics. intrange's stale-suppression audit uses the same
+// predicate, so the two analyzers cannot disagree about what counts.
+func Hazardous(info *types.Info, call *ast.CallExpr) (detail, src, dst string, ok bool) {
+	if len(call.Args) != 1 {
+		return "", "", "", false
+	}
+	tv, found := info.Types[call.Fun]
+	if !found || !tv.IsType() {
+		return "", "", "", false
+	}
+	dk, found := basicKind(tv.Type)
+	if !found {
+		return "", "", "", false
+	}
+	sk, found := basicKind(info.Types[call.Args[0]].Type)
+	if !found {
+		return "", "", "", false
+	}
+	hazard, detail := narrows(dk, sk)
+	if !hazard {
+		return "", "", "", false
+	}
+	return detail, basicName(sk), basicName(dk), true
+}
+
+// Accepted reports whether the operand of a hazardous conversion is
+// statically bounded: a representable constant, a fitting mask, a
+// clamp/saturate callee, or an interval-analysis proof (facts may be
+// nil when no dataflow cache is available).
+func Accepted(info *types.Info, facts *dataflow.IntervalFacts, call *ast.CallExpr) bool {
+	dk, ok := basicKind(info.Types[call.Fun].Type)
+	if !ok {
+		return false
+	}
+	arg := call.Args[0]
+	if atv := info.Types[arg]; atv.Value != nil && representable(atv.Value, dk) {
+		return true // constant, provably in range
+	}
+	if boundedExpr(info, arg, dk) {
+		return true
+	}
+	return facts.ProvesConv(info, call)
 }
 
 // kindInfo captures the width and family of a basic numeric type.
@@ -83,6 +121,9 @@ type kindInfo struct {
 }
 
 func basicKind(t types.Type) (kindInfo, bool) {
+	if t == nil {
+		return kindInfo{}, false
+	}
 	b, ok := t.Underlying().(*types.Basic)
 	if !ok {
 		return kindInfo{}, false
@@ -179,16 +220,16 @@ func representable(v constant.Value, dst kindInfo) bool {
 // boundedExpr reports whether the conversion operand is bounded by
 // construction: a mask with a constant that fits dst, or a call to a
 // clamp/saturate helper.
-func boundedExpr(pass *analysis.Pass, e ast.Expr, dst kindInfo) bool {
+func boundedExpr(info *types.Info, e ast.Expr, dst kindInfo) bool {
 	switch v := e.(type) {
 	case *ast.ParenExpr:
-		return boundedExpr(pass, v.X, dst)
+		return boundedExpr(info, v.X, dst)
 	case *ast.BinaryExpr:
 		if v.Op != token.AND {
 			return false
 		}
 		for _, side := range []ast.Expr{v.X, v.Y} {
-			if tv := pass.TypesInfo.Types[side]; tv.Value != nil && representable(tv.Value, dst) {
+			if tv := info.Types[side]; tv.Value != nil && representable(tv.Value, dst) {
 				return true
 			}
 		}

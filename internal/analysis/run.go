@@ -5,6 +5,8 @@ import (
 	"go/ast"
 	"sort"
 	"strings"
+
+	"repro/internal/analysis/dataflow"
 )
 
 // CheckedDirective is the audited escape hatch: a diagnostic whose source
@@ -23,6 +25,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		checked := checkedLines(pkg)
+		// One dataflow cache per package: every analyzer over this
+		// package shares CFGs and interval solutions.
+		var flow *dataflow.Cache
+		if pkg.TypesInfo != nil {
+			flow = dataflow.NewCache(pkg.TypesInfo)
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:     a,
@@ -33,14 +41,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				GoFiles:      pkg.GoFiles,
 				IgnoredFiles: pkg.IgnoredFiles,
 				OtherFiles:   pkg.OtherFiles,
+				Flow:         flow,
 			}
 			pass.Report = func(d Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
-				if checked[lineKey{pos.Filename, pos.Line}] {
+				if !d.Unsuppressable && checked[lineKey{pos.Filename, pos.Line}] {
 					return
 				}
 				findings = append(findings, Finding{
-					Analyzer: a.Name, Pos: pos, Message: d.Message})
+					Analyzer: a.Name, Category: d.Category, Pos: pos, Message: d.Message})
 			}
 			if err := a.Run(pass); err != nil {
 				return findings, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)

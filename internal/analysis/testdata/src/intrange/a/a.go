@@ -1,0 +1,40 @@
+// Fixture: findings intrange must report — conversions the interval
+// analysis proves always truncate, suppressions it proves stale, and
+// suppressions with no justification.
+package a
+
+func sink(vs ...interface{}) {}
+
+func overflows(n int) {
+	x := 300
+	sink(int8(x)) // want "conversion int64 -> int8 provably overflows"
+	y := -5
+	sink(uint8(y)) // want "conversion int64 -> uint8 provably overflows"
+	big := 70000
+	if n > 0 {
+		big = 100000
+	}
+	sink(uint16(big)) // want "conversion int64 -> uint16 provably overflows"
+}
+
+func stale(f float64) {
+	c := f
+	if c > 127 {
+		c = 127
+	} else if c < -127 {
+		c = -127
+	}
+	sink(int8(c)) //trlint:checked clamped above // want "stale //trlint:checked: interval analysis proves"
+}
+
+func staleGuard(e int) uint8 {
+	if e < 0 || e > 0xff {
+		panic("out of range")
+	}
+	//trlint:checked bounds guarded above // want "stale //trlint:checked: interval analysis proves"
+	return uint8(e)
+}
+
+func bare(v int64) {
+	sink(int32(v)) //trlint:checked // want "bare //trlint:checked: add a one-line justification"
+}

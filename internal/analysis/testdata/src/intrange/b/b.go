@@ -1,0 +1,47 @@
+// Fixture: idioms intrange must accept — proven narrowings carrying no
+// directive (the machine owns the proof), overlapping-but-unproven
+// narrowings (quantnarrow's business, not an intrange overflow), and
+// justified suppressions on conversions the interval analysis cannot
+// prove.
+package b
+
+func sink(vs ...interface{}) {}
+
+// Proven safe by the interval analysis: no directive needed, and
+// nothing for intrange to say.
+func clamped(f float64) {
+	c := f
+	if c > 127 {
+		c = 127
+	} else if c < -127 {
+		c = -127
+	}
+	sink(int8(c))
+}
+
+func guarded(e int) uint8 {
+	if e < 0 || e > 0xff {
+		panic("out of range")
+	}
+	return uint8(e)
+}
+
+func masked(x int) {
+	sink(uint8(x & 0x7f))
+}
+
+// Overlapping interval: may or may not truncate, so it is not a provable
+// overflow (quantnarrow would flag it; intrange stays silent).
+func overlap(n int) {
+	x := 0
+	if n > 0 {
+		x = 1000
+	}
+	sink(int16(x))
+}
+
+// Unprovable, justified: the bound comes from a contract the analysis
+// cannot see, and the one-line justification keeps the directive legal.
+func external(raw int64) {
+	sink(int32(raw)) //trlint:checked caller contract: raw is a row index below 2^20
+}

@@ -1,0 +1,58 @@
+// Fixture: accesses lockguard must flag — guarded state touched
+// without the declared lock, with only the read side, or after the
+// lock was released.
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	//trlint:guarded-by(mu)
+	count int
+	//trlint:guarded-by(mu)
+	q chan int
+}
+
+func (s *S) badWrite() {
+	s.count++ // want "write to s.count requires s.mu held exclusively"
+}
+
+func (s *S) badRead() int {
+	return s.count // want "read of s.count requires s.mu held"
+}
+
+func (s *S) readLockWrite() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.count = 1 // want "write to s.count requires s.mu held exclusively"
+}
+
+func (s *S) unlockThenTouch() {
+	s.mu.Lock()
+	s.count = 1
+	s.mu.Unlock()
+	s.count = 2 // want "write to s.count requires s.mu held exclusively"
+}
+
+// Held on only one path into the merge: not held at the join.
+func (s *S) branchyLock(b bool) {
+	if b {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.count++ // want "write to s.count requires s.mu held exclusively"
+}
+
+func (s *S) closeUnlocked() {
+	close(s.q) // want "write to s.q requires s.mu held exclusively"
+}
+
+var (
+	gmu sync.Mutex
+	//trlint:guarded-by(gmu)
+	g int
+)
+
+func bumpG() {
+	g++ // want "write to g requires gmu held exclusively"
+}

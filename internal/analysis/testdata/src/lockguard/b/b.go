@@ -1,0 +1,65 @@
+// Fixture: access patterns lockguard must accept — proper lock pairing,
+// read locks for reads, deferred unlocks (held-to-exit), and
+// //trlint:holds on helpers called under the lock.
+package b
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	//trlint:guarded-by(mu)
+	count int
+	//trlint:guarded-by(mu)
+	q chan int
+}
+
+func (s *S) Inc() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+}
+
+func (s *S) Get() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// A channel send is a read of the field (the channel mutates, the
+// field does not), so the read lock suffices.
+func (s *S) Push(v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.q <- v
+}
+
+func (s *S) Drain() {
+	s.mu.Lock()
+	s.count = 0
+	close(s.q)
+	s.mu.Unlock()
+}
+
+// incLocked runs only under s.mu; the annotation seeds the lock set.
+//
+//trlint:holds(mu)
+func (s *S) incLocked() {
+	s.count++
+}
+
+var (
+	gmu sync.Mutex
+	//trlint:guarded-by(gmu)
+	g int
+)
+
+func BumpG() {
+	gmu.Lock()
+	g++
+	gmu.Unlock()
+}
+
+//trlint:holds(gmu)
+func bumpGLocked() {
+	g++
+}

@@ -163,7 +163,7 @@ func (p *Plan) run(img []float32, s *scratch) (activation, error) {
 		} else if c < -127 {
 			c = -127
 		}
-		dst[i] = int32(c) //trlint:checked clamped to the code window above
+		dst[i] = int32(c)
 	}
 	for i := range p.steps {
 		if s.stopped() {
@@ -377,7 +377,7 @@ func code8(v float64) int32 {
 	if v < -127 {
 		return -127
 	}
-	return int32(v) //trlint:checked clamped to the code window above
+	return int32(v)
 }
 
 // sat32 converts an integral float64 to int32, saturating at the type
@@ -390,7 +390,7 @@ func sat32(v float64) int32 {
 	if v < math.MinInt32 {
 		return math.MinInt32
 	}
-	return int32(v) //trlint:checked clamped to int32 bounds above
+	return int32(v)
 }
 
 func (p *Plan) exec(st step, in activation, s *scratch) (activation, error) {
@@ -501,7 +501,7 @@ func requant(acc int64, m float64, lo, hi int32) int32 {
 	if v < float64(lo) {
 		return lo
 	}
-	return int32(v) //trlint:checked clamped to [lo, hi] by the branches above
+	return int32(v)
 }
 
 // intraMinWork is the multiply-accumulate count above which a single

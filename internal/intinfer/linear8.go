@@ -164,7 +164,7 @@ func (p *Plan) linear8Chunk(images [][]float32, preds []int, s *scratch) error {
 			} else if c < -127 {
 				c = -127
 			}
-			col[i*b] = uint8(int32(c) + 128) //trlint:checked clamped to the code window above, so +128 is in [1,255]
+			col[i*b] = uint8(int32(c) + 128)
 		}
 	}
 	rows := p.inC * p.inH * p.inW

@@ -59,8 +59,10 @@ var candidates = []kernels.Tile{
 const measureReps = 3
 
 var (
-	mu     sync.Mutex
-	mem    map[string]kernels.Tile
+	mu sync.Mutex
+	//trlint:guarded-by(mu)
+	mem map[string]kernels.Tile
+	//trlint:guarded-by(mu)
 	loaded bool
 
 	hits      *obs.Counter
@@ -213,6 +215,8 @@ type cacheData struct {
 // loadLocked merges the disk cache into mem. Any failure — missing
 // file, unreadable, corrupt JSON, stale version — degrades to an empty
 // cache: picks are then re-measured and the file rewritten.
+//
+//trlint:holds(mu)
 func loadLocked() {
 	path := cacheFile()
 	if path == "" {
@@ -236,6 +240,8 @@ func loadLocked() {
 // conflict — both are valid picks), and the write goes through a temp
 // file + rename so readers never see a torn file. Failures are
 // silently memory-only; tuning is an optimization, not a dependency.
+//
+//trlint:holds(mu)
 func saveLocked() {
 	path := cacheFile()
 	if path == "" {

@@ -83,7 +83,7 @@ func PackA(w, bias []int32, m, k int) *PackedA {
 		} else if comp < math.MinInt32 {
 			comp = math.MinInt32
 		}
-		pa.bias[i] = int32(comp) //trlint:checked saturated above; oversize comps fail AccumFitsU8
+		pa.bias[i] = int32(comp)
 	}
 	return pa
 }

@@ -146,7 +146,7 @@ func Gemv8Rows(dst []int32, pa *PackedA, xu []uint8, p0, p1 int, mult float64, l
 			} else if f < flo {
 				f = flo
 			}
-			dst[4*p+r] = int32(f) //trlint:checked clamped to the [lo, hi] code window above
+			dst[4*p+r] = int32(f)
 		}
 	}
 }

@@ -140,9 +140,11 @@ type Server struct {
 	// mu guards draining and orders it against queue sends: submit
 	// holds the read side, so once Drain flips the flag under the
 	// write lock no submit can be mid-send and close(queue) is safe.
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	//trlint:guarded-by(mu)
 	draining bool
-	queue    chan *request
+	//trlint:guarded-by(mu)
+	queue chan *request
 
 	schedOnce    sync.Once
 	schedStarted atomic.Bool
@@ -294,6 +296,7 @@ func (s *Server) run() {
 		<-timer.C
 	}
 	for {
+		//trlint:checked lock-free receive by design: run is the only consumer, and mu only orders sends against close
 		first, ok := <-s.queue
 		if !ok {
 			return
@@ -317,6 +320,7 @@ func (s *Server) collect(first *request, timer *time.Timer) []*request {
 	}()
 	for len(batch) < s.cfg.MaxBatch {
 		select {
+		//trlint:checked lock-free receive by design: collect runs on the scheduler goroutine, the sole consumer
 		case r, ok := <-s.queue:
 			if !ok {
 				return batch // draining: flush what we hold

@@ -139,7 +139,6 @@ func CountTerms(v int32, enc Encoding) int {
 
 func magnitude(v int32) uint32 {
 	if v < 0 {
-		//trlint:checked -v of an int32 is at most 2^31, which fits uint32
 		return uint32(-int64(v))
 	}
 	return uint32(v)
@@ -152,7 +151,7 @@ func exp8(e int) uint8 {
 	if e < 0 || e > 0xff {
 		panic("term: exponent out of uint8 range")
 	}
-	return uint8(e) //trlint:checked bounds guarded above
+	return uint8(e)
 }
 
 func popcount32(x uint32) int {
