@@ -22,12 +22,18 @@
 #                time on the warm build
 #   make serve-smoke  end-to-end serving check: boot trserve on an
 #                ephemeral port, classify one image over HTTP, scrape
-#                /metrics for the trq_serve_* families, drain
-#   make serve-bench  selfload run + results/BENCH_serve.json
+#                /metrics for the trq_serve_* families, then issue one
+#                degraded-budget request (the lowest ladder rung) and
+#                assert the response echoes the served budget, drain
+#   make serve-bench  selfload run + results/BENCH_serve.json; with the
+#                default budget ladder this runs the strict/degrade A/B
+#                and records the shed-rate contrast
+#   make budget-bench  per-budget accuracy/latency curve of the demo
+#                plan family + results/BENCH_budget.json
 
 GO ?= go
 
-.PHONY: tier1 tier1-noasm tier2 tier3 lint lint-json bench benchcmp autotune-check serve-smoke serve-bench
+.PHONY: tier1 tier1-noasm tier2 tier3 lint lint-json bench benchcmp autotune-check serve-smoke serve-bench budget-bench
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -80,3 +86,6 @@ serve-smoke:
 
 serve-bench:
 	$(GO) run ./cmd/trserve -model mlp -selfload -duration 3s
+
+budget-bench:
+	$(GO) run ./cmd/trbench -bench-budget

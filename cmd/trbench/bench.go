@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/demoplan"
+	"repro/internal/experiments"
 	"repro/internal/intinfer"
 	"repro/internal/kernels"
 	"repro/internal/kernels/autotune"
@@ -191,4 +192,43 @@ func benchMLPPlan(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
 
 func benchCNNPlan(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
 	return demoplan.CNN(reg)
+}
+
+// runBudgetBench measures the demo plan family's per-budget
+// accuracy/latency curve — the data trserve's degradation ladder is
+// chosen from — and writes results/BENCH_budget.json.
+func runBudgetBench(model, outPath, gitRev string, reg *obs.Registry) error {
+	fam, test, err := demoplan.FamilyByName(model, reg, nil)
+	if err != nil {
+		return fmt.Errorf("%s family setup: %w", model, err)
+	}
+	const batch = 16
+	points, err := experiments.BudgetCurve(fam, test, batch)
+	if err != nil {
+		return err
+	}
+	rep := report.BudgetReport{
+		Platform:   report.NewPlatform(gitRev),
+		Model:      model,
+		GroupSize:  demoplan.QuantGroupSize,
+		TestImages: test.Len(),
+		BatchSize:  batch,
+		Points:     points,
+	}
+	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %14s %14s\n", "budget", "accuracy", "ns/image", "images/s")
+	for _, p := range points {
+		fmt.Printf("%-8d %9.1f%% %14d %14.0f\n", p.Budget, 100*p.Accuracy, p.NsPerImage, p.ImagesPerSecond)
+	}
+	fmt.Println("wrote", outPath)
+	return nil
 }

@@ -11,6 +11,9 @@
 //	trbench -bench          # time the integer inference runtime, write
 //	                        # results/BENCH_intinfer.json and the
 //	                        # METRICS_intinfer.json observability snapshot
+//	trbench -bench-budget   # measure the demo plan family's per-budget
+//	                        # accuracy/latency curve, write
+//	                        # results/BENCH_budget.json
 //	trbench -compare OLD.json
 //	                        # diff ns_per_image against a baseline report
 //	                        # (freshly measured with -bench, otherwise the
@@ -40,6 +43,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of text")
 	bench := flag.Bool("bench", false, "benchmark the integer inference runtime and write results/BENCH_intinfer.json + METRICS_intinfer.json")
 	benchOut := flag.String("bench-out", "results/BENCH_intinfer.json", "output path for -bench")
+	benchBudget := flag.Bool("bench-budget", false, "measure the demo plan family's per-budget accuracy/latency curve and write results/BENCH_budget.json")
+	budgetModel := flag.String("budget-model", "mlp", "demo model family for -bench-budget: mlp or cnn")
+	budgetOut := flag.String("budget-out", "results/BENCH_budget.json", "output path for -bench-budget")
 	compare := flag.String("compare", "", "baseline bench report to diff ns_per_image against; exits non-zero on a >10% regression (with -bench: diffs the fresh run, alone: diffs the -bench-out file)")
 	force := flag.Bool("force", false, "overwrite the -bench results file even when its config differs")
 	gitRev := flag.String("git-rev", report.DefaultGitRev(), "git revision recorded in the bench report")
@@ -76,6 +82,14 @@ func main() {
 				fmt.Fprintln(os.Stderr, "trbench: benchmark regression vs", *compare)
 				os.Exit(1)
 			}
+		}
+		return
+	}
+
+	if *benchBudget {
+		if err := runBudgetBench(*budgetModel, *budgetOut, *gitRev, obs.New()); err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

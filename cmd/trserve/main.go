@@ -31,10 +31,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/demoplan"
+	"repro/internal/intinfer"
 	"repro/internal/kernels/autotune"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -49,6 +52,9 @@ func main() {
 		maxDelay    = flag.Duration("max-delay", serve.DefaultMaxDelay, "max wait for a micro-batch to fill")
 		queueCap    = flag.Int("queue-cap", serve.DefaultQueueCap, "admission queue bound; overflow sheds with 429")
 		workers     = flag.Int("batch-workers", 1, "batch-level inference parallelism (<1 = GOMAXPROCS)")
+		budgets     = flag.String("budgets", "4,8,12", "TR group-budget ladder served as a plan family; \"none\" serves the single demo budget")
+		watermark   = flag.Int("degrade-watermark", 0, "queue depth where admissions degrade one budget rung (0 = queue-cap/2)")
+		lowWater    = flag.Int("degrade-low-watermark", 0, "queue depth where the degradation latch disengages (0 = watermark/2)")
 		deadline    = flag.Duration("deadline", serve.DefaultDeadline, "default per-request serving deadline")
 		maxDeadline = flag.Duration("max-deadline", serve.DefaultMaxDeadline, "clamp on client-requested deadlines")
 		drainWait   = flag.Duration("drain-wait", 10*time.Second, "bound on the SIGTERM graceful drain")
@@ -62,8 +68,14 @@ func main() {
 	)
 	flag.Parse()
 
+	ladder, err := parseBudgets(*budgets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trserve:", err)
+		os.Exit(1)
+	}
 	if err := run(config{addr: *addr, model: *model, maxBatch: *maxBatch,
 		maxDelay: *maxDelay, queueCap: *queueCap, workers: *workers,
+		budgets: ladder, watermark: *watermark, lowWatermark: *lowWater,
 		deadline: *deadline, maxDeadline: *maxDeadline, drainWait: *drainWait,
 		smoke: *smoke, selfload: *selfload, clients: *clients,
 		duration: *duration, loadDeadline: *loadDeadl, out: *out,
@@ -73,29 +85,72 @@ func main() {
 	}
 }
 
+// parseBudgets reads the -budgets ladder; "none" (or empty) selects the
+// single-plan server.
+func parseBudgets(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("bad -budgets entry %q (want positive integers, e.g. 4,8,12)", part)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
 type config struct {
-	addr, model            string
-	maxBatch, queueCap     int
-	workers, clients       int
-	maxDelay, deadline     time.Duration
-	maxDeadline, drainWait time.Duration
-	duration, loadDeadline time.Duration
-	smoke, selfload        bool
-	out, gitRev            string
+	addr, model             string
+	maxBatch, queueCap      int
+	workers, clients        int
+	budgets                 []int
+	watermark, lowWatermark int
+	maxDelay, deadline      time.Duration
+	maxDeadline, drainWait  time.Duration
+	duration, loadDeadline  time.Duration
+	smoke, selfload         bool
+	out, gitRev             string
 }
 
 func run(cfg config) error {
 	reg := obs.New()
 	autotune.SetObs(reg) // plan build below may tune tiles; count the hits/misses
-	fmt.Printf("trserve: training and compiling the %s demo plan...\n", cfg.model)
-	plan, images, err := demoplan.ByName(cfg.model, reg)
-	if err != nil {
-		return err
+
+	var (
+		fam    *intinfer.Family
+		plan   *intinfer.Plan
+		images [][]float32
+	)
+	if len(cfg.budgets) > 0 {
+		fmt.Printf("trserve: training and compiling the %s demo plan family (budgets %v)...\n",
+			cfg.model, cfg.budgets)
+		f, test, err := demoplan.FamilyByName(cfg.model, reg, cfg.budgets)
+		if err != nil {
+			return err
+		}
+		fam, images = f, test.Images
+	} else {
+		fmt.Printf("trserve: training and compiling the %s demo plan...\n", cfg.model)
+		p, imgs, err := demoplan.ByName(cfg.model, reg)
+		if err != nil {
+			return err
+		}
+		plan, images = p, imgs
 	}
-	s, err := serve.New(serve.Config{Plan: plan, MaxBatch: cfg.maxBatch,
-		MaxDelay: cfg.maxDelay, QueueCap: cfg.queueCap,
+	if cfg.selfload && fam != nil {
+		// The family selfload builds its own strict/degrade phase
+		// servers so the shed-rate contrast is measured, not asserted.
+		return runSelfloadFamily(fam, images, cfg)
+	}
+	s, err := serve.New(serve.Config{Plan: plan, Family: fam,
+		MaxBatch: cfg.maxBatch, MaxDelay: cfg.maxDelay, QueueCap: cfg.queueCap,
 		BatchWorkers: cfg.workers, DefaultDeadline: cfg.deadline,
-		MaxDeadline: cfg.maxDeadline, Obs: reg})
+		MaxDeadline: cfg.maxDeadline, DegradeWatermark: cfg.watermark,
+		DegradeLowWatermark: cfg.lowWatermark, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -110,8 +165,8 @@ func run(cfg config) error {
 	if err := s.Start(cfg.addr); err != nil {
 		return err
 	}
-	fmt.Printf("trserve: serving %s on http://%s (max_batch=%d max_delay=%v queue_cap=%d)\n",
-		cfg.model, s.Addr, cfg.maxBatch, cfg.maxDelay, cfg.queueCap)
+	fmt.Printf("trserve: serving %s on http://%s (max_batch=%d max_delay=%v queue_cap=%d budgets=%v)\n",
+		cfg.model, s.Addr, cfg.maxBatch, cfg.maxDelay, cfg.queueCap, cfg.budgets)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

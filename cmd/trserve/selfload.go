@@ -10,11 +10,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/intinfer"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/serve"
 )
@@ -68,6 +71,35 @@ func runSmoke(s *serve.Server, images [][]float32) error {
 	}
 	fmt.Println("trserve: /metrics exposes the serving families")
 
+	// On a budget-ladder server, issue one degraded-budget request (the
+	// bottom rung, what the degradation policy steps down to) and hold
+	// the server to its echo contract.
+	if ladder := s.Budgets(); ladder != nil {
+		low := ladder[0]
+		body, err := json.Marshal(map[string]any{"image": images[0], "deadline_ms": 2000, "budget": low})
+		if err != nil {
+			return err
+		}
+		code, data, err := httpPost(http.DefaultClient, base+"/v1/classify", body)
+		if err != nil {
+			return fmt.Errorf("budget classify: %w", err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("budget classify returned %d: %s", code, data)
+		}
+		var bresp struct {
+			Class  int `json:"class"`
+			Budget int `json:"budget"`
+		}
+		if err := json.Unmarshal(data, &bresp); err != nil {
+			return fmt.Errorf("budget classify response: %w", err)
+		}
+		if bresp.Budget != low {
+			return fmt.Errorf("budget classify echoed budget %d, want %d", bresp.Budget, low)
+		}
+		fmt.Printf("trserve: degraded-budget classify ok (budget=%d class=%d)\n", bresp.Budget, bresp.Class)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
@@ -77,24 +109,17 @@ func runSmoke(s *serve.Server, images [][]float32) error {
 	return nil
 }
 
-// runSelfload drives the server with closed-loop HTTP clients for the
-// configured duration and writes results/BENCH_serve.json: client-side
-// latency percentiles and status counts plus the scheduler's batching
-// behaviour from the metrics registry.
-func runSelfload(s *serve.Server, images [][]float32, cfg config) error {
-	if err := s.Start("127.0.0.1:0"); err != nil {
-		return err
-	}
+// drive runs the closed-loop client fleet against a started server for
+// cfg.duration and folds the client-side outcomes with the scheduler's
+// own counters into a ServeResults.
+func drive(s *serve.Server, images [][]float32, cfg config) (report.ServeResults, error) {
 	url := "http://" + s.Addr + "/v1/classify"
-	fmt.Printf("trserve: selfload on %s: %d clients for %v (deadline %v)\n",
-		s.Addr, cfg.clients, cfg.duration, cfg.loadDeadline)
-
 	// Pre-marshal one body per image; the clients round-robin over them.
 	bodies := make([][]byte, len(images))
 	for i, img := range images {
 		b, err := json.Marshal(map[string]any{"image": img, "deadline_ms": cfg.loadDeadline.Milliseconds()})
 		if err != nil {
-			return err
+			return report.ServeResults{}, err
 		}
 		bodies[i] = b
 	}
@@ -136,7 +161,6 @@ func runSelfload(s *serve.Server, images [][]float32, cfg config) error {
 		}(c)
 	}
 	wg.Wait()
-	elapsed := cfg.duration
 
 	var all []int64
 	for _, l := range lats {
@@ -149,22 +173,75 @@ func runSelfload(s *serve.Server, images [][]float32, cfg config) error {
 	res := report.ServeResults{
 		Requests: total, OK: ok.Load(), Shed: shed.Load(),
 		Timeout: timeout.Load(), Errors: failed.Load(),
-		Throughput:    float64(total) / elapsed.Seconds(),
+		Throughput:    float64(total) / cfg.duration.Seconds(),
 		P50Us:         percentile(all, 0.50),
 		P90Us:         percentile(all, 0.90),
 		P99Us:         percentile(all, 0.99),
 		Batches:       st.Batches,
 		BatchImages:   st.BatchImages,
 		QueueDepthEnd: st.QueueDepth,
+		Degraded:      st.Degraded,
 	}
 	if total > 0 {
 		res.ShedRate = float64(res.Shed) / float64(total)
+		res.DegradedRate = float64(res.Degraded) / float64(total)
 	}
 	if len(all) > 0 {
 		res.MaxUs = all[len(all)-1]
 	}
 	if st.Batches > 0 {
 		res.AvgBatch = float64(st.BatchImages) / float64(st.Batches)
+	}
+	if st.BudgetServed != nil {
+		res.BudgetServed = make(map[string]int64, len(st.BudgetServed))
+		for b, n := range st.BudgetServed {
+			res.BudgetServed[strconv.Itoa(b)] = n
+		}
+	}
+	if p := firstErr.Load(); p != nil {
+		fmt.Println("trserve: first transport error:", *p)
+	}
+	return res, nil
+}
+
+func printPhase(name string, res report.ServeResults) {
+	fmt.Printf("%-12s %d requests (%.0f req/s): %d ok, %d shed (%.1f%%), %d timeout, %d error, %d degraded\n",
+		name+":", res.Requests, res.Throughput, res.OK, res.Shed, 100*res.ShedRate,
+		res.Timeout, res.Errors, res.Degraded)
+	fmt.Printf("%-12s p50 %dus  p90 %dus  p99 %dus  max %dus  |  %d batches, avg %.2f\n",
+		"", res.P50Us, res.P90Us, res.P99Us, res.MaxUs, res.Batches, res.AvgBatch)
+}
+
+func writeServeReport(rep report.ServeReport, out string) error {
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// runSelfload drives a single-plan server with closed-loop HTTP clients
+// for the configured duration and writes results/BENCH_serve.json:
+// client-side latency percentiles and status counts plus the
+// scheduler's batching behaviour from the metrics registry.
+func runSelfload(s *serve.Server, images [][]float32, cfg config) error {
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	fmt.Printf("trserve: selfload on %s: %d clients for %v (deadline %v)\n",
+		s.Addr, cfg.clients, cfg.duration, cfg.loadDeadline)
+	res, err := drive(s, images, cfg)
+	if err != nil {
+		return err
 	}
 	rep := report.ServeReport{
 		Platform: report.NewPlatform(cfg.gitRev),
@@ -175,29 +252,9 @@ func runSelfload(s *serve.Server, images [][]float32, cfg config) error {
 			DeadlineMs: cfg.loadDeadline.Milliseconds()},
 		Results: res,
 	}
-
-	if dir := filepath.Dir(cfg.out); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	printPhase("load", res)
+	if err := writeServeReport(rep, cfg.out); err != nil {
 		return err
-	}
-	if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-
-	fmt.Printf("%-12s %d requests (%.0f req/s): %d ok, %d shed, %d timeout, %d error\n",
-		"load:", total, res.Throughput, res.OK, res.Shed, res.Timeout, res.Errors)
-	fmt.Printf("%-12s p50 %dus  p90 %dus  p99 %dus  max %dus\n",
-		"latency:", res.P50Us, res.P90Us, res.P99Us, res.MaxUs)
-	fmt.Printf("%-12s %d batches, %d images, avg batch %.2f\n",
-		"batching:", res.Batches, res.BatchImages, res.AvgBatch)
-	fmt.Println("wrote", cfg.out)
-	if p := firstErr.Load(); p != nil {
-		fmt.Println("trserve: first transport error:", *p)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -207,6 +264,79 @@ func runSelfload(s *serve.Server, images [][]float32, cfg config) error {
 	}
 	if res.AvgBatch < 2 {
 		return fmt.Errorf("selfload averaged %.2f images/batch; the scheduler is not batching under load", res.AvgBatch)
+	}
+	return nil
+}
+
+// runSelfloadFamily is the degrade-before-shed A/B: the same offered
+// load is driven twice against the plan family. The strict baseline
+// sheds at QueueCap; the degrade phase doubles the queue and puts the
+// degradation watermark at the baseline's shed point, so load the
+// baseline answered 429 is instead admitted one budget rung down. The
+// report's Results carry the degrade phase, StrictBaseline the control.
+func runSelfloadFamily(fam *intinfer.Family, images [][]float32, cfg config) error {
+	watermark := cfg.watermark
+	if watermark <= 0 {
+		watermark = cfg.queueCap
+	}
+	phase := func(name string, qcap, mark, low int) (report.ServeResults, error) {
+		s, err := serve.New(serve.Config{Family: fam, MaxBatch: cfg.maxBatch,
+			MaxDelay: cfg.maxDelay, QueueCap: qcap, BatchWorkers: cfg.workers,
+			DefaultDeadline: cfg.deadline, MaxDeadline: cfg.maxDeadline,
+			DegradeWatermark: mark, DegradeLowWatermark: low, Obs: obs.New()})
+		if err != nil {
+			return report.ServeResults{}, err
+		}
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			return report.ServeResults{}, err
+		}
+		fmt.Printf("trserve: selfload[%s] on %s: %d clients for %v (queue_cap=%d watermark=%d)\n",
+			name, s.Addr, cfg.clients, cfg.duration, qcap, mark)
+		res, err := drive(s, images, cfg)
+		if err != nil {
+			return res, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			return res, fmt.Errorf("drain: %w", err)
+		}
+		printPhase(name, res)
+		return res, nil
+	}
+
+	// Strict control: shed at the watermark, degradation never engages
+	// (the depth gauge counts parked and collecting requests too, so the
+	// disabling watermark must be unreachable, not just past the cap).
+	strict, err := phase("strict", watermark, 1<<30, 0)
+	if err != nil {
+		return err
+	}
+	// Degrade phase: the control's shed point becomes the degrade
+	// watermark, with queue headroom behind it before the hard cap.
+	degrade, err := phase("degrade", 2*watermark, watermark, watermark/2)
+	if err != nil {
+		return err
+	}
+
+	rep := report.ServeReport{
+		Platform: report.NewPlatform(cfg.gitRev),
+		Config: report.ServeConfig{Model: cfg.model, MaxBatch: cfg.maxBatch,
+			MaxDelayUs: cfg.maxDelay.Microseconds(), QueueCap: 2 * watermark,
+			BatchWorkers: cfg.workers, Clients: cfg.clients,
+			DurationMs: cfg.duration.Milliseconds(),
+			DeadlineMs: cfg.loadDeadline.Milliseconds(),
+			Budgets:    fam.Budgets(), DegradeWatermark: watermark},
+		Results:        degrade,
+		StrictBaseline: &strict,
+	}
+	if err := writeServeReport(rep, cfg.out); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s shed %.1f%% -> %.1f%%, degraded %.1f%% of admissions\n",
+		"policy:", 100*strict.ShedRate, 100*degrade.ShedRate, 100*degrade.DegradedRate)
+	if degrade.AvgBatch < 2 {
+		return fmt.Errorf("selfload averaged %.2f images/batch; the scheduler is not batching under load", degrade.AvgBatch)
 	}
 	return nil
 }

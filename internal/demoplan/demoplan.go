@@ -23,6 +23,11 @@ const (
 	QuantGroupBudget = 12
 )
 
+// DefaultBudgets is the demo degradation ladder: the paper operating
+// point on top, two lower-accuracy/lower-cost rungs beneath it for the
+// serving layer to step down through under load.
+var DefaultBudgets = []int{4, 8, QuantGroupBudget}
+
 // MLP trains the digits MLP and compiles it, returning the plan and a
 // held-out test set. This is the model BenchmarkIntegerInferenceMLP
 // measures.
@@ -61,6 +66,61 @@ func CNN(reg *obs.Registry) (*intinfer.Plan, [][]float32, error) {
 		return nil, nil, err
 	}
 	return plan, test.Images, nil
+}
+
+// MLPFamily trains the same digits MLP as MLP and compiles it at every
+// budget in the ladder (nil = DefaultBudgets), returning the labelled
+// held-out test set so callers can put accuracy numbers on each rung.
+func MLPFamily(reg *obs.Registry, budgets []int) (*intinfer.Family, *datasets.ImageDataset, error) {
+	if budgets == nil {
+		budgets = DefaultBudgets
+	}
+	train := datasets.DigitsNoisy(400, 0.2, 91)
+	test := datasets.DigitsNoisy(64, 0.2, 92)
+	m := models.NewMLP(64, 93)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 2
+	models.Train(m, train, cfg)
+	fam, err := intinfer.BuildFamily(m, intinfer.Options{
+		Calibration: train.Images[:32], GroupSize: QuantGroupSize,
+		Budgets: budgets, Obs: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fam, test, nil
+}
+
+// CNNFamily is MLPFamily for the ResNet-style CNN demo model.
+func CNNFamily(reg *obs.Registry, budgets []int) (*intinfer.Family, *datasets.ImageDataset, error) {
+	if budgets == nil {
+		budgets = DefaultBudgets
+	}
+	g := models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}
+	all := datasets.ImageClassesHard(120, g.Classes, g.InC, g.InH, g.InW, 0.4, 0.4, 96)
+	train, test := all.Split(88)
+	m := models.NewResNetStyle(g, 97)
+	cfg := models.DefaultTrain
+	cfg.Epochs = 1
+	models.Train(m, train, cfg)
+	qsim.FoldBatchNorm(m)
+	fam, err := intinfer.BuildFamily(m, intinfer.Options{
+		Calibration: train.Images[:32], GroupSize: QuantGroupSize,
+		Budgets: budgets, Obs: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fam, test, nil
+}
+
+// FamilyByName builds the named demo plan family ("mlp" or "cnn").
+func FamilyByName(name string, reg *obs.Registry, budgets []int) (*intinfer.Family, *datasets.ImageDataset, error) {
+	switch name {
+	case "mlp":
+		return MLPFamily(reg, budgets)
+	case "cnn":
+		return CNNFamily(reg, budgets)
+	}
+	return nil, nil, fmt.Errorf("demoplan: unknown model %q (want mlp or cnn)", name)
 }
 
 // ByName builds the named demo plan ("mlp" or "cnn").

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/intinfer"
+	"repro/internal/report"
+)
+
+// BudgetCurve measures a plan family's accuracy/latency curve: one
+// point per ladder rung, accuracy over the labelled test set and
+// per-image latency from a batched inference benchmark. This is the
+// measured data a serving degradation ladder is chosen from — which
+// rungs are worth stepping down to, and what each step costs in
+// accuracy (on CPU int8 kernels the latency axis is near-flat; on the
+// paper's term-serial hardware it scales with the budget).
+func BudgetCurve(fam *intinfer.Family, test *datasets.ImageDataset, batch int) ([]report.BudgetPoint, error) {
+	if batch < 1 || batch > test.Len() {
+		batch = test.Len()
+	}
+	images := test.Images[:batch]
+	points := make([]report.BudgetPoint, 0, len(fam.Budgets()))
+	for _, budget := range fam.Budgets() {
+		plan, ok := fam.Plan(budget)
+		if !ok {
+			return nil, fmt.Errorf("experiments: family missing budget %d", budget)
+		}
+		acc, err := plan.Accuracy(test.Images, test.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: budget %d accuracy: %w", budget, err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.InferBatch(images); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		nsPerImage := res.NsPerOp() / int64(len(images))
+		pt := report.BudgetPoint{Budget: budget, Accuracy: acc, NsPerImage: nsPerImage}
+		if nsPerImage > 0 {
+			pt.ImagesPerSecond = 1e9 / float64(nsPerImage)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

@@ -37,6 +37,12 @@ type Options struct {
 	// GroupSize/GroupBudget, when GroupBudget > 0, term-reveal the weight
 	// codes at build time (HESE encoding).
 	GroupSize, GroupBudget int
+	// Budgets, when non-empty, is the group-budget ladder BuildFamily
+	// compiles: one calibration pass and one shared weight artifact
+	// serving every listed budget (see Family). Build itself compiles a
+	// single budget and ignores this field; callers wanting the run-time
+	// accuracy/latency dial go through BuildFamily.
+	Budgets []int
 	// Calibration images (flat, model geometry) for the static
 	// activation scales; at least one is required.
 	Calibration [][]float32
@@ -146,6 +152,7 @@ type Plan struct {
 	classes       int
 	inScale       float32
 	outScale      float32
+	groupBudget   int // the TR group budget the weights were revealed at
 
 	// Arena geometry, fixed by finalize at build time.
 	maxAct       int  // largest activation (elements) any step produces
@@ -158,8 +165,12 @@ type Plan struct {
 	linear8      bool // whole plan is flatten + packed linears (batched int8 lane)
 	bufCount     int  // activation buffers one inference needs concurrently
 	intraWorkers int
-	arena        sync.Pool   // of *scratch
-	pm           planMetrics // observability handles; zero value = disabled
+	// arena pools *scratch. It is a pointer so a Family can point every
+	// budget rung at one shared pool: the rungs' arena geometries are
+	// unified to the family max at build, so any rung's inference can run
+	// out of any pooled scratch.
+	arena *sync.Pool
+	pm    planMetrics // observability handles; zero value = disabled
 }
 
 // InputDims returns the image geometry the plan expects: channels,
@@ -169,16 +180,30 @@ func (p *Plan) InputDims() (c, h, w int) { return p.inC, p.inH, p.inW }
 // Classes returns the number of output classes the plan produces.
 func (p *Plan) Classes() int { return p.classes }
 
-// Build compiles the model. The model itself is left unmodified.
-func Build(m *models.ImageModel, opts Options) (*Plan, error) {
+// GroupBudget returns the TR group budget k this plan's weights were
+// revealed at (0: no term revealing). For a Family rung this is the
+// rung's position on the accuracy/latency dial.
+func (p *Plan) GroupBudget() int { return p.groupBudget }
+
+// normalizeOptions applies the compilation defaults and validates the
+// pieces Build and BuildFamily share.
+func normalizeOptions(opts *Options) error {
 	if opts.WeightBits == 0 {
 		opts.WeightBits = 8
 	}
 	if len(opts.Calibration) == 0 {
-		return nil, fmt.Errorf("intinfer: calibration images required")
+		return fmt.Errorf("intinfer: calibration images required")
 	}
 	if opts.GroupBudget > 0 && opts.GroupSize < 1 {
-		return nil, fmt.Errorf("intinfer: group budget %d needs a group size", opts.GroupBudget)
+		return fmt.Errorf("intinfer: group budget %d needs a group size", opts.GroupBudget)
+	}
+	return nil
+}
+
+// Build compiles the model. The model itself is left unmodified.
+func Build(m *models.ImageModel, opts Options) (*Plan, error) {
+	if err := normalizeOptions(&opts); err != nil {
+		return nil, err
 	}
 
 	// Calibration: capture every weight layer's input activations and the
@@ -187,9 +212,16 @@ func Build(m *models.ImageModel, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildCalibrated(m, opts, scales, outScale)
+}
 
+// buildCalibrated compiles the model against pre-computed calibration
+// scales. Build runs the calibration pass itself; BuildFamily runs it
+// once and compiles every budget rung through here, so the rungs are
+// bit-identical to single-budget builds by construction.
+func buildCalibrated(m *models.ImageModel, opts Options, scales map[string]float32, outScale float32) (*Plan, error) {
 	p := &Plan{inC: m.InC, inH: m.InH, inW: m.InW, classes: m.Classes,
-		outScale: outScale}
+		outScale: outScale, groupBudget: opts.GroupBudget}
 	c := &compiler{opts: opts, scales: scales}
 	var flat []nn.Layer
 	if err := flattenChain(m.Net, &flat); err != nil {
@@ -262,7 +294,7 @@ func (p *Plan) finalize(opts Options) {
 	}
 	p.initMetrics(opts.Obs)
 	p.pm.labels = p.pm.enabled && opts.ProfileLabels
-	p.arena.New = func() any { return p.newScratch() }
+	p.arena = &sync.Pool{New: func() any { return p.newScratch() }}
 }
 
 // batchable reports whether a plan can run whole micro-batches on the

@@ -83,6 +83,11 @@ type ServeConfig struct {
 	Clients      int    `json:"clients"`
 	DurationMs   int64  `json:"duration_ms"`
 	DeadlineMs   int64  `json:"deadline_ms"`
+	// Budgets is the TR group-budget ladder a family server ran
+	// (empty: single-plan server); DegradeWatermark is the queue depth
+	// where admissions start stepping down a rung.
+	Budgets          []int `json:"budgets,omitempty"`
+	DegradeWatermark int   `json:"degrade_watermark,omitempty"`
 }
 
 // ServeResults is the measured outcome of a trserve -selfload run:
@@ -91,10 +96,10 @@ type ServeConfig struct {
 type ServeResults struct {
 	Requests   int64   `json:"requests"`
 	OK         int64   `json:"ok"`
-	Shed       int64   `json:"shed"`       // 429: admission queue full
-	Timeout    int64   `json:"timeout"`    // 504: deadline expired
-	Errors     int64   `json:"errors"`     // 5xx and transport failures
-	ShedRate   float64 `json:"shed_rate"`  // Shed / Requests
+	Shed       int64   `json:"shed"`      // 429: admission queue full
+	Timeout    int64   `json:"timeout"`   // 504: deadline expired
+	Errors     int64   `json:"errors"`    // 5xx and transport failures
+	ShedRate   float64 `json:"shed_rate"` // Shed / Requests
 	Throughput float64 `json:"requests_per_second"`
 	P50Us      int64   `json:"p50_us"`
 	P90Us      int64   `json:"p90_us"`
@@ -105,12 +110,42 @@ type ServeResults struct {
 	BatchImages   int64   `json:"batch_images"`
 	AvgBatch      float64 `json:"avg_batch"`
 	QueueDepthEnd int64   `json:"queue_depth_end"`
+	// Degradation policy outcomes (family servers only): admissions
+	// stepped down a rung, their share of all requests, and the requests
+	// answered ok per ladder rung (keyed by budget).
+	Degraded     int64            `json:"degraded,omitempty"`
+	DegradedRate float64          `json:"degraded_rate,omitempty"`
+	BudgetServed map[string]int64 `json:"budget_served,omitempty"`
 }
 
 // ServeReport is results/BENCH_serve.json — the serving layer's row in
-// the benchmark trajectory.
+// the benchmark trajectory. For a family server Results is the run with
+// the degradation policy engaged and StrictBaseline the same offered
+// load against a shed-only server (QueueCap at the degrade run's
+// watermark), so the shed-rate delta attributes to the policy.
 type ServeReport struct {
 	Platform
-	Config  ServeConfig  `json:"config"`
-	Results ServeResults `json:"results"`
+	Config         ServeConfig   `json:"config"`
+	Results        ServeResults  `json:"results"`
+	StrictBaseline *ServeResults `json:"strict_baseline,omitempty"`
+}
+
+// BudgetPoint is one rung of a measured accuracy/latency curve: the
+// numbers that justify a degradation ladder's rung choices.
+type BudgetPoint struct {
+	Budget          int     `json:"budget"`
+	Accuracy        float64 `json:"accuracy"`
+	NsPerImage      int64   `json:"ns_per_image"`
+	ImagesPerSecond float64 `json:"images_per_second"`
+}
+
+// BudgetReport is results/BENCH_budget.json — the per-budget
+// accuracy/latency curve of a demo plan family.
+type BudgetReport struct {
+	Platform
+	Model      string        `json:"model"`
+	GroupSize  int           `json:"group_size"`
+	TestImages int           `json:"test_images"`
+	BatchSize  int           `json:"batch_size"`
+	Points     []BudgetPoint `json:"points"`
 }

@@ -21,15 +21,29 @@ const maxBodyBytes = 1 << 20
 type classifyRequest struct {
 	Image []float32 `json:"image"`
 	// DeadlineMs is the client's serving deadline; 0 means the server
-	// default. Clamped to Config.MaxDeadline.
+	// default. Clamped to Config.MaxDeadline; negative is a client bug
+	// and rejected 400.
 	DeadlineMs int64 `json:"deadline_ms"`
+	// Budget is a TR group-budget hint, snapped onto the server's
+	// ladder; 0 means the server default. Rejected 400 on a server with
+	// no ladder, or when combined with Quality.
+	Budget int `json:"budget,omitempty"`
+	// Quality is the dial in relative form: 0.0 = lowest rung, 1.0 =
+	// highest, mapped onto the ladder without the client knowing the
+	// budget values. Mutually exclusive with Budget.
+	Quality *float64 `json:"quality,omitempty"`
 }
 
-// classifyResponse is the success body.
+// classifyResponse is the success body. Budget echoes the rung the
+// request actually ran at — under the degradation policy it can be
+// lower than the hint, flagged by Degraded — and is omitted on
+// single-plan servers.
 type classifyResponse struct {
 	Class     int   `json:"class"`
 	BatchSize int   `json:"batch_size"`
 	QueueUs   int64 `json:"queue_us"`
+	Budget    int   `json:"budget,omitempty"`
+	Degraded  bool  `json:"degraded,omitempty"`
 }
 
 type errorResponse struct {
@@ -74,12 +88,28 @@ func (s *Server) handleClassify(w http.ResponseWriter, req *http.Request) {
 	}
 	var in classifyRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes)).Decode(&in); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
 	if len(in.Image) != s.inLen {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("image has %d values, the model wants %d", len(in.Image), s.inLen)})
+		return
+	}
+	if in.DeadlineMs < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("deadline_ms must not be negative, got %d", in.DeadlineMs)})
+		return
+	}
+	budget, err := s.requestBudget(in)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	deadline := s.cfg.DefaultDeadline
@@ -91,18 +121,21 @@ func (s *Server) handleClassify(w http.ResponseWriter, req *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(req.Context(), deadline)
 	defer cancel()
-	res, err := s.Classify(ctx, in.Image)
+	res, err := s.ClassifyBudget(ctx, in.Image, budget)
 	s.met.latency.Observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, classifyResponse{Class: res.Class,
-			BatchSize: res.BatchSize, QueueUs: res.QueueWait.Microseconds()})
+			BatchSize: res.BatchSize, QueueUs: res.QueueWait.Microseconds(),
+			Budget: res.Budget, Degraded: res.Degraded})
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrNoBudgets):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
 	case errors.Is(err, context.Canceled):
@@ -111,6 +144,36 @@ func (s *Server) handleClassify(w http.ResponseWriter, req *http.Request) {
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	}
+}
+
+// requestBudget validates and resolves the body's quality hints into a
+// budget for ClassifyBudget: 0 when no hint was given (server default),
+// the exact Budget, or Quality mapped across the ladder (0.0 = lowest
+// rung, 1.0 = highest, nearest rung in between). Hints on a server with
+// no ladder, both hints at once, or a hint outside its domain are
+// client errors.
+func (s *Server) requestBudget(in classifyRequest) (int, error) {
+	if in.Budget == 0 && in.Quality == nil {
+		return 0, nil
+	}
+	budgets := s.Budgets()
+	if budgets == nil {
+		return 0, ErrNoBudgets
+	}
+	if in.Budget != 0 && in.Quality != nil {
+		return 0, errors.New("budget and quality are mutually exclusive")
+	}
+	if in.Quality != nil {
+		q := *in.Quality
+		if q < 0 || q > 1 {
+			return 0, fmt.Errorf("quality must be in [0, 1], got %g", q)
+		}
+		return budgets[int(q*float64(len(budgets)-1)+0.5)], nil
+	}
+	if in.Budget < 0 {
+		return 0, fmt.Errorf("budget must not be negative, got %d", in.Budget)
+	}
+	return in.Budget, nil
 }
 
 // retryAfterSeconds renders a Retry-After header value, at least 1s —

@@ -11,6 +11,15 @@
 // latest live deadline so a stalled layer cannot hold the scheduler
 // hostage. Drain stops admission, flushes the queue, and then shuts the
 // HTTP listener down gracefully.
+//
+// With a Config.Family instead of a single Plan the server becomes the
+// paper's run-time accuracy dial: each request carries an effective TR
+// group budget (client hint, clamped to the ladder; the family max by
+// default), batches group same-budget requests so every dispatch still
+// runs one homogeneous plan, and a degrade-before-shed policy steps new
+// admissions down to the next-lower rung once queue depth crosses
+// DegradeWatermark — trading accuracy for admission instead of
+// answering 429 — with hysteresis so the dial doesn't flap.
 package serve
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,16 +48,35 @@ const (
 )
 
 // Sentinel errors the admission path returns; the HTTP layer maps them
-// to 429 (shed) and 503 (draining).
+// to 429 (shed), 503 (draining) and 400 (budget hint without a ladder).
 var (
 	ErrQueueFull = errors.New("serve: admission queue full")
 	ErrDraining  = errors.New("serve: server is draining")
+	ErrNoBudgets = errors.New("serve: server has no budget ladder")
 )
 
-// Config wires a Server. Plan is required; everything else defaults.
+// Config wires a Server. Exactly one of Plan or Family is required;
+// everything else defaults.
 type Config struct {
 	// Plan is the compiled model every request classifies through.
+	// Ignored when Family is set.
 	Plan *intinfer.Plan
+	// Family, when non-nil, serves a multi-budget plan ladder instead of
+	// a single plan: requests carry an effective budget, batches stay
+	// budget-homogeneous, and the degradation policy below applies.
+	Family *intinfer.Family
+	// DefaultBudget is the rung requests without a hint run at, snapped
+	// onto the ladder (0 = the family max, i.e. full quality).
+	DefaultBudget int
+	// DegradeWatermark is the queue depth at or above which new
+	// admissions step down one rung instead of keeping their budget
+	// (0 = QueueCap/2; above QueueCap the policy never engages). The
+	// queue still sheds at QueueCap, so the band between watermark and
+	// cap is where degradation absorbs load that shedding used to.
+	DegradeWatermark int
+	// DegradeLowWatermark is the depth at or below which degrade mode
+	// disengages (0 = DegradeWatermark/2). The gap is the hysteresis.
+	DegradeLowWatermark int
 
 	// MaxBatch caps how many requests one dispatch carries.
 	MaxBatch int
@@ -76,14 +105,18 @@ type Result struct {
 	Class     int
 	BatchSize int           // images in the dispatch that carried this request
 	QueueWait time.Duration // admission-to-dispatch time
+	Budget    int           // TR group budget the request was served at (0: single-plan server)
+	Degraded  bool          // admission stepped the budget down under load
 }
 
 // response is what the scheduler posts back on a request's done channel.
 type response struct {
-	class int
-	batch int
-	wait  time.Duration
-	err   error
+	class    int
+	batch    int
+	wait     time.Duration
+	budget   int
+	degraded bool
+	err      error
 }
 
 // request is one admitted classification waiting for a batch slot. done
@@ -92,6 +125,8 @@ type request struct {
 	img      []float32
 	deadline time.Time
 	enqueued time.Time
+	budget   int           // effective rung (0 on a single-plan server)
+	degraded bool          // admission stepped the budget down
 	wait     time.Duration // stamped at dispatch
 	done     chan response
 }
@@ -99,9 +134,16 @@ type request struct {
 type metrics struct {
 	ok, shed, timeout, failed, draining *obs.Counter
 	batches, batchImages                *obs.Counter
+	degraded                            *obs.Counter
+	served                              map[int]*obs.Counter // per-rung, family servers only
 	queueDepth                          *obs.Gauge
+	degradeActive                       *obs.Gauge
 	batchSize, queueWait, latency       *obs.Histogram
 }
+
+// servedFor returns the per-rung served counter; nil (a no-op sink) on
+// single-plan servers.
+func (m *metrics) servedFor(budget int) *obs.Counter { return m.served[budget] }
 
 func newMetrics(r *obs.Registry, cfg Config) metrics {
 	r.Help("trq_serve_requests_total", "classification requests by terminal status (ok, shed, timeout, error, draining)")
@@ -111,7 +153,7 @@ func newMetrics(r *obs.Registry, cfg Config) metrics {
 	r.Help("trq_serve_batch_size", "images per dispatched micro-batch")
 	r.Help("trq_serve_queue_wait_seconds", "admission-to-dispatch wait per request")
 	r.Help("trq_serve_request_latency_seconds", "HTTP handler latency per classification request")
-	return metrics{
+	m := metrics{
 		ok:          r.Counter("trq_serve_requests_total", "status", "ok"),
 		shed:        r.Counter("trq_serve_requests_total", "status", "shed"),
 		timeout:     r.Counter("trq_serve_requests_total", "status", "timeout"),
@@ -121,9 +163,24 @@ func newMetrics(r *obs.Registry, cfg Config) metrics {
 		batchImages: r.Counter("trq_serve_batch_images_total"),
 		queueDepth:  r.Gauge("trq_serve_queue_depth"),
 		batchSize:   r.Histogram("trq_serve_batch_size", 0, float64(cfg.MaxBatch)+1, cfg.MaxBatch+1),
-		queueWait:   r.Histogram("trq_serve_queue_wait_seconds", 0, 8*cfg.MaxDelay.Seconds(), 32),
-		latency:     r.Histogram("trq_serve_request_latency_seconds", 0, 0.25, 50),
+		// Ranged off the deadline config: queued requests legally wait up
+		// to their deadline, which MaxDeadline caps. (Ranging off MaxDelay
+		// clipped every tail wait into the top bucket.)
+		queueWait: r.Histogram("trq_serve_queue_wait_seconds", 0, cfg.MaxDeadline.Seconds(), 128),
+		latency:   r.Histogram("trq_serve_request_latency_seconds", 0, 0.25, 50),
 	}
+	if cfg.Family != nil {
+		r.Help("trq_serve_budget_degraded_total", "admissions stepped down one budget rung by the degradation policy")
+		r.Help("trq_serve_budget_degrade_active", "1 while the degradation policy is engaged (queue depth crossed the watermark)")
+		r.Help("trq_serve_budget_served_total", "requests answered ok by the TR group budget they ran at")
+		m.degraded = r.Counter("trq_serve_budget_degraded_total")
+		m.degradeActive = r.Gauge("trq_serve_budget_degrade_active")
+		m.served = make(map[int]*obs.Counter)
+		for _, b := range cfg.Family.Budgets() {
+			m.served[b] = r.Counter("trq_serve_budget_served_total", "budget", strconv.Itoa(b))
+		}
+	}
+	return m
 }
 
 // Server is a micro-batching classification server. Construct with New,
@@ -134,8 +191,16 @@ type Server struct {
 	// a ":0" request).
 	Addr string
 
-	cfg   Config
-	inLen int // c*h*w the plan expects
+	cfg           Config
+	inLen         int // c*h*w the plan expects
+	defaultBudget int // resolved rung for hint-less requests (0: single-plan)
+
+	// degrading is the degradation policy's hysteresis latch: set when
+	// queue depth reaches DegradeWatermark, cleared when it falls back to
+	// DegradeLowWatermark. Plain atomic — concurrent admissions may race
+	// the flip by one request, which only blurs the engage edge, never
+	// correctness.
+	degrading atomic.Bool
 
 	// mu guards draining and orders it against queue sends: submit
 	// holds the read side, so once Drain flips the flag under the
@@ -161,8 +226,8 @@ type Server struct {
 // New validates the config, fills defaults, and returns a Server with
 // nothing running yet: no listener, no scheduler goroutine.
 func New(cfg Config) (*Server, error) {
-	if cfg.Plan == nil {
-		return nil, errors.New("serve: Config.Plan is required")
+	if cfg.Plan == nil && cfg.Family == nil {
+		return nil, errors.New("serve: Config.Plan or Config.Family is required")
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
@@ -185,14 +250,54 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New()
 	}
-	c, h, w := cfg.Plan.InputDims()
+	defaultBudget := 0
+	var c, h, w int
+	if cfg.Family != nil {
+		if cfg.DegradeWatermark <= 0 {
+			cfg.DegradeWatermark = cfg.QueueCap / 2
+			if cfg.DegradeWatermark < 1 {
+				cfg.DegradeWatermark = 1
+			}
+		}
+		if cfg.DegradeLowWatermark <= 0 {
+			cfg.DegradeLowWatermark = cfg.DegradeWatermark / 2
+		}
+		if cfg.DefaultBudget == 0 {
+			defaultBudget = cfg.Family.MaxBudget()
+		} else {
+			defaultBudget = cfg.Family.Clamp(cfg.DefaultBudget)
+		}
+		c, h, w = cfg.Family.InputDims()
+	} else {
+		c, h, w = cfg.Plan.InputDims()
+	}
 	return &Server{
-		cfg:       cfg,
-		inLen:     c * h * w,
-		queue:     make(chan *request, cfg.QueueCap),
-		schedDone: make(chan struct{}),
-		met:       newMetrics(cfg.Obs, cfg),
+		cfg:           cfg,
+		inLen:         c * h * w,
+		defaultBudget: defaultBudget,
+		queue:         make(chan *request, cfg.QueueCap),
+		schedDone:     make(chan struct{}),
+		met:           newMetrics(cfg.Obs, cfg),
 	}, nil
+}
+
+// Budgets returns the server's budget ladder, ascending; nil on a
+// single-plan server.
+func (s *Server) Budgets() []int {
+	if s.cfg.Family == nil {
+		return nil
+	}
+	return s.cfg.Family.Budgets()
+}
+
+// planFor returns the plan a batch at the given budget runs through.
+// Budgets are snapped onto the ladder at admission, so the rung exists.
+func (s *Server) planFor(budget int) *intinfer.Plan {
+	if s.cfg.Family == nil {
+		return s.cfg.Plan
+	}
+	p, _ := s.cfg.Family.Plan(budget)
+	return p
 }
 
 // startScheduler launches the batching loop exactly once.
@@ -236,8 +341,27 @@ func (s *Server) Start(addr string) error {
 // request is answered 504-style with context.DeadlineExceeded whether it
 // is still queued or mid-batch.
 func (s *Server) Classify(ctx context.Context, img []float32) (Result, error) {
+	return s.ClassifyBudget(ctx, img, 0)
+}
+
+// ClassifyBudget is Classify with a TR group budget hint: 0 takes the
+// server default, anything else is snapped onto the family ladder. On a
+// single-plan server any non-zero hint is ErrNoBudgets. The admitted
+// budget may still be stepped down by the degradation policy; the
+// Result reports what actually ran.
+func (s *Server) ClassifyBudget(ctx context.Context, img []float32, budget int) (Result, error) {
 	if len(img) != s.inLen {
 		return Result{}, fmt.Errorf("serve: image has %d values, the plan wants %d", len(img), s.inLen)
+	}
+	if budget != 0 && s.cfg.Family == nil {
+		return Result{}, ErrNoBudgets
+	}
+	if s.cfg.Family != nil {
+		if budget == 0 {
+			budget = s.defaultBudget
+		} else {
+			budget = s.cfg.Family.Clamp(budget)
+		}
 	}
 	deadline, ok := ctx.Deadline()
 	if !ok {
@@ -246,7 +370,7 @@ func (s *Server) Classify(ctx context.Context, img []float32) (Result, error) {
 	if latest := time.Now().Add(s.cfg.MaxDeadline); deadline.After(latest) {
 		deadline = latest
 	}
-	req, err := s.submit(img, deadline)
+	req, err := s.submit(img, deadline, budget)
 	if err != nil {
 		return Result{}, err
 	}
@@ -255,7 +379,8 @@ func (s *Server) Classify(ctx context.Context, img []float32) (Result, error) {
 		if resp.err != nil {
 			return Result{}, resp.err
 		}
-		return Result{Class: resp.class, BatchSize: resp.batch, QueueWait: resp.wait}, nil
+		return Result{Class: resp.class, BatchSize: resp.batch, QueueWait: resp.wait,
+			Budget: resp.budget, Degraded: resp.degraded}, nil
 	case <-ctx.Done():
 		// The scheduler will still answer the buffered done channel and
 		// account the request; there is just no one left to read it.
@@ -263,12 +388,44 @@ func (s *Server) Classify(ctx context.Context, img []float32) (Result, error) {
 	}
 }
 
-// submit performs admission: reject when draining, shed when the queue
-// is full, otherwise enqueue. The read lock orders the send against
-// Drain's close(queue).
-func (s *Server) submit(img []float32, deadline time.Time) (*request, error) {
+// admissionBudget applies the degrade-before-shed policy to a resolved
+// budget: while the hysteresis latch is engaged (queue depth reached
+// DegradeWatermark and has not fallen back to DegradeLowWatermark), new
+// admissions run one rung below what they asked for. Requests already at
+// the floor keep their budget — there is nowhere left to degrade to, and
+// the queue's hard cap still sheds behind them.
+func (s *Server) admissionBudget(budget int) (int, bool) {
+	f := s.cfg.Family
+	if f == nil {
+		return budget, false
+	}
+	depth := s.met.queueDepth.Value()
+	if s.degrading.Load() {
+		if depth <= int64(s.cfg.DegradeLowWatermark) {
+			s.degrading.Store(false)
+			s.met.degradeActive.Set(0)
+		}
+	} else if depth >= int64(s.cfg.DegradeWatermark) {
+		s.degrading.Store(true)
+		s.met.degradeActive.Set(1)
+	}
+	if !s.degrading.Load() {
+		return budget, false
+	}
+	lower, ok := f.StepDown(budget)
+	if !ok {
+		return budget, false
+	}
+	return lower, true
+}
+
+// submit performs admission: reject when draining, apply the degradation
+// policy, shed when the queue is full, otherwise enqueue. The read lock
+// orders the send against Drain's close(queue).
+func (s *Server) submit(img []float32, deadline time.Time, budget int) (*request, error) {
+	budget, degraded := s.admissionBudget(budget)
 	r := &request{img: img, deadline: deadline, enqueued: time.Now(),
-		done: make(chan response, 1)}
+		budget: budget, degraded: degraded, done: make(chan response, 1)}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
@@ -278,6 +435,9 @@ func (s *Server) submit(img []float32, deadline time.Time) (*request, error) {
 	select {
 	case s.queue <- r:
 		s.met.queueDepth.Add(1)
+		if degraded {
+			s.met.degraded.Inc()
+		}
 		return r, nil
 	default:
 		s.met.shed.Inc()
@@ -286,29 +446,58 @@ func (s *Server) submit(img []float32, deadline time.Time) (*request, error) {
 }
 
 // run is the scheduler loop: block for the first request, then collect
-// until the batch is full or MaxDelay lapses, dispatch, repeat. A closed
-// queue (Drain) still yields its buffered requests before ok goes false,
-// so the flush is part of the same loop.
+// until the batch is full or MaxDelay lapses, dispatch, repeat. Batches
+// are budget-homogeneous: requests at a different budget than the batch
+// under construction are parked on the carry list and seed the next
+// rounds, so a mixed stream costs extra dispatches, never a mixed batch.
+// A closed queue (Drain) still yields its buffered requests before ok
+// goes false, and the outer loop keeps dispatching until the carry list
+// is empty too, so the flush is part of the same loop.
 func (s *Server) run() {
 	defer close(s.schedDone)
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
+	var carry []*request
 	for {
-		//trlint:checked lock-free receive by design: run is the only consumer, and mu only orders sends against close
-		first, ok := <-s.queue
-		if !ok {
-			return
+		var first *request
+		if len(carry) > 0 {
+			first, carry = carry[0], carry[1:]
+		} else {
+			//trlint:checked lock-free receive by design: run is the only consumer, and mu only orders sends against close
+			r, ok := <-s.queue
+			if !ok {
+				return
+			}
+			first = r
 		}
-		s.dispatch(s.collect(first, timer))
+		var batch []*request
+		batch, carry = s.collect(first, carry, timer)
+		s.dispatch(batch)
 	}
 }
 
-// collect grows a batch around its first member: up to MaxBatch
-// requests, or whatever has arrived when the MaxDelay timer fires.
-func (s *Server) collect(first *request, timer *time.Timer) []*request {
-	batch := []*request{first}
+// collect grows a budget-homogeneous batch around its first member: up
+// to MaxBatch same-budget requests, or whatever has arrived when the
+// MaxDelay timer fires. Previously parked requests are adopted first;
+// arrivals at another budget are parked and returned as the new carry
+// list. Parking is bounded by QueueCap — past that, collect stops
+// early so the parked work drains before more piles up.
+func (s *Server) collect(first *request, carry []*request, timer *time.Timer) (batch, parked []*request) {
+	b := first.budget
+	batch = []*request{first}
+	parked = carry[:0]
+	for _, r := range carry {
+		if len(batch) < s.cfg.MaxBatch && r.budget == b {
+			batch = append(batch, r)
+		} else {
+			parked = append(parked, r)
+		}
+	}
+	if len(batch) >= s.cfg.MaxBatch {
+		return batch, parked
+	}
 	timer.Reset(s.cfg.MaxDelay)
 	defer func() {
 		if !timer.Stop() {
@@ -323,14 +512,21 @@ func (s *Server) collect(first *request, timer *time.Timer) []*request {
 		//trlint:checked lock-free receive by design: collect runs on the scheduler goroutine, the sole consumer
 		case r, ok := <-s.queue:
 			if !ok {
-				return batch // draining: flush what we hold
+				return batch, parked // draining: flush what we hold
+			}
+			if r.budget != b {
+				parked = append(parked, r)
+				if len(parked) >= s.cfg.QueueCap {
+					return batch, parked
+				}
+				continue
 			}
 			batch = append(batch, r)
 		case <-timer.C:
-			return batch
+			return batch, parked
 		}
 	}
-	return batch
+	return batch, parked
 }
 
 // dispatch answers every request in the batch exactly once. Requests
@@ -367,7 +563,7 @@ func (s *Server) dispatch(batch []*request) {
 		images[i] = r.img
 	}
 	ctx, cancel := context.WithDeadline(context.Background(), latest)
-	preds, err := s.cfg.Plan.InferBatchContext(ctx, images, s.cfg.BatchWorkers)
+	preds, err := s.planFor(live[0].budget).InferBatchContext(ctx, images, s.cfg.BatchWorkers)
 	cancel()
 	finished := time.Now()
 	for i, r := range live {
@@ -388,7 +584,9 @@ func (s *Server) dispatch(batch []*request) {
 			r.done <- response{wait: r.wait, err: context.DeadlineExceeded}
 		default:
 			s.met.ok.Inc()
-			r.done <- response{class: preds[i], batch: len(live), wait: r.wait}
+			s.met.servedFor(r.budget).Inc()
+			r.done <- response{class: preds[i], batch: len(live), wait: r.wait,
+				budget: r.budget, degraded: r.degraded}
 		}
 	}
 }
@@ -428,11 +626,16 @@ type Stats struct {
 	OK, Shed, Timeout, Errors, Draining int64
 	Batches, BatchImages                int64
 	QueueDepth                          int64
+	// Degraded counts admissions stepped down a rung; BudgetServed maps
+	// each ladder rung to the requests answered ok at it. Both are zero /
+	// nil on a single-plan server.
+	Degraded     int64
+	BudgetServed map[int]int64
 }
 
 // Stats reads the current counter values.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		OK:          s.met.ok.Value(),
 		Shed:        s.met.shed.Value(),
 		Timeout:     s.met.timeout.Value(),
@@ -441,5 +644,13 @@ func (s *Server) Stats() Stats {
 		Batches:     s.met.batches.Value(),
 		BatchImages: s.met.batchImages.Value(),
 		QueueDepth:  s.met.queueDepth.Value(),
+		Degraded:    s.met.degraded.Value(),
 	}
+	if s.met.served != nil {
+		st.BudgetServed = make(map[int]int64, len(s.met.served))
+		for b, c := range s.met.served {
+			st.BudgetServed[b] = c.Value()
+		}
+	}
+	return st
 }

@@ -76,7 +76,7 @@ func TestBatchedServingMatchesSequential(t *testing.T) {
 	reqs := make([]*request, n)
 	deadline := time.Now().Add(5 * time.Second)
 	for i := range reqs {
-		r, err := s.submit(images[i], deadline)
+		r, err := s.submit(images[i], deadline, 0)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -156,11 +156,11 @@ func TestQueueFullSheds(t *testing.T) {
 
 	deadline := time.Now().Add(time.Second)
 	for i := 0; i < 2; i++ {
-		if _, err := s.submit(images[0], deadline); err != nil {
+		if _, err := s.submit(images[0], deadline, 0); err != nil {
 			t.Fatalf("admission %d refused: %v", i, err)
 		}
 	}
-	if _, err := s.submit(images[0], deadline); !errors.Is(err, ErrQueueFull) {
+	if _, err := s.submit(images[0], deadline, 0); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow admission returned %v, want ErrQueueFull", err)
 	}
 
@@ -191,11 +191,11 @@ func TestExpiredInQueueGets504WithoutBatchSlot(t *testing.T) {
 	// the short deadline has certainly lapsed.
 	s := newTestServer(t, func(c *Config) { c.MaxDelay = 300 * time.Millisecond })
 
-	expired, err := s.submit(images[0], time.Now().Add(20*time.Millisecond))
+	expired, err := s.submit(images[0], time.Now().Add(20*time.Millisecond), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	live, err := s.submit(images[1], time.Now().Add(5*time.Second))
+	live, err := s.submit(images[1], time.Now().Add(5*time.Second), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestDrainFlushesQueueThenRejects(t *testing.T) {
 			t.Fatal(err)
 		}
 		want[i] = cls
-		if reqs[i], err = s.submit(images[i], deadline); err != nil {
+		if reqs[i], err = s.submit(images[i], deadline, 0); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
@@ -254,7 +254,7 @@ func TestDrainFlushesQueueThenRejects(t *testing.T) {
 		}
 	}
 
-	if _, err := s.submit(images[0], deadline); !errors.Is(err, ErrDraining) {
+	if _, err := s.submit(images[0], deadline, 0); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-drain admission returned %v, want ErrDraining", err)
 	}
 	body, err := json.Marshal(classifyRequest{Image: images[0]})
