@@ -27,13 +27,19 @@
 #                assert the response echoes the served budget, drain
 #   make serve-bench  selfload run + results/BENCH_serve.json; with the
 #                default budget ladder this runs the strict/degrade A/B
-#                and records the shed-rate contrast
+#                per worker-pool size in the scaling sweep and records
+#                the shed-rate contrast plus the scaling curve
+#   make serve-soak  multi-core soak: sweep the worker pool under
+#                closed-loop load with the per-phase p99 SLO asserted
+#                against the server-side latency histogram; writes a
+#                scratch report (results/BENCH_soak.json, gitignored)
+#                so the committed scaling baseline is never clobbered
 #   make budget-bench  per-budget accuracy/latency curve of the demo
 #                plan family + results/BENCH_budget.json
 
 GO ?= go
 
-.PHONY: tier1 tier1-noasm tier2 tier3 lint lint-json bench benchcmp autotune-check serve-smoke serve-bench budget-bench
+.PHONY: tier1 tier1-noasm tier2 tier3 lint lint-json bench benchcmp autotune-check serve-smoke serve-bench serve-soak budget-bench
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -86,6 +92,14 @@ serve-smoke:
 
 serve-bench:
 	$(GO) run ./cmd/trserve -model mlp -selfload -duration 3s
+
+# The soak holds every phase (strict and degrade, at every pool size up
+# through 4 workers) to a p99 bound read from the server-side latency
+# histogram; a few thousand requests land per phase at the default
+# client count. The scratch output keeps the committed baseline intact.
+serve-soak:
+	$(GO) run ./cmd/trserve -model mlp -selfload -sweep 1,2,4 -duration 2s \
+		-slo-p99 250ms -force -out results/BENCH_soak.json
 
 budget-bench:
 	$(GO) run ./cmd/trbench -bench-budget

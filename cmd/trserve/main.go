@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"slices"
 	"strconv"
 	"strings"
 	"syscall"
@@ -51,7 +52,8 @@ func main() {
 		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max images per dispatched micro-batch")
 		maxDelay    = flag.Duration("max-delay", serve.DefaultMaxDelay, "max wait for a micro-batch to fill")
 		queueCap    = flag.Int("queue-cap", serve.DefaultQueueCap, "admission queue bound; overflow sheds with 429")
-		workers     = flag.Int("batch-workers", 1, "batch-level inference parallelism (<1 = GOMAXPROCS)")
+		batchWork   = flag.Int("batch-workers", 1, "batch-level inference parallelism inside one dispatch (<1 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 1, "replicated batch workers consuming the admission queue (<1 = GOMAXPROCS)")
 		budgets     = flag.String("budgets", "4,8,12", "TR group-budget ladder served as a plan family; \"none\" serves the single demo budget")
 		watermark   = flag.Int("degrade-watermark", 0, "queue depth where admissions degrade one budget rung (0 = queue-cap/2)")
 		lowWater    = flag.Int("degrade-low-watermark", 0, "queue depth where the degradation latch disengages (0 = watermark/2)")
@@ -63,7 +65,10 @@ func main() {
 		clients     = flag.Int("clients", 32, "selfload: closed-loop client goroutines")
 		duration    = flag.Duration("duration", 2*time.Second, "selfload: how long to drive load")
 		loadDeadl   = flag.Duration("load-deadline", 200*time.Millisecond, "selfload: per-request deadline the clients ask for")
+		sweep       = flag.String("sweep", "1,2,4,8", "selfload: worker-pool sizes the scaling sweep measures, one load phase each")
+		sloP99      = flag.Duration("slo-p99", 0, "selfload: per-phase p99 latency SLO asserted against the server-side histogram (0 = record only)")
 		out         = flag.String("out", "results/BENCH_serve.json", "selfload: output path for the serve benchmark report")
+		force       = flag.Bool("force", false, "selfload: overwrite the results file even when its config differs")
 		gitRev      = flag.String("git-rev", report.DefaultGitRev(), "git revision recorded in the selfload report")
 	)
 	flag.Parse()
@@ -73,16 +78,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trserve:", err)
 		os.Exit(1)
 	}
+	sweepList, err := parseSweep(*sweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trserve:", err)
+		os.Exit(1)
+	}
 	if err := run(config{addr: *addr, model: *model, maxBatch: *maxBatch,
-		maxDelay: *maxDelay, queueCap: *queueCap, workers: *workers,
+		maxDelay: *maxDelay, queueCap: *queueCap, batchWorkers: *batchWork,
+		workers: *workers, sweep: sweepList, sloP99: *sloP99,
 		budgets: ladder, watermark: *watermark, lowWatermark: *lowWater,
 		deadline: *deadline, maxDeadline: *maxDeadline, drainWait: *drainWait,
 		smoke: *smoke, selfload: *selfload, clients: *clients,
 		duration: *duration, loadDeadline: *loadDeadl, out: *out,
-		gitRev: *gitRev}); err != nil {
+		force: *force, gitRev: *gitRev}); err != nil {
 		fmt.Fprintln(os.Stderr, "trserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseSweep reads the -sweep worker-pool list: positive integers,
+// ascending after sort, deduplicated.
+func parseSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -sweep entry %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, w)
+	}
+	slices.Sort(out)
+	return slices.Compact(out), nil
 }
 
 // parseBudgets reads the -budgets ladder; "none" (or empty) selects the
@@ -106,13 +132,15 @@ func parseBudgets(s string) ([]int, error) {
 type config struct {
 	addr, model             string
 	maxBatch, queueCap      int
-	workers, clients        int
-	budgets                 []int
+	batchWorkers, workers   int
+	clients                 int
+	budgets, sweep          []int
 	watermark, lowWatermark int
 	maxDelay, deadline      time.Duration
 	maxDeadline, drainWait  time.Duration
 	duration, loadDeadline  time.Duration
-	smoke, selfload         bool
+	sloP99                  time.Duration
+	smoke, selfload, force  bool
 	out, gitRev             string
 }
 
@@ -141,32 +169,40 @@ func run(cfg config) error {
 		}
 		plan, images = p, imgs
 	}
-	if cfg.selfload && fam != nil {
-		// The family selfload builds its own strict/degrade phase
-		// servers so the shed-rate contrast is measured, not asserted.
-		return runSelfloadFamily(fam, images, cfg)
+	if cfg.selfload {
+		// The selfload harness builds its own per-phase servers (one per
+		// sweep point; the family path additionally runs the strict/degrade
+		// A/B per point) so every phase's counters start from zero.
+		if fam != nil {
+			return runSelfloadFamily(fam, images, cfg)
+		}
+		return runSelfload(plan, images, cfg)
+	}
+	// serve.Config reads Workers 0 as "one worker"; the CLI documents
+	// "<1 = GOMAXPROCS", so translate before wiring.
+	workers := cfg.workers
+	if workers < 1 {
+		workers = -1
 	}
 	s, err := serve.New(serve.Config{Plan: plan, Family: fam,
 		MaxBatch: cfg.maxBatch, MaxDelay: cfg.maxDelay, QueueCap: cfg.queueCap,
-		BatchWorkers: cfg.workers, DefaultDeadline: cfg.deadline,
-		MaxDeadline: cfg.maxDeadline, DegradeWatermark: cfg.watermark,
-		DegradeLowWatermark: cfg.lowWatermark, Obs: reg})
+		BatchWorkers: cfg.batchWorkers, Workers: workers,
+		DefaultDeadline: cfg.deadline, MaxDeadline: cfg.maxDeadline,
+		DegradeWatermark: cfg.watermark, DegradeLowWatermark: cfg.lowWatermark,
+		Obs: reg})
 	if err != nil {
 		return err
 	}
 
-	switch {
-	case cfg.smoke:
+	if cfg.smoke {
 		return runSmoke(s, images)
-	case cfg.selfload:
-		return runSelfload(s, images, cfg)
 	}
 
 	if err := s.Start(cfg.addr); err != nil {
 		return err
 	}
-	fmt.Printf("trserve: serving %s on http://%s (max_batch=%d max_delay=%v queue_cap=%d budgets=%v)\n",
-		cfg.model, s.Addr, cfg.maxBatch, cfg.maxDelay, cfg.queueCap, cfg.budgets)
+	fmt.Printf("trserve: serving %s on http://%s (workers=%d max_batch=%d max_delay=%v queue_cap=%d budgets=%v)\n",
+		cfg.model, s.Addr, workers, cfg.maxBatch, cfg.maxDelay, cfg.queueCap, cfg.budgets)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

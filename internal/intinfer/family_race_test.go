@@ -1,0 +1,71 @@
+package intinfer
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestFamilyConcurrentRungsBitIdentical audits the family for
+// multi-worker serving: goroutines run InferBatchContext on different
+// rungs of one family — aliased packed weight panels, one shared
+// scratch-arena pool — at the same time. The run must be -race clean
+// and every prediction bit-identical to the same batches executed
+// serially, over several rounds so arena buffers recycle across rungs.
+func TestFamilyConcurrentRungsBitIdentical(t *testing.T) {
+	m, train, test := trainedMLP(t)
+	f, err := BuildFamily(m, Options{Calibration: train.Images[:32],
+		GroupSize: 8, Budgets: []int{4, 8, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := f.Budgets()
+	images := test.Images[:24]
+
+	// Serial reference, one pass per rung.
+	serial := make(map[int][]int)
+	for _, b := range budgets {
+		preds, err := f.InferBatchContext(context.Background(), images, 1, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[b] = preds
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(budgets)*rounds)
+	got := make([][][]int, rounds)
+	for r := range got {
+		got[r] = make([][]int, len(budgets))
+	}
+	for r := 0; r < rounds; r++ {
+		for bi, b := range budgets {
+			wg.Add(1)
+			go func(r, bi, b int) {
+				defer wg.Done()
+				preds, err := f.InferBatchContext(context.Background(), images, 2, b)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				got[r][bi] = preds
+			}(r, bi, b)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		for bi, b := range budgets {
+			for i, p := range got[r][bi] {
+				if p != serial[b][i] {
+					t.Errorf("round %d budget %d image %d: concurrent %d != serial %d",
+						r, b, i, p, serial[b][i])
+				}
+			}
+		}
+	}
+}

@@ -147,6 +147,52 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Load()
 }
 
+// Quantile returns an upper bound on the q-quantile (q in [0, 1]) of
+// the observed distribution: the upper edge of the first bin whose
+// cumulative count reaches q·Count. A fixed-bin histogram cannot
+// recover exact sample values, so the bound errs conservatively — the
+// true quantile is at most the returned value, making it the right
+// primitive for SLO assertions ("p99 ≤ bound" certified by "bin bound ≤
+// bound"). Conventions at the edges: observations below the range
+// resolve to the histogram min (the tightest upper bound the histogram
+// can state for them), a quantile landing in the above-range overflow
+// returns +Inf (the histogram cannot bound it — widen the range), an
+// empty histogram returns NaN, and q outside [0, 1] is clamped. A nil
+// Histogram returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	// Rank of the target sample, 1-based: the smallest r with r >= q·n,
+	// at least 1 so q=0 still names a real observation.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := h.below.Load()
+	if cum >= rank {
+		return h.min
+	}
+	width := (h.max - h.min) / float64(len(h.counts))
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.min + float64(i+1)*width
+		}
+	}
+	return math.Inf(1)
+}
+
 // Snapshot freezes the histogram into a stats.Histogram for rendering
 // and offline analysis. Bins are copied; the result does not track
 // later observations. Concurrent observers may land between bin reads,

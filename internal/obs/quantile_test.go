@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistogramQuantile pins the upper-bound-of-bin convention on a
+// fully known distribution: 100 observations 0..99 into ten bins of
+// width 10 over [0, 100).
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},    // rank 1 lands in the first bin; its upper edge is 10
+		{0.05, 10}, // rank 5, still the first bin
+		{0.10, 10}, // rank 10 is the first bin's last sample
+		{0.50, 50}, // rank 50 = observation 49, bin [40,50)
+		{0.99, 100},
+		{1, 100},
+		{-3, 10},   // clamped to 0
+		{2.5, 100}, // clamped to 1
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantileEdges covers the out-of-range conventions: a
+// quantile resolved by below-range mass answers the histogram min, one
+// landing in the overflow answers +Inf, and an empty or nil histogram
+// answers NaN.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram(10, 20, 5)
+	for i := 0; i < 9; i++ {
+		h.Observe(5) // below range
+	}
+	h.Observe(100) // above range
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("below-range-dominated Quantile(0.5) = %g, want the histogram min 10", got)
+	}
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("overflow Quantile(1) = %g, want +Inf", got)
+	}
+
+	empty := newHistogram(0, 1, 4)
+	if got := empty.Quantile(0.99); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %g, want NaN", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); !math.IsNaN(got) {
+		t.Errorf("nil Quantile = %g, want NaN", got)
+	}
+}
+
+// TestHistogramQuantileBoundsExact is the property the SLO assertion
+// leans on: for random samples the histogram quantile is always an
+// upper bound on the exact nearest-rank quantile, and never looser
+// than one bin width.
+func TestHistogramQuantileBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, bins = 5000, 128
+	h := newHistogram(0, 1, bins)
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = rng.Float64()
+		h.Observe(samples[i])
+	}
+	sort.Float64s(samples)
+	width := 1.0 / bins
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q * n))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := samples[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%g) = %g underestimates the exact quantile %g", q, got, exact)
+		}
+		if got-exact > width+1e-12 {
+			t.Errorf("Quantile(%g) = %g is looser than one bin above the exact %g", q, got, exact)
+		}
+	}
+}

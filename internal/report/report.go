@@ -80,9 +80,16 @@ type ServeConfig struct {
 	MaxDelayUs   int64  `json:"max_delay_us"`
 	QueueCap     int    `json:"queue_cap"`
 	BatchWorkers int    `json:"batch_workers"`
-	Clients      int    `json:"clients"`
-	DurationMs   int64  `json:"duration_ms"`
-	DeadlineMs   int64  `json:"deadline_ms"`
+	// Workers is the scheduler replica count the headline Results ran
+	// at; WorkersSweep lists every pool size the scaling sweep measured
+	// (each one a ScalingPoint). SLOP99Ms, when non-zero, is the p99
+	// latency bound every phase of the run was held to.
+	Workers      int   `json:"workers,omitempty"`
+	WorkersSweep []int `json:"workers_sweep,omitempty"`
+	SLOP99Ms     int64 `json:"slo_p99_ms,omitempty"`
+	Clients      int   `json:"clients"`
+	DurationMs   int64 `json:"duration_ms"`
+	DeadlineMs   int64 `json:"deadline_ms"`
 	// Budgets is the TR group-budget ladder a family server ran
 	// (empty: single-plan server); DegradeWatermark is the queue depth
 	// where admissions start stepping down a rung.
@@ -105,6 +112,11 @@ type ServeResults struct {
 	P90Us      int64   `json:"p90_us"`
 	P99Us      int64   `json:"p99_us"`
 	MaxUs      int64   `json:"max_us"`
+	// ServerP99Us is the server-side handler-latency p99 read from the
+	// trq_serve_request_latency_seconds histogram (upper-bound-of-bin
+	// convention), the number SLO assertions are made against; -1
+	// records that the tail escaped the histogram range.
+	ServerP99Us int64 `json:"server_p99_us,omitempty"`
 	// Scheduler-side, from the obs registry.
 	Batches       int64   `json:"batches"`
 	BatchImages   int64   `json:"batch_images"`
@@ -127,6 +139,23 @@ type ServeReport struct {
 	Platform
 	Config         ServeConfig   `json:"config"`
 	Results        ServeResults  `json:"results"`
+	StrictBaseline *ServeResults `json:"strict_baseline,omitempty"`
+	// Scaling is the worker-pool throughput curve: one point per pool
+	// size in Config.WorkersSweep, measured under the same offered
+	// load. Results/StrictBaseline duplicate the widest point so the
+	// headline fields keep their one-phase meaning.
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
+}
+
+// ScalingPoint is one pool size of a worker-scaling sweep: the measured
+// phase(s) at that width and the throughput ratio against the 1-worker
+// point of the same sweep (0 when the sweep had no 1-worker baseline).
+type ScalingPoint struct {
+	Workers int          `json:"workers"`
+	Speedup float64      `json:"speedup_vs_1,omitempty"`
+	Results ServeResults `json:"results"`
+	// StrictBaseline is the shed-only control at this pool size, present
+	// when the sweep ran the family strict/degrade A/B per point.
 	StrictBaseline *ServeResults `json:"strict_baseline,omitempty"`
 }
 

@@ -229,7 +229,7 @@ func TestDegradeHysteresisHoldsBetweenWatermarks(t *testing.T) {
 	}
 	// Hand-drain two requests via dispatch to bring depth to 3 — inside
 	// the hysteresis band.
-	s.dispatch(reqs[:2])
+	s.dispatch(0, reqs[:2])
 	r, err := s.submit(images[0], deadline, 12)
 	if err != nil {
 		t.Fatal(err)
@@ -237,7 +237,7 @@ func TestDegradeHysteresisHoldsBetweenWatermarks(t *testing.T) {
 	if !r.degraded || r.budget != 8 {
 		t.Errorf("in-band admission not held degraded: budget %d degraded %v", r.budget, r.degraded)
 	}
-	s.dispatch(append(reqs[2:], r))
+	s.dispatch(0, append(reqs[2:], r))
 	for _, q := range append(reqs, r) {
 		<-q.done
 	}

@@ -1,16 +1,21 @@
 // Package serve is the micro-batching inference server over a compiled
 // intinfer.Plan. Requests are admitted into a bounded queue (full queue
-// = load shed, never unbounded memory), a single scheduler goroutine
-// collects them into micro-batches — up to MaxBatch images, or whatever
-// has arrived when MaxDelay lapses — and dispatches each batch through
-// the plan's context-aware batch path, so the amortized term-encoding
-// and arena reuse the batch runtime was built for also pays off at
-// serving time. Per-request deadlines are enforced at every stage: a
-// request that expires while queued is answered 504 without ever
-// occupying a batch slot, and the dispatched batch runs under the
-// latest live deadline so a stalled layer cannot hold the scheduler
-// hostage. Drain stops admission, flushes the queue, and then shuts the
-// HTTP listener down gracefully.
+// = load shed, never unbounded memory), a pool of Workers replicated
+// batch workers consumes it — each worker collects micro-batches of up
+// to MaxBatch images, or whatever has arrived when MaxDelay lapses —
+// and dispatches each batch through the plan's context-aware batch
+// path, so the amortized term-encoding and arena reuse the batch
+// runtime was built for also pays off at serving time. Workers are
+// fully independent replicas: each owns its carry list and delay timer
+// and draws its scratch from the plan's per-P-sharded sync.Pool, so W
+// workers keep W int8 GEMM lanes busy on a GOMAXPROCS ≥ W box without
+// sharing any mutable state beyond the admission queue itself.
+// Per-request deadlines are enforced at every stage: a request that
+// expires while queued is answered 504 without ever occupying a batch
+// slot, and a dispatched batch runs under the latest live deadline so a
+// stalled layer cannot hold its worker hostage. Drain stops admission,
+// flushes the queue through the workers, joins them all, and then shuts
+// the HTTP listener down gracefully.
 //
 // With a Config.Family instead of a single Plan the server becomes the
 // paper's run-time accuracy dial: each request carries an effective TR
@@ -19,7 +24,14 @@
 // runs one homogeneous plan, and a degrade-before-shed policy steps new
 // admissions down to the next-lower rung once queue depth crosses
 // DegradeWatermark — trading accuracy for admission instead of
-// answering 429 — with hysteresis so the dial doesn't flap.
+// answering 429 — with hysteresis so the dial doesn't flap. With more
+// than one worker the depth the watermark compares against is a
+// cross-worker quantity: requests admitted but not yet dispatched
+// (queued, parked on a carry list, or inside a collect window) plus
+// the images currently executing inside every worker's in-flight
+// batch. Counting in-flight work matters precisely when it used to be
+// invisible — W busy workers are up to W·MaxBatch images of committed
+// latency the queue alone no longer shows.
 package serve
 
 import (
@@ -28,6 +40,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -88,6 +101,12 @@ type Config struct {
 	// BatchWorkers is the batch-level parallelism handed to
 	// InferBatchContext (1 = serial single-arena path, <1 = GOMAXPROCS).
 	BatchWorkers int
+	// Workers is the number of replicated batch workers consuming the
+	// admission queue; each collects and executes micro-batches
+	// independently, so serving throughput scales with cores. 0 keeps
+	// the single-worker scheduler (the deterministic PR 5 behaviour);
+	// negative means GOMAXPROCS.
+	Workers int
 
 	// DefaultDeadline applies to requests that carry none; MaxDeadline
 	// clamps what a client may ask for.
@@ -139,6 +158,13 @@ type metrics struct {
 	queueDepth                          *obs.Gauge
 	degradeActive                       *obs.Gauge
 	batchSize, queueWait, latency       *obs.Histogram
+
+	// Worker-identity instruments, indexed by worker id: a 0/1 busy
+	// gauge and a per-worker batch counter, plus the aggregate count of
+	// batches currently executing across the pool.
+	workerBusy      []*obs.Gauge
+	workerBatches   []*obs.Counter
+	inflightBatches *obs.Gauge
 }
 
 // servedFor returns the per-rung served counter; nil (a no-op sink) on
@@ -169,6 +195,17 @@ func newMetrics(r *obs.Registry, cfg Config) metrics {
 		queueWait: r.Histogram("trq_serve_queue_wait_seconds", 0, cfg.MaxDeadline.Seconds(), 128),
 		latency:   r.Histogram("trq_serve_request_latency_seconds", 0, 0.25, 50),
 	}
+	r.Help("trq_serve_worker_busy", "1 while the labelled batch worker is executing a batch")
+	r.Help("trq_serve_worker_batches_total", "micro-batches dispatched by the labelled batch worker")
+	r.Help("trq_serve_inflight_batches", "micro-batches currently executing across the worker pool")
+	m.inflightBatches = r.Gauge("trq_serve_inflight_batches")
+	m.workerBusy = make([]*obs.Gauge, cfg.Workers)
+	m.workerBatches = make([]*obs.Counter, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		id := strconv.Itoa(w)
+		m.workerBusy[w] = r.Gauge("trq_serve_worker_busy", "worker", id)
+		m.workerBatches[w] = r.Counter("trq_serve_worker_batches_total", "worker", id)
+	}
 	if cfg.Family != nil {
 		r.Help("trq_serve_budget_degraded_total", "admissions stepped down one budget rung by the degradation policy")
 		r.Help("trq_serve_budget_degrade_active", "1 while the degradation policy is engaged (queue depth crossed the watermark)")
@@ -196,11 +233,20 @@ type Server struct {
 	defaultBudget int // resolved rung for hint-less requests (0: single-plan)
 
 	// degrading is the degradation policy's hysteresis latch: set when
-	// queue depth reaches DegradeWatermark, cleared when it falls back to
-	// DegradeLowWatermark. Plain atomic — concurrent admissions may race
-	// the flip by one request, which only blurs the engage edge, never
-	// correctness.
+	// total outstanding depth reaches DegradeWatermark, cleared when it
+	// falls back to DegradeLowWatermark. Plain atomic — concurrent
+	// admissions may race the flip by one request, which only blurs the
+	// engage edge, never correctness.
 	degrading atomic.Bool
+
+	// inflight counts images currently executing inside dispatched
+	// batches, across all workers. Together with the queue-depth gauge
+	// (admitted but not yet dispatched — queued, parked, or collecting)
+	// it forms the outstanding depth the degradation watermark reads:
+	// both halves are maintained on every dispatch path, including the
+	// expired-in-queue and batch-error ones, so the sum is a coherent
+	// cross-worker load signal, not a per-goroutine approximation.
+	inflight atomic.Int64
 
 	// mu guards draining and orders it against queue sends: submit
 	// holds the read side, so once Drain flips the flag under the
@@ -237,6 +283,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	} else if cfg.Workers < 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.DefaultDeadline <= 0 {
 		cfg.DefaultDeadline = DefaultDeadline
@@ -300,11 +351,24 @@ func (s *Server) planFor(budget int) *intinfer.Plan {
 	return p
 }
 
-// startScheduler launches the batching loop exactly once.
+// startScheduler launches the worker pool exactly once. schedDone
+// closes only when every worker has exited, so Drain joins the whole
+// pool, not a single loop.
 func (s *Server) startScheduler() {
 	s.schedOnce.Do(func() {
 		s.schedStarted.Store(true)
-		go s.run()
+		var wg sync.WaitGroup
+		for w := 0; w < s.cfg.Workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				s.worker(id)
+			}(w)
+		}
+		go func() {
+			wg.Wait()
+			close(s.schedDone)
+		}()
 	})
 }
 
@@ -389,17 +453,22 @@ func (s *Server) ClassifyBudget(ctx context.Context, img []float32, budget int) 
 }
 
 // admissionBudget applies the degrade-before-shed policy to a resolved
-// budget: while the hysteresis latch is engaged (queue depth reached
-// DegradeWatermark and has not fallen back to DegradeLowWatermark), new
-// admissions run one rung below what they asked for. Requests already at
-// the floor keep their budget — there is nowhere left to degrade to, and
-// the queue's hard cap still sheds behind them.
+// budget: while the hysteresis latch is engaged (outstanding depth
+// reached DegradeWatermark and has not fallen back to
+// DegradeLowWatermark), new admissions run one rung below what they
+// asked for. The depth is the cross-worker total — requests admitted
+// but not yet dispatched plus images executing inside every worker's
+// in-flight batch — so W busy workers exert the same degradation
+// pressure whether their load is sitting in the queue or already on a
+// GEMM lane. Requests already at the floor keep their budget — there is
+// nowhere left to degrade to, and the queue's hard cap still sheds
+// behind them.
 func (s *Server) admissionBudget(budget int) (int, bool) {
 	f := s.cfg.Family
 	if f == nil {
 		return budget, false
 	}
-	depth := s.met.queueDepth.Value()
+	depth := s.met.queueDepth.Value() + s.inflight.Load()
 	if s.degrading.Load() {
 		if depth <= int64(s.cfg.DegradeLowWatermark) {
 			s.degrading.Store(false)
@@ -445,16 +514,20 @@ func (s *Server) submit(img []float32, deadline time.Time, budget int) (*request
 	}
 }
 
-// run is the scheduler loop: block for the first request, then collect
-// until the batch is full or MaxDelay lapses, dispatch, repeat. Batches
-// are budget-homogeneous: requests at a different budget than the batch
-// under construction are parked on the carry list and seed the next
-// rounds, so a mixed stream costs extra dispatches, never a mixed batch.
-// A closed queue (Drain) still yields its buffered requests before ok
-// goes false, and the outer loop keeps dispatching until the carry list
-// is empty too, so the flush is part of the same loop.
-func (s *Server) run() {
-	defer close(s.schedDone)
+// worker is one replica of the scheduler loop: block for the first
+// request, collect until the batch is full or MaxDelay lapses,
+// dispatch, repeat. Batches are budget-homogeneous: requests at a
+// different budget than the batch under construction are parked on the
+// worker's own carry list and seed its next rounds, so a mixed stream
+// costs extra dispatches, never a mixed batch. Workers share nothing
+// but the queue channel itself (an MPMC-safe receive) — carry list and
+// delay timer are worker-local, and each dispatch draws scratch from
+// the plan's sync.Pool, which shards per P. A closed queue (Drain)
+// still yields its buffered requests before ok goes false — the
+// runtime distributes them across however many workers are receiving —
+// and the outer loop keeps dispatching until the carry list is empty
+// too, so the flush is part of the same loop on every replica.
+func (s *Server) worker(id int) {
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -465,7 +538,7 @@ func (s *Server) run() {
 		if len(carry) > 0 {
 			first, carry = carry[0], carry[1:]
 		} else {
-			//trlint:checked lock-free receive by design: run is the only consumer, and mu only orders sends against close
+			//trlint:checked lock-free receive by design: workers are the only consumers (channel receives are MPMC-safe), and mu only orders sends against close
 			r, ok := <-s.queue
 			if !ok {
 				return
@@ -474,7 +547,7 @@ func (s *Server) run() {
 		}
 		var batch []*request
 		batch, carry = s.collect(first, carry, timer)
-		s.dispatch(batch)
+		s.dispatch(id, batch)
 	}
 }
 
@@ -509,7 +582,7 @@ func (s *Server) collect(first *request, carry []*request, timer *time.Timer) (b
 	}()
 	for len(batch) < s.cfg.MaxBatch {
 		select {
-		//trlint:checked lock-free receive by design: collect runs on the scheduler goroutine, the sole consumer
+		//trlint:checked lock-free receive by design: collect runs on a worker goroutine; channel receives are MPMC-safe and mu only orders sends against close
 		case r, ok := <-s.queue:
 			if !ok {
 				return batch, parked // draining: flush what we hold
@@ -529,12 +602,15 @@ func (s *Server) collect(first *request, carry []*request, timer *time.Timer) (b
 	return batch, parked
 }
 
-// dispatch answers every request in the batch exactly once. Requests
-// whose deadline lapsed in the queue are answered 504 up front and do
-// not occupy a batch slot; the survivors run under the latest live
-// deadline, and each is re-checked against its own deadline once the
-// batch returns.
-func (s *Server) dispatch(batch []*request) {
+// dispatch answers every request in the batch exactly once on worker
+// id. Requests whose deadline lapsed in the queue are answered 504 up
+// front and do not occupy a batch slot; the survivors run under the
+// latest live deadline, and each is re-checked against its own deadline
+// once the batch returns. While the batch executes, its image count
+// rides the cross-worker in-flight gauge the degradation watermark
+// reads, and the worker's busy gauge is up — both are restored on every
+// exit path, success or error, so the accounting stays balanced.
+func (s *Server) dispatch(id int, batch []*request) {
 	now := time.Now()
 	live := batch[:0]
 	var latest time.Time
@@ -556,15 +632,22 @@ func (s *Server) dispatch(batch []*request) {
 		return
 	}
 	s.met.batches.Inc()
+	s.met.workerBatches[id].Inc()
 	s.met.batchImages.Add(int64(len(live)))
 	s.met.batchSize.Observe(float64(len(live)))
 	images := make([][]float32, len(live))
 	for i, r := range live {
 		images[i] = r.img
 	}
+	s.inflight.Add(int64(len(live)))
+	s.met.workerBusy[id].Set(1)
+	s.met.inflightBatches.Add(1)
 	ctx, cancel := context.WithDeadline(context.Background(), latest)
 	preds, err := s.planFor(live[0].budget).InferBatchContext(ctx, images, s.cfg.BatchWorkers)
 	cancel()
+	s.met.inflightBatches.Add(-1)
+	s.met.workerBusy[id].Set(0)
+	s.inflight.Add(-int64(len(live)))
 	finished := time.Now()
 	for i, r := range live {
 		switch {
@@ -592,9 +675,11 @@ func (s *Server) dispatch(batch []*request) {
 }
 
 // Drain gracefully stops the server: stop admitting (new requests get
-// ErrDraining), flush every queued request through the scheduler, then
-// shut the HTTP listener down, letting in-flight handlers finish. It is
-// idempotent and safe to call concurrently; ctx bounds the whole wait.
+// ErrDraining), flush every queued request through the worker pool and
+// join all workers (schedDone closes only once the last replica has
+// flushed its carry list and exited), then shut the HTTP listener down,
+// letting in-flight handlers finish. It is idempotent and safe to call
+// concurrently; ctx bounds the whole wait.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -626,6 +711,14 @@ type Stats struct {
 	OK, Shed, Timeout, Errors, Draining int64
 	Batches, BatchImages                int64
 	QueueDepth                          int64
+	// InflightImages and InflightBatches are the cross-worker execution
+	// depth (images / batches currently inside InferBatchContext);
+	// WorkerBatches is the per-worker dispatch count, indexed by worker
+	// id; WorkersBusy is how many workers are mid-batch right now.
+	InflightImages  int64
+	InflightBatches int64
+	WorkersBusy     int64
+	WorkerBatches   []int64
 	// Degraded counts admissions stepped down a rung; BudgetServed maps
 	// each ladder rung to the requests answered ok at it. Both are zero /
 	// nil on a single-plan server.
@@ -645,6 +738,16 @@ func (s *Server) Stats() Stats {
 		BatchImages: s.met.batchImages.Value(),
 		QueueDepth:  s.met.queueDepth.Value(),
 		Degraded:    s.met.degraded.Value(),
+
+		InflightImages:  s.inflight.Load(),
+		InflightBatches: s.met.inflightBatches.Value(),
+	}
+	st.WorkerBatches = make([]int64, len(s.met.workerBatches))
+	for w, c := range s.met.workerBatches {
+		st.WorkerBatches[w] = c.Value()
+	}
+	for _, g := range s.met.workerBusy {
+		st.WorkersBusy += g.Value()
 	}
 	if s.met.served != nil {
 		st.BudgetServed = make(map[int]int64, len(s.met.served))
