@@ -24,7 +24,10 @@
 #                ephemeral port, classify one image over HTTP, scrape
 #                /metrics for the trq_serve_* families, then issue one
 #                degraded-budget request (the lowest ladder rung) and
-#                assert the response echoes the served budget, drain
+#                assert the response echoes the served budget, hot-swap
+#                the model through POST /v1/reload (version bump on the
+#                boot artifact, classify again on the swapped model),
+#                drain
 #   make serve-bench  selfload run + results/BENCH_serve.json; with the
 #                default budget ladder this runs the strict/degrade A/B
 #                per worker-pool size in the scaling sweep and records
@@ -36,10 +39,14 @@
 #                so the committed scaling baseline is never clobbered
 #   make budget-bench  per-budget accuracy/latency curve of the demo
 #                plan family + results/BENCH_budget.json
+#   make load-bench  model cold-start benchmark: gob snapshot vs .trq
+#                compressed artifact (on-disk bytes, load time, plan
+#                build) + results/BENCH_load.json; fails unless the
+#                artifact is at least 2x smaller than gob
 
 GO ?= go
 
-.PHONY: tier1 tier1-noasm tier2 tier3 lint lint-json bench benchcmp autotune-check serve-smoke serve-bench serve-soak budget-bench
+.PHONY: tier1 tier1-noasm tier2 tier3 lint lint-json bench benchcmp autotune-check serve-smoke serve-bench serve-soak budget-bench load-bench
 
 tier1:
 	$(GO) build ./... && $(GO) test ./...
@@ -103,3 +110,6 @@ serve-soak:
 
 budget-bench:
 	$(GO) run ./cmd/trbench -bench-budget
+
+load-bench:
+	$(GO) run ./cmd/trbench -bench-load

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/demoplan"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// runLoadBench measures the model-artifact cold-start path and writes
+// results/BENCH_load.json: each demo model is trained once, serialized
+// both as a gob snapshot and as a .trq compressed artifact into a temp
+// dir, and the on-disk footprints, deserialize times (through the same
+// sniffing loader the binaries use), and the follow-on plan-build time
+// are recorded. After the numbers are on disk the artifact is held to
+// its reason for existing: at least a 2x on-disk win over gob.
+func runLoadBench(outPath, gitRev string, reg *obs.Registry) error {
+	dir, err := os.MkdirTemp("", "trbench-load-")
+	if err != nil {
+		return err
+	}
+	//trlint:checked temp-dir cleanup: best-effort removal, nothing to recover
+	defer os.RemoveAll(dir)
+
+	rep := report.LoadReport{
+		Platform:    report.NewPlatform(gitRev),
+		GroupSize:   demoplan.QuantGroupSize,
+		GroupBudget: demoplan.QuantGroupBudget,
+		WeightBits:  8,
+	}
+	for _, name := range []string{"mlp", "cnn"} {
+		p, err := measureLoad(name, dir, reg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Points = append(rep.Points, p)
+	}
+
+	if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %10s %10s %10s %7s %12s %12s %14s\n",
+		"model", "params", "gob B", "trq B", "ratio", "gob load", "trq load", "plan build")
+	for _, p := range rep.Points {
+		fmt.Printf("%-6s %10d %10d %10d %6.2fx %10dus %10dus %12dus\n",
+			p.Model, p.ParamValues, p.GobBytes, p.TrqBytes, p.Ratio,
+			p.GobLoadNs/1e3, p.TrqLoadNs/1e3, p.PlanBuildNs/1e3)
+	}
+	fmt.Println("wrote", outPath)
+
+	for _, p := range rep.Points {
+		if p.Ratio < 2 {
+			return fmt.Errorf("load gate: the %s .trq artifact is only %.2fx smaller than gob (want >= 2x)",
+				p.Model, p.Ratio)
+		}
+	}
+	return nil
+}
+
+func measureLoad(name, dir string, reg *obs.Registry) (report.LoadPoint, error) {
+	m, hidden, _, err := demoplan.ModelByName(name)
+	if err != nil {
+		return report.LoadPoint{}, err
+	}
+	gobPath := filepath.Join(dir, name+".gob")
+	trqPath := filepath.Join(dir, name+".trq")
+	if err := models.SaveFile(m, hidden, gobPath); err != nil {
+		return report.LoadPoint{}, err
+	}
+	if err := artifact.WriteModelFile(trqPath, m, hidden, artifact.WriteOptions{
+		GroupSize:   demoplan.QuantGroupSize,
+		GroupBudget: demoplan.QuantGroupBudget,
+		Version:     "bench",
+	}); err != nil {
+		return report.LoadPoint{}, err
+	}
+
+	gobStat, err := os.Stat(gobPath)
+	if err != nil {
+		return report.LoadPoint{}, err
+	}
+	trqStat, err := os.Stat(trqPath)
+	if err != nil {
+		return report.LoadPoint{}, err
+	}
+
+	gobNs, err := timeLoad(gobPath)
+	if err != nil {
+		return report.LoadPoint{}, err
+	}
+	trqNs, err := timeLoad(trqPath)
+	if err != nil {
+		return report.LoadPoint{}, err
+	}
+
+	// One representative plan build on the loaded model — the step that
+	// follows a cold load on the way to serving traffic.
+	lm, info, err := artifact.LoadModelFile(trqPath)
+	if err != nil {
+		return report.LoadPoint{}, err
+	}
+	start := time.Now()
+	if _, err := demoplan.PlanFromModel(lm, reg); err != nil {
+		return report.LoadPoint{}, err
+	}
+	buildNs := time.Since(start).Nanoseconds()
+
+	values := 0
+	for _, p := range info.Params {
+		values += p.Len
+	}
+	return report.LoadPoint{
+		Model:       name,
+		ParamValues: values,
+		GobBytes:    gobStat.Size(),
+		TrqBytes:    trqStat.Size(),
+		Ratio:       float64(gobStat.Size()) / float64(trqStat.Size()),
+		GobLoadNs:   gobNs,
+		TrqLoadNs:   trqNs,
+		PlanBuildNs: buildNs,
+	}, nil
+}
+
+// timeLoad benchmarks a full file load (read, validate, reconstruct the
+// model) through the same format-sniffing entry point the binaries use.
+func timeLoad(path string) (int64, error) {
+	var loadErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := artifact.LoadModelFile(path); err != nil {
+				loadErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if loadErr != nil {
+		return 0, loadErr
+	}
+	return res.NsPerOp(), nil
+}

@@ -14,6 +14,10 @@
 //	trbench -bench-budget   # measure the demo plan family's per-budget
 //	                        # accuracy/latency curve, write
 //	                        # results/BENCH_budget.json
+//	trbench -bench-load     # measure model cold-start load: gob snapshot
+//	                        # vs .trq compressed artifact (size + load +
+//	                        # plan-build time), write
+//	                        # results/BENCH_load.json
 //	trbench -compare OLD.json
 //	                        # diff ns_per_image against a baseline report
 //	                        # (freshly measured with -bench, otherwise the
@@ -46,6 +50,8 @@ func main() {
 	benchBudget := flag.Bool("bench-budget", false, "measure the demo plan family's per-budget accuracy/latency curve and write results/BENCH_budget.json")
 	budgetModel := flag.String("budget-model", "mlp", "demo model family for -bench-budget: mlp or cnn")
 	budgetOut := flag.String("budget-out", "results/BENCH_budget.json", "output path for -bench-budget")
+	benchLoad := flag.Bool("bench-load", false, "benchmark model cold-start load (gob snapshot vs .trq artifact) and write results/BENCH_load.json")
+	loadOut := flag.String("load-out", "results/BENCH_load.json", "output path for -bench-load")
 	compare := flag.String("compare", "", "baseline bench report to diff ns_per_image against; exits non-zero on a >10% regression (with -bench: diffs the fresh run, alone: diffs the -bench-out file)")
 	force := flag.Bool("force", false, "overwrite the -bench results file even when its config differs")
 	gitRev := flag.String("git-rev", report.DefaultGitRev(), "git revision recorded in the bench report")
@@ -88,6 +94,14 @@ func main() {
 
 	if *benchBudget {
 		if err := runBudgetBench(*budgetModel, *budgetOut, *gitRev, obs.New()); err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchLoad {
+		if err := runLoadBench(*loadOut, *gitRev, obs.New()); err != nil {
 			fmt.Fprintln(os.Stderr, "trbench:", err)
 			os.Exit(1)
 		}

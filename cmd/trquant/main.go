@@ -11,7 +11,10 @@
 // Alternatively, analyze a layer of a model saved by trtrain:
 //
 //	trquant -model resnet.gob -layer stem
-//	trquant -model resnet.gob -list
+//	trquant -model resnet.trq -list
+//
+// The -model path is sniffed: .trq artifacts load through the
+// compressed container reader, anything else through the gob snapshot.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -41,7 +45,7 @@ func main() {
 	s := flag.Int("s", 3, "data terms kept per value (for the bound report)")
 	enc := flag.String("enc", "hese", "term encoding: binary, booth, hese")
 	inPath := flag.String("in", "", "input JSON file (default stdin)")
-	modelPath := flag.String("model", "", "saved model (gob) to read weights from")
+	modelPath := flag.String("model", "", "saved model (gob or trq, sniffed) to read weights from")
 	layer := flag.String("layer", "", "layer name inside -model")
 	list := flag.Bool("list", false, "list the weight layers of -model and exit")
 	maxRows := flag.Int("maxrows", 4, "max weight rows to report from -model")
@@ -60,7 +64,7 @@ func main() {
 	}
 	var rows [][]float64
 	if *modelPath != "" {
-		m, err := models.LoadFile(*modelPath)
+		m, _, err := artifact.LoadModelFile(*modelPath)
 		if err != nil {
 			fatal(err)
 		}

@@ -14,10 +14,20 @@
 //
 //	POST /v1/classify  {"image":[...], "deadline_ms":50}
 //	                   -> {"class":3, "batch_size":8, "queue_us":812}
-//	GET  /healthz      liveness (503 while draining)
+//	POST /v1/reload    rebuild the model from the boot artifact and
+//	                   hot-swap it in between micro-batches (zero
+//	                   dropped requests); SIGHUP does the same
+//	GET  /healthz      liveness (503 while draining); reports the
+//	                   serving model version
 //	GET  /metrics      Prometheus text: trq_serve_* plus the runtime's
 //	                   trq_intinfer_* / trq_kernel_* families
 //	     /debug/*      expvar + pprof
+//
+// The model comes from -artifact (a .trq compressed artifact or gob
+// snapshot, sniffed); without it the demo model is trained in-process
+// and persisted to a temporary .trq so reloads always have a source.
+// The reload source is pinned at boot — a client can trigger a reload
+// but never choose what gets loaded.
 //
 // Requests the admission queue cannot hold are shed with 429 and a
 // Retry-After hint; requests whose deadline lapses in the queue or
@@ -31,15 +41,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"slices"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/demoplan"
 	"repro/internal/intinfer"
 	"repro/internal/kernels/autotune"
+	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -49,6 +62,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 		model       = flag.String("model", "mlp", "demo model to serve: mlp or cnn")
+		artPath     = flag.String("artifact", "", "serve a saved model (.trq artifact or gob snapshot, sniffed) instead of training the demo model; also the /v1/reload source")
+		swapEvery   = flag.Duration("swap-every", 250*time.Millisecond, "selfload: hot-swap interval of the zero-downtime phase")
 		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max images per dispatched micro-batch")
 		maxDelay    = flag.Duration("max-delay", serve.DefaultMaxDelay, "max wait for a micro-batch to fill")
 		queueCap    = flag.Int("queue-cap", serve.DefaultQueueCap, "admission queue bound; overflow sheds with 429")
@@ -83,14 +98,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trserve:", err)
 		os.Exit(1)
 	}
-	if err := run(config{addr: *addr, model: *model, maxBatch: *maxBatch,
+	if err := run(config{addr: *addr, model: *model, artifact: *artPath,
+		maxBatch: *maxBatch,
 		maxDelay: *maxDelay, queueCap: *queueCap, batchWorkers: *batchWork,
 		workers: *workers, sweep: sweepList, sloP99: *sloP99,
 		budgets: ladder, watermark: *watermark, lowWatermark: *lowWater,
 		deadline: *deadline, maxDeadline: *maxDeadline, drainWait: *drainWait,
 		smoke: *smoke, selfload: *selfload, clients: *clients,
-		duration: *duration, loadDeadline: *loadDeadl, out: *out,
-		force: *force, gitRev: *gitRev}); err != nil {
+		duration: *duration, loadDeadline: *loadDeadl, swapEvery: *swapEvery,
+		out: *out, force: *force, gitRev: *gitRev}); err != nil {
 		fmt.Fprintln(os.Stderr, "trserve:", err)
 		os.Exit(1)
 	}
@@ -131,6 +147,7 @@ func parseBudgets(s string) ([]int, error) {
 
 type config struct {
 	addr, model             string
+	artifact                string
 	maxBatch, queueCap      int
 	batchWorkers, workers   int
 	clients                 int
@@ -139,35 +156,65 @@ type config struct {
 	maxDelay, deadline      time.Duration
 	maxDeadline, drainWait  time.Duration
 	duration, loadDeadline  time.Duration
+	swapEvery               time.Duration
 	sloP99                  time.Duration
 	smoke, selfload, force  bool
 	out, gitRev             string
+
+	// Derived by run()/bootModel, not flags. bootVersion labels the
+	// model the server starts with; reload rebuilds plan/family from the
+	// pinned artifact path (serve.Config.Reload); rewrite persists the
+	// boot model back to that path under a new version label — nil when
+	// the source is a gob snapshot, which carries no version.
+	bootVersion string
+	reload      func(ctx context.Context) (*intinfer.Plan, *intinfer.Family, string, error)
+	rewrite     func(version string) error
 }
 
 func run(cfg config) error {
 	reg := obs.New()
 	autotune.SetObs(reg) // plan build below may tune tiles; count the hits/misses
 
+	m, images, cleanup, err := bootModel(&cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	// The reload source is pinned here, at boot: /v1/reload and SIGHUP
+	// re-read this exact path, never a client-supplied location.
+	artifactPath := cfg.artifact
+	cfg.reload = func(ctx context.Context) (*intinfer.Plan, *intinfer.Family, string, error) {
+		rm, info, err := artifact.LoadModelFile(artifactPath)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		version := ""
+		if info != nil {
+			version = info.Version
+		}
+		if len(cfg.budgets) > 0 {
+			f, err := demoplan.FamilyFromModel(rm, reg, cfg.budgets)
+			return nil, f, version, err
+		}
+		p, err := demoplan.PlanFromModel(rm, reg)
+		return p, nil, version, err
+	}
+
 	var (
-		fam    *intinfer.Family
-		plan   *intinfer.Plan
-		images [][]float32
+		fam  *intinfer.Family
+		plan *intinfer.Plan
 	)
 	if len(cfg.budgets) > 0 {
-		fmt.Printf("trserve: training and compiling the %s demo plan family (budgets %v)...\n",
+		fmt.Printf("trserve: compiling the %s plan family (budgets %v)...\n",
 			cfg.model, cfg.budgets)
-		f, test, err := demoplan.FamilyByName(cfg.model, reg, cfg.budgets)
-		if err != nil {
-			return err
-		}
-		fam, images = f, test.Images
+		fam, err = demoplan.FamilyFromModel(m, reg, cfg.budgets)
 	} else {
-		fmt.Printf("trserve: training and compiling the %s demo plan...\n", cfg.model)
-		p, imgs, err := demoplan.ByName(cfg.model, reg)
-		if err != nil {
-			return err
-		}
-		plan, images = p, imgs
+		fmt.Printf("trserve: compiling the %s plan...\n", cfg.model)
+		plan, err = demoplan.PlanFromModel(m, reg)
+	}
+	if err != nil {
+		return err
 	}
 	if cfg.selfload {
 		// The selfload harness builds its own per-phase servers (one per
@@ -189,13 +236,14 @@ func run(cfg config) error {
 		BatchWorkers: cfg.batchWorkers, Workers: workers,
 		DefaultDeadline: cfg.deadline, MaxDeadline: cfg.maxDeadline,
 		DegradeWatermark: cfg.watermark, DegradeLowWatermark: cfg.lowWatermark,
+		ModelVersion: cfg.bootVersion, Reload: cfg.reload,
 		Obs: reg})
 	if err != nil {
 		return err
 	}
 
 	if cfg.smoke {
-		return runSmoke(s, images)
+		return runSmoke(s, images, cfg)
 	}
 
 	if err := s.Start(cfg.addr); err != nil {
@@ -203,6 +251,22 @@ func run(cfg config) error {
 	}
 	fmt.Printf("trserve: serving %s on http://%s (workers=%d max_batch=%d max_delay=%v queue_cap=%d budgets=%v)\n",
 		cfg.model, s.Addr, workers, cfg.maxBatch, cfg.maxDelay, cfg.queueCap, cfg.budgets)
+
+	// SIGHUP hot-swaps the model from the boot artifact, the classic
+	// "reread your config" contract; SIGTERM/SIGINT drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			version, err := s.Reload(context.Background())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trserve: reload:", err)
+				continue
+			}
+			fmt.Printf("trserve: reloaded model (version %q)\n", version)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -219,4 +283,79 @@ func run(cfg config) error {
 	fmt.Printf("trserve: drained cleanly (%d ok, %d shed, %d timeout, %d batches)\n",
 		st.OK, st.Shed, st.Timeout, st.Batches)
 	return nil
+}
+
+// bootModel produces the raw model trserve serves and guarantees it is
+// backed by an artifact on disk so /v1/reload always has a source:
+// -artifact loads the given file (trq or gob, sniffed), otherwise the
+// demo model is trained in-process and persisted to a temporary .trq
+// first. It must run before compilation — PlanFromModel folds batch
+// norm in place, and the artifact needs the unfolded statistics.
+//
+// It also derives cfg.bootVersion and cfg.rewrite; cfg.rewrite stays
+// nil when the source is a gob snapshot (no version label to bump).
+// The returned cleanup removes the temporary artifact, if any.
+func bootModel(cfg *config) (*models.ImageModel, [][]float32, func(), error) {
+	none := func() {}
+	if cfg.artifact != "" {
+		fmt.Printf("trserve: loading model from %s...\n", cfg.artifact)
+		m, info, err := artifact.LoadModelFile(cfg.artifact)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if info != nil {
+			cfg.bootVersion = info.Version
+			cfg.rewrite = rewriteArtifact(cfg.artifact)
+		}
+		return m, demoplan.TestImages(m), none, nil
+	}
+	fmt.Printf("trserve: training the %s demo model...\n", cfg.model)
+	m, hidden, test, err := demoplan.ModelByName(cfg.model)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dir, err := os.MkdirTemp("", "trserve-")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	path := filepath.Join(dir, cfg.model+".trq")
+	if err := artifact.WriteModelFile(path, m, hidden, artifact.WriteOptions{
+		GroupSize:   demoplan.QuantGroupSize,
+		GroupBudget: demoplan.QuantGroupBudget,
+		Version:     "boot",
+	}); err != nil {
+		//trlint:checked temp-dir cleanup: best-effort removal on the error path
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	cfg.artifact = path
+	cfg.bootVersion = "boot"
+	cfg.rewrite = rewriteArtifact(path)
+	//trlint:checked temp-dir cleanup: best-effort removal, nothing to recover
+	return m, test.Images, func() { os.RemoveAll(dir) }, nil
+}
+
+// rewriteArtifact returns the version-bump closure the hot-swap phases
+// use: round-trip the artifact at path through the reader and writer
+// under a new version label, atomically (write-temp + rename) so a
+// concurrent reload never sees a half-written file.
+func rewriteArtifact(path string) func(version string) error {
+	return func(version string) error {
+		m, info, err := artifact.LoadModelFile(path)
+		if err != nil {
+			return err
+		}
+		if info == nil {
+			return fmt.Errorf("%s is a gob snapshot; version bumps need a .trq artifact", path)
+		}
+		tmp := path + ".tmp"
+		if err := artifact.WriteModelFile(tmp, m, info.Hidden, artifact.WriteOptions{
+			GroupSize:   info.GroupSize,
+			GroupBudget: info.GroupBudget,
+			Version:     version,
+		}); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
 }

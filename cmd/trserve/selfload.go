@@ -38,9 +38,10 @@ const (
 
 // runSmoke is the CI path (`make serve-smoke`): boot the real listener
 // on an ephemeral port, classify one image over HTTP, scrape /metrics
-// for the serving families, drain, exit. Everything the SIGTERM path
-// exercises except the signal itself.
-func runSmoke(s *serve.Server, images [][]float32) error {
+// for the serving families, hot-swap the model through /v1/reload,
+// classify again, drain, exit. Everything the SIGTERM path exercises
+// except the signal itself.
+func runSmoke(s *serve.Server, images [][]float32, cfg config) error {
 	if err := s.Start("127.0.0.1:0"); err != nil {
 		return err
 	}
@@ -113,6 +114,40 @@ func runSmoke(s *serve.Server, images [][]float32) error {
 			return fmt.Errorf("budget classify echoed budget %d, want %d", bresp.Budget, low)
 		}
 		fmt.Printf("trserve: degraded-budget classify ok (budget=%d class=%d)\n", bresp.Budget, bresp.Class)
+	}
+
+	// Hot-swap: bump the artifact's version label on disk, POST
+	// /v1/reload, and confirm the serving version followed and the
+	// swapped model still classifies.
+	if cfg.rewrite != nil {
+		const want = "smoke-reload"
+		if err := cfg.rewrite(want); err != nil {
+			return fmt.Errorf("artifact rewrite: %w", err)
+		}
+		code, data, err := httpPost(http.DefaultClient, base+"/v1/reload", nil)
+		if err != nil {
+			return fmt.Errorf("reload: %w", err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("reload returned %d: %s", code, data)
+		}
+		var rresp struct {
+			ModelVersion string `json:"model_version"`
+		}
+		if err := json.Unmarshal(data, &rresp); err != nil {
+			return fmt.Errorf("reload response: %w", err)
+		}
+		if rresp.ModelVersion != want {
+			return fmt.Errorf("reload swapped to version %q, want %q", rresp.ModelVersion, want)
+		}
+		code, data, err = httpPost(http.DefaultClient, base+"/v1/classify", body)
+		if err != nil {
+			return fmt.Errorf("classify after reload: %w", err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("classify after reload returned %d: %s", code, data)
+		}
+		fmt.Printf("trserve: hot-swap reload ok (version %s)\n", want)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -274,6 +309,77 @@ func runPhase(name string, mk func(reg *obs.Registry) (*serve.Server, error),
 	return res, nil
 }
 
+// runHotswapPhase is the zero-downtime gate: drive the same closed-loop
+// load as a sweep phase while a swapper goroutine rewrites the model
+// artifact under a bumped version label and hot-swaps it through
+// Server.Reload every cfg.swapEvery. At least two swaps must land,
+// every reload must succeed, and no request may fail with anything but
+// the shed/timeout outcomes the steady-state phases also allow —
+// Errors > 0 means a swap dropped a request.
+func runHotswapPhase(mk func(reg *obs.Registry) (*serve.Server, error),
+	images [][]float32, cfg config) (report.ServeResults, error) {
+	reg := obs.New()
+	s, err := mk(reg)
+	if err != nil {
+		return report.ServeResults{}, err
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		return report.ServeResults{}, err
+	}
+	fmt.Printf("trserve: selfload[hotswap] on %s: %d clients for %v, swapping every %v\n",
+		s.Addr, cfg.clients, cfg.duration, cfg.swapEvery)
+
+	stop := make(chan struct{})
+	swapDone := make(chan error, 1)
+	var swaps atomic.Int64
+	go func() {
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				swapDone <- nil
+				return
+			case <-time.After(cfg.swapEvery):
+			}
+			version := fmt.Sprintf("swap-%d", i)
+			if err := cfg.rewrite(version); err != nil {
+				swapDone <- fmt.Errorf("artifact rewrite %s: %w", version, err)
+				return
+			}
+			if _, err := s.Reload(context.Background()); err != nil {
+				swapDone <- fmt.Errorf("reload %s: %w", version, err)
+				return
+			}
+			swaps.Add(1)
+		}
+	}()
+
+	res, err := drive(s, images, cfg)
+	close(stop)
+	if serr := <-swapDone; err == nil {
+		err = serr
+	}
+	res.Swaps = swaps.Load()
+	if err != nil {
+		return res, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		return res, fmt.Errorf("drain: %w", err)
+	}
+	printPhase("hotswap", res)
+	fmt.Printf("%-12s %d hot-swaps landed mid-load\n", "", res.Swaps)
+	switch {
+	case res.Swaps < 2:
+		return res, fmt.Errorf("hotswap phase landed %d swaps in %v; need >= 2 to certify zero-downtime reload",
+			res.Swaps, cfg.duration)
+	case res.Errors > 0:
+		return res, fmt.Errorf("hotswap phase dropped %d requests across %d swaps; reload is not zero-downtime",
+			res.Errors, res.Swaps)
+	}
+	return res, nil
+}
+
 func printPhase(name string, res report.ServeResults) {
 	fmt.Printf("%-12s %d requests (%.0f req/s): %d ok, %d shed (%.1f%%), %d timeout, %d error, %d degraded\n",
 		name+":", res.Requests, res.Throughput, res.OK, res.Shed, 100*res.ShedRate,
@@ -403,26 +509,43 @@ func applyScaling(points []report.ScalingPoint) error {
 func runSelfload(plan *intinfer.Plan, images [][]float32, cfg config) error {
 	points := make([]report.ScalingPoint, 0, len(cfg.sweep))
 	var phaseErr error
-	for _, w := range cfg.sweep {
-		res, err := runPhase(fmt.Sprintf("w=%d", w), func(reg *obs.Registry) (*serve.Server, error) {
+	keep := func(err error) {
+		if err != nil && phaseErr == nil {
+			phaseErr = err
+		}
+	}
+	mk := func(w int) func(reg *obs.Registry) (*serve.Server, error) {
+		return func(reg *obs.Registry) (*serve.Server, error) {
 			return serve.New(serve.Config{Plan: plan, MaxBatch: cfg.maxBatch,
 				MaxDelay: cfg.maxDelay, QueueCap: cfg.queueCap,
 				BatchWorkers: cfg.batchWorkers, Workers: w,
 				DefaultDeadline: cfg.deadline, MaxDeadline: cfg.maxDeadline,
+				ModelVersion: cfg.bootVersion, Reload: cfg.reload,
 				Obs: reg})
-		}, images, cfg)
-		if err != nil && phaseErr == nil {
-			phaseErr = err
 		}
+	}
+	for _, w := range cfg.sweep {
+		res, err := runPhase(fmt.Sprintf("w=%d", w), mk(w), images, cfg)
+		keep(err)
 		points = append(points, report.ScalingPoint{Workers: w, Results: res})
 	}
 	gateErr := applyScaling(points)
+
+	// Zero-downtime phase: the widest pool again, hot-swapping the
+	// artifact mid-load.
+	var hot *report.ServeResults
+	if cfg.rewrite != nil {
+		res, err := runHotswapPhase(mk(cfg.sweep[len(cfg.sweep)-1]), images, cfg)
+		keep(err)
+		hot = &res
+	}
 
 	rep := report.ServeReport{
 		Platform: report.NewPlatform(cfg.gitRev),
 		Config:   serveConfig(cfg, cfg.queueCap, 0, nil),
 		Results:  points[len(points)-1].Results,
 		Scaling:  points,
+		HotSwap:  hot,
 	}
 	printScaling(points)
 	if err := writeServeReport(rep, cfg); err != nil {
@@ -457,7 +580,9 @@ func runSelfloadFamily(fam *intinfer.Family, images [][]float32, cfg config) err
 				MaxDelay: cfg.maxDelay, QueueCap: qcap,
 				BatchWorkers: cfg.batchWorkers, Workers: workers,
 				DefaultDeadline: cfg.deadline, MaxDeadline: cfg.maxDeadline,
-				DegradeWatermark: mark, DegradeLowWatermark: low, Obs: reg})
+				DegradeWatermark: mark, DegradeLowWatermark: low,
+				ModelVersion: cfg.bootVersion, Reload: cfg.reload,
+				Obs: reg})
 		}
 	}
 
@@ -487,6 +612,16 @@ func runSelfloadFamily(fam *intinfer.Family, images [][]float32, cfg config) err
 	}
 	gateErr := applyScaling(points)
 
+	// Zero-downtime phase: the widest pool's degrade configuration
+	// again, hot-swapping the artifact mid-load.
+	var hot *report.ServeResults
+	if cfg.rewrite != nil {
+		w := cfg.sweep[len(cfg.sweep)-1]
+		res, err := runHotswapPhase(mk(w, 2*watermark, watermark, watermark/2), images, cfg)
+		keep(err)
+		hot = &res
+	}
+
 	last := points[len(points)-1]
 	rep := report.ServeReport{
 		Platform:       report.NewPlatform(cfg.gitRev),
@@ -494,6 +629,7 @@ func runSelfloadFamily(fam *intinfer.Family, images [][]float32, cfg config) err
 		Results:        last.Results,
 		StrictBaseline: last.StrictBaseline,
 		Scaling:        points,
+		HotSwap:        hot,
 	}
 	printScaling(points)
 	fmt.Printf("%-12s shed %.1f%% -> %.1f%%, degraded %.1f%% of admissions (widest pool)\n",

@@ -3,6 +3,7 @@
 // the trained model for later analysis:
 //
 //	trtrain -arch resnet -out resnet.gob
+//	trtrain -arch resnet -out resnet.trq -format trq
 //	trtrain -arch mlp -epochs 6
 package main
 
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/models"
@@ -21,7 +23,9 @@ import (
 
 func main() {
 	arch := flag.String("arch", "resnet", "model: mlp, vgg, resnet, mobilenet, effnet")
-	out := flag.String("out", "", "path to save the trained model (gob)")
+	out := flag.String("out", "", "path to save the trained model")
+	format := flag.String("format", "gob", "saved model format: gob (snapshot) or trq (compressed artifact)")
+	version := flag.String("model-version", "", "version label recorded in a trq artifact")
 	epochs := flag.Int("epochs", 6, "training epochs")
 	nTrain := flag.Int("train", 560, "training samples")
 	nTest := flag.Int("test", 240, "test samples")
@@ -104,10 +108,20 @@ func main() {
 	report(tr.String(), &tr)
 
 	if *out != "" {
-		if err := models.SaveFile(m, hidden, *out); err != nil {
-			fatal(err)
+		switch *format {
+		case "gob":
+			if err := models.SaveFile(m, hidden, *out); err != nil {
+				fatal(err)
+			}
+		case "trq":
+			opts := artifact.WriteOptions{GroupSize: *g, GroupBudget: *k, Version: *version}
+			if err := artifact.WriteModelFile(*out, m, hidden, opts); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown format %q (want gob or trq)", *format))
 		}
-		fmt.Printf("saved model to %s\n", *out)
+		fmt.Printf("saved model to %s (%s)\n", *out, *format)
 	}
 }
 

@@ -1,0 +1,253 @@
+// Package artifact is the versioned, compressed, mmap-friendly model
+// container (.trq) the serving fleet rolls models in. It is built as
+// three layers, following the layered table-driven codec architecture
+// of the adscodex lineage:
+//
+//	l0 (codec.go)     table-driven integer codecs over []uint32 streams:
+//	                  raw 32-bit, fixed-width bit-packing, group-varint,
+//	                  and nibble-packing for term streams
+//	l1 (container.go) section framing: kind + name + codec + value count
+//	                  + CRC per section
+//	l2 (container.go) the file: magic + format version up front, 8-byte
+//	                  aligned section payloads, section table + footer at
+//	                  the end so a streaming writer never seeks and an
+//	                  io.ReaderAt (or mmap) reader never scans
+//
+// model.go puts a trained models.ImageModel into that container:
+// weight tensors as 8-bit quantized codes (zigzag + bit-packed, scale
+// in the manifest), small tensors and batch-norm state as raw float32,
+// and optionally the term-revealed HESE term stream of every quantized
+// tensor, nibble-packed. The reader reconstructs an intinfer-buildable
+// model: per-tensor max-abs quantization always places the largest
+// magnitude at the top code, so the dequantized weights re-quantize to
+// bit-identical codes at plan build.
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// CodecID selects an l0 integer codec. The table below is the codec
+// registry: sections name their codec in the file, and decoding an
+// unknown ID is an error, never a guess.
+type CodecID uint16
+
+const (
+	// CodecRaw32 stores each value as 4 little-endian bytes.
+	CodecRaw32 CodecID = 0
+	// CodecBitPack stores a one-byte width w (0..32) followed by every
+	// value packed LSB-first at w bits. Width 0 encodes an all-zero
+	// stream in one byte.
+	CodecBitPack CodecID = 1
+	// CodecGroupVarint stores groups of four values behind a control
+	// byte whose 2-bit fields give each value's byte length minus one.
+	CodecGroupVarint CodecID = 2
+	// CodecNibble packs values below 16 two per byte, low nibble first;
+	// an odd count leaves the final high nibble zero.
+	CodecNibble CodecID = 3
+	// CodecRawBytes marks a section whose payload is opaque bytes, not
+	// an integer stream; Count is the byte length.
+	CodecRawBytes CodecID = 4
+)
+
+// codec is one l0 entry: encode never fails on values in its domain,
+// decode validates the payload exhaustively (lengths first, so a
+// corrupt count can never drive an oversized allocation).
+type codec struct {
+	name   string
+	encode func(vals []uint32) ([]byte, error)
+	decode func(data []byte, n int) ([]uint32, error)
+}
+
+// codecs is the l0 registry, indexed by CodecID.
+var codecs = map[CodecID]codec{
+	CodecRaw32:       {name: "raw32", encode: encodeRaw32, decode: decodeRaw32},
+	CodecBitPack:     {name: "bitpack", encode: encodeBitPack, decode: decodeBitPack},
+	CodecGroupVarint: {name: "groupvarint", encode: encodeGroupVarint, decode: decodeGroupVarint},
+	CodecNibble:      {name: "nibble", encode: encodeNibble, decode: decodeNibble},
+}
+
+// Zigzag maps a signed value onto the unsigned stream domain so small
+// magnitudes of either sign bit-pack narrowly.
+func Zigzag(v int32) uint32 { return uint32((v << 1) ^ (v >> 31)) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
+
+func encodeRaw32(vals []uint32) ([]byte, error) {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], v)
+	}
+	return out, nil
+}
+
+func decodeRaw32(data []byte, n int) ([]uint32, error) {
+	if len(data) != 4*n {
+		return nil, fmt.Errorf("artifact: raw32 payload is %d bytes, %d values need %d", len(data), n, 4*n)
+	}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint32(data[4*i:])
+	}
+	return vals, nil
+}
+
+// bitPackLen returns the payload size of n values at width w: the width
+// byte plus the packed bits rounded up to whole bytes.
+func bitPackLen(n, w int) int { return 1 + (n*w+7)/8 }
+
+func encodeBitPack(vals []uint32) ([]byte, error) {
+	w := 0
+	for _, v := range vals {
+		if l := bits.Len32(v); l > w {
+			w = l
+		}
+	}
+	out := make([]byte, bitPackLen(len(vals), w))
+	out[0] = byte(w)
+	var acc uint64
+	nbits, pos := 0, 1
+	for _, v := range vals {
+		acc |= uint64(v) << nbits
+		nbits += w
+		for nbits >= 8 {
+			out[pos] = byte(acc)
+			acc >>= 8
+			nbits -= 8
+			pos++
+		}
+	}
+	if nbits > 0 {
+		out[pos] = byte(acc)
+	}
+	return out, nil
+}
+
+func decodeBitPack(data []byte, n int) ([]uint32, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("artifact: bitpack payload is empty")
+	}
+	w := int(data[0])
+	if w > 32 {
+		return nil, fmt.Errorf("artifact: bitpack width %d exceeds 32", w)
+	}
+	if want := bitPackLen(n, w); len(data) != want {
+		return nil, fmt.Errorf("artifact: bitpack payload is %d bytes, %d values at width %d need %d",
+			len(data), n, w, want)
+	}
+	vals := make([]uint32, n)
+	if w == 0 {
+		return vals, nil
+	}
+	mask := uint64(1)<<w - 1
+	var acc uint64
+	nbits, pos := 0, 1
+	for i := range vals {
+		for nbits < w {
+			acc |= uint64(data[pos]) << nbits
+			nbits += 8
+			pos++
+		}
+		vals[i] = uint32(acc & mask)
+		acc >>= w
+		nbits -= w
+	}
+	// A canonical stream leaves only zero padding behind the last value.
+	if acc != 0 {
+		return nil, fmt.Errorf("artifact: bitpack payload has nonzero trailing bits")
+	}
+	return vals, nil
+}
+
+func encodeGroupVarint(vals []uint32) ([]byte, error) {
+	out := make([]byte, 0, len(vals)+len(vals)/4+4)
+	for start := 0; start < len(vals); start += 4 {
+		group := vals[start:min(start+4, len(vals))]
+		ctrl := byte(0)
+		for i, v := range group {
+			ctrl |= byte(byteLen32(v)-1) << (2 * i)
+		}
+		out = append(out, ctrl)
+		for _, v := range group {
+			for b := 0; b < byteLen32(v); b++ {
+				out = append(out, byte(v>>(8*b)))
+			}
+		}
+	}
+	return out, nil
+}
+
+func decodeGroupVarint(data []byte, n int) ([]uint32, error) {
+	vals := make([]uint32, 0, n)
+	pos := 0
+	for len(vals) < n {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("artifact: group-varint payload truncated at value %d of %d", len(vals), n)
+		}
+		ctrl := data[pos]
+		pos++
+		group := min(4, n-len(vals))
+		for i := 0; i < group; i++ {
+			l := int(ctrl>>(2*i))&3 + 1
+			if pos+l > len(data) {
+				return nil, fmt.Errorf("artifact: group-varint payload truncated at value %d of %d", len(vals), n)
+			}
+			var v uint32
+			for b := 0; b < l; b++ {
+				v |= uint32(data[pos+b]) << (8 * b)
+			}
+			// Canonical form: the control field is the minimal length.
+			if byteLen32(v) != l {
+				return nil, fmt.Errorf("artifact: group-varint value %d uses %d bytes, minimal is %d",
+					len(vals)+i, l, byteLen32(v))
+			}
+			vals = append(vals, v)
+			pos += l
+		}
+		// A short tail group must leave its unused control fields zero.
+		if group < 4 && ctrl>>(2*group) != 0 {
+			return nil, fmt.Errorf("artifact: group-varint tail control byte has nonzero unused fields")
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("artifact: group-varint payload has %d trailing bytes", len(data)-pos)
+	}
+	return vals, nil
+}
+
+// byteLen32 is the minimal little-endian byte length of v, at least 1.
+func byteLen32(v uint32) int {
+	l := (bits.Len32(v) + 7) / 8
+	if l == 0 {
+		return 1
+	}
+	return l
+}
+
+func encodeNibble(vals []uint32) ([]byte, error) {
+	out := make([]byte, (len(vals)+1)/2)
+	for i, v := range vals {
+		if v > 0xF {
+			return nil, fmt.Errorf("artifact: nibble value %d at index %d exceeds 15", v, i)
+		}
+		out[i/2] |= byte(v) << (4 * (i % 2))
+	}
+	return out, nil
+}
+
+func decodeNibble(data []byte, n int) ([]uint32, error) {
+	if want := (n + 1) / 2; len(data) != want {
+		return nil, fmt.Errorf("artifact: nibble payload is %d bytes, %d values need %d", len(data), n, want)
+	}
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(data[i/2]>>(4*(i%2))) & 0xF
+	}
+	if n%2 == 1 && data[len(data)-1]>>4 != 0 {
+		return nil, fmt.Errorf("artifact: nibble payload has a nonzero trailing nibble")
+	}
+	return vals, nil
+}

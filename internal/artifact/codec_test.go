@@ -1,0 +1,139 @@
+package artifact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// codecDomains gives each codec a generator of in-domain values.
+var codecDomains = map[CodecID]func(r *rand.Rand) uint32{
+	CodecRaw32:       func(r *rand.Rand) uint32 { return r.Uint32() },
+	CodecBitPack:     func(r *rand.Rand) uint32 { return r.Uint32() >> uint(r.Intn(33)) },
+	CodecGroupVarint: func(r *rand.Rand) uint32 { return r.Uint32() >> uint(r.Intn(33)) },
+	CodecNibble:      func(r *rand.Rand) uint32 { return r.Uint32() & 0xF },
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for id, cd := range codecs {
+		gen := codecDomains[id]
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 1000} {
+			vals := make([]uint32, n)
+			for i := range vals {
+				vals[i] = gen(r)
+			}
+			data, err := cd.encode(vals)
+			if err != nil {
+				t.Fatalf("%s encode n=%d: %v", cd.name, n, err)
+			}
+			got, err := cd.decode(data, n)
+			if err != nil {
+				t.Fatalf("%s decode n=%d: %v", cd.name, n, err)
+			}
+			if len(got) != n {
+				t.Fatalf("%s n=%d: decoded %d values", cd.name, n, len(got))
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("%s n=%d: value %d is %d, want %d", cd.name, n, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCodecEdgeValues(t *testing.T) {
+	cases := map[CodecID][]uint32{
+		CodecRaw32:       {0, 1, 0xFFFFFFFF, 0x80000000},
+		CodecBitPack:     {0, 1, 0xFFFFFFFF, 0x7FFFFFFF},
+		CodecGroupVarint: {0, 255, 256, 65535, 65536, 0xFFFFFF, 0x1000000, 0xFFFFFFFF},
+		CodecNibble:      {0, 1, 14, 15},
+	}
+	for id, vals := range cases {
+		cd := codecs[id]
+		data, err := cd.encode(vals)
+		if err != nil {
+			t.Fatalf("%s encode: %v", cd.name, err)
+		}
+		got, err := cd.decode(data, len(vals))
+		if err != nil {
+			t.Fatalf("%s decode: %v", cd.name, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%s: value %d is %d, want %d", cd.name, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestCodecAllZeros(t *testing.T) {
+	vals := make([]uint32, 100)
+	data, err := codecs[CodecBitPack].encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1 {
+		t.Fatalf("all-zero bitpack is %d bytes, want 1 (width byte only)", len(data))
+	}
+	got, err := codecs[CodecBitPack].decode(data, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("nonzero value from all-zero stream")
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 127, -127, 1 << 30, -(1 << 30), 2147483647, -2147483648} {
+		if got := Unzigzag(Zigzag(v)); got != v {
+			t.Fatalf("zigzag round trip of %d gives %d", v, got)
+		}
+	}
+	// Small magnitudes must map small, so bit-packing stays narrow.
+	if Zigzag(0) != 0 || Zigzag(-1) != 1 || Zigzag(1) != 2 || Zigzag(-127) != 253 || Zigzag(127) != 254 {
+		t.Fatal("zigzag mapping is not the canonical interleave")
+	}
+}
+
+func TestNibbleEncodeRejectsWide(t *testing.T) {
+	if _, err := codecs[CodecNibble].encode([]uint32{16}); err == nil {
+		t.Fatal("nibble encode accepted a value over 15")
+	}
+}
+
+// TestCodecDecodeStrict checks that decoders reject every non-canonical
+// payload: the fuzz round-trip property (encode(decode(p)) == p for any
+// accepted p) depends on it.
+func TestCodecDecodeStrict(t *testing.T) {
+	cases := []struct {
+		name  string
+		codec CodecID
+		data  []byte
+		n     int
+	}{
+		{"raw32 short", CodecRaw32, []byte{1, 2, 3}, 1},
+		{"raw32 long", CodecRaw32, []byte{1, 2, 3, 4, 5}, 1},
+		{"bitpack empty", CodecBitPack, nil, 0},
+		{"bitpack width>32", CodecBitPack, []byte{33, 0, 0, 0, 0}, 1},
+		{"bitpack short", CodecBitPack, []byte{8, 1}, 2},
+		{"bitpack long", CodecBitPack, []byte{8, 1, 2, 3}, 2},
+		{"bitpack trailing bits", CodecBitPack, []byte{3, 0xFF}, 2}, // 2 values * 3 bits, top 2 bits must be 0
+		{"groupvarint truncated ctrl", CodecGroupVarint, nil, 1},
+		{"groupvarint truncated value", CodecGroupVarint, []byte{0x03}, 1},
+		{"groupvarint non-minimal", CodecGroupVarint, []byte{0x01, 5, 0}, 1}, // 5 fits one byte, stored as two
+		{"groupvarint dirty tail ctrl", CodecGroupVarint, []byte{0x04, 1}, 1},
+		{"groupvarint trailing bytes", CodecGroupVarint, []byte{0x00, 1, 9}, 1},
+		{"nibble short", CodecNibble, nil, 1},
+		{"nibble long", CodecNibble, []byte{0, 0}, 1},
+		{"nibble dirty tail", CodecNibble, []byte{0xF0}, 1},
+	}
+	for _, tc := range cases {
+		if _, err := codecs[tc.codec].decode(tc.data, tc.n); err == nil {
+			t.Errorf("%s: decode accepted a non-canonical payload", tc.name)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// File layout (l2):
+//
+//	header   magic "TRQA" | u16 format version | u16 reserved (8 bytes)
+//	...      section payloads, each 8-byte aligned
+//	table    one entry per section (fixed fields + name)
+//	footer   u64 table offset | u64 table length | u32 table CRC |
+//	         u32 section count | magic "TRQA" (28 bytes)
+//
+// The table and footer live at the end so the writer streams without
+// seeking; the reader starts from the footer, so an io.ReaderAt (file,
+// mmap, bytes.Reader) reads exactly the sections it wants and nothing
+// else. Every payload carries its own CRC in the table entry.
+const (
+	magic          = "TRQA"
+	FormatVersion  = 1
+	headerLen      = 8
+	footerLen      = 28
+	tableEntryLen  = 36 // fixed fields; the name follows
+	sectionAlign   = 8
+	maxNameLen     = 255
+	maxSectionVals = 1 << 26 // 64M values; bounds decode allocation
+	maxTableLen    = 1 << 24 // bounds table allocation on a corrupt footer
+)
+
+// Kind labels what a section holds. The model schema in model.go
+// assigns meanings; the container treats kinds as opaque.
+type Kind uint16
+
+// castagnoli is the CRC32-C table shared by payload and table checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Section is one table entry: where a payload lives and how to decode it.
+type Section struct {
+	Kind  Kind
+	Codec CodecID
+	Name  string
+	// Count is the logical value count: integers for integer codecs,
+	// bytes for CodecRawBytes.
+	Count uint64
+
+	off, size uint64
+	crc       uint32
+}
+
+// Writer builds a container over a streaming io.Writer: add sections,
+// then Finish to emit the table and footer. Errors are sticky.
+type Writer struct {
+	w     io.Writer
+	off   uint64
+	table []Section
+	err   error
+}
+
+// NewWriter writes the header and returns a Writer ready for sections.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [headerLen]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:], FormatVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, off: headerLen}, nil
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+	w.off += uint64(len(p))
+}
+
+// align pads the stream to the section alignment.
+func (w *Writer) align() {
+	if pad := int(w.off % sectionAlign); pad != 0 {
+		w.write(make([]byte, sectionAlign-pad))
+	}
+}
+
+// AddInts encodes vals with the named codec and appends the section.
+func (w *Writer) AddInts(kind Kind, name string, c CodecID, vals []uint32) error {
+	cd, ok := codecs[c]
+	if !ok {
+		return fmt.Errorf("artifact: unknown codec id %d", c)
+	}
+	payload, err := cd.encode(vals)
+	if err != nil {
+		return err
+	}
+	return w.add(Section{Kind: kind, Codec: c, Name: name, Count: uint64(len(vals))}, payload)
+}
+
+// AddBytes appends an opaque byte section (CodecRawBytes).
+func (w *Writer) AddBytes(kind Kind, name string, data []byte) error {
+	return w.add(Section{Kind: kind, Codec: CodecRawBytes, Name: name, Count: uint64(len(data))}, data)
+}
+
+func (w *Writer) add(sec Section, payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(sec.Name) > maxNameLen {
+		return fmt.Errorf("artifact: section name %q exceeds %d bytes", sec.Name, maxNameLen)
+	}
+	w.align()
+	sec.off = w.off
+	sec.size = uint64(len(payload))
+	sec.crc = crc32.Checksum(payload, castagnoli)
+	w.write(payload)
+	if w.err != nil {
+		return w.err
+	}
+	w.table = append(w.table, sec)
+	bytesWritten.Add(int64(len(payload)))
+	return nil
+}
+
+// Finish writes the section table and footer. The Writer is done after.
+func (w *Writer) Finish() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.align()
+	tableOff := w.off
+	var tbl []byte
+	for _, s := range w.table {
+		var e [tableEntryLen]byte
+		binary.LittleEndian.PutUint16(e[0:], uint16(s.Kind))
+		binary.LittleEndian.PutUint16(e[2:], uint16(s.Codec))
+		binary.LittleEndian.PutUint16(e[4:], uint16(len(s.Name)))
+		binary.LittleEndian.PutUint64(e[8:], s.Count)
+		binary.LittleEndian.PutUint64(e[16:], s.off)
+		binary.LittleEndian.PutUint64(e[24:], s.size)
+		binary.LittleEndian.PutUint32(e[32:], s.crc)
+		tbl = append(tbl, e[:]...)
+		tbl = append(tbl, s.Name...)
+	}
+	w.write(tbl)
+	var ftr [footerLen]byte
+	binary.LittleEndian.PutUint64(ftr[0:], tableOff)
+	binary.LittleEndian.PutUint64(ftr[8:], uint64(len(tbl)))
+	binary.LittleEndian.PutUint32(ftr[16:], crc32.Checksum(tbl, castagnoli))
+	binary.LittleEndian.PutUint32(ftr[20:], uint32(len(w.table)))
+	copy(ftr[24:], magic)
+	w.write(ftr[:])
+	return w.err
+}
+
+// Reader opens a container over an io.ReaderAt without touching any
+// payload: the footer and table are validated up front, payloads decode
+// (and CRC-check) on demand per section.
+type Reader struct {
+	r    io.ReaderAt
+	size int64
+	secs []*Section
+}
+
+// NewReader validates the header, footer and section table.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < headerLen+footerLen {
+		return nil, fmt.Errorf("artifact: file is %d bytes, smaller than header + footer", size)
+	}
+	var hdr [headerLen]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("artifact: reading header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("artifact: bad magic %q, want %q", hdr[:4], magic)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("artifact: format version %d, this reader supports %d", v, FormatVersion)
+	}
+	var ftr [footerLen]byte
+	if _, err := r.ReadAt(ftr[:], size-footerLen); err != nil {
+		return nil, fmt.Errorf("artifact: reading footer: %w", err)
+	}
+	if string(ftr[24:28]) != magic {
+		return nil, fmt.Errorf("artifact: bad footer magic %q (truncated file?)", ftr[24:28])
+	}
+	tableOff := binary.LittleEndian.Uint64(ftr[0:])
+	tableLen := binary.LittleEndian.Uint64(ftr[8:])
+	tableCRC := binary.LittleEndian.Uint32(ftr[16:])
+	count := binary.LittleEndian.Uint32(ftr[20:])
+	if tableLen > maxTableLen {
+		return nil, fmt.Errorf("artifact: section table claims %d bytes, cap is %d", tableLen, maxTableLen)
+	}
+	dataEnd := uint64(size) - footerLen
+	if tableOff < headerLen || tableOff > dataEnd || tableLen > dataEnd-tableOff {
+		return nil, fmt.Errorf("artifact: section table [%d,+%d) escapes the file", tableOff, tableLen)
+	}
+	tbl := make([]byte, tableLen)
+	if _, err := r.ReadAt(tbl, int64(tableOff)); err != nil {
+		return nil, fmt.Errorf("artifact: reading section table: %w", err)
+	}
+	if got := crc32.Checksum(tbl, castagnoli); got != tableCRC {
+		return nil, fmt.Errorf("artifact: section table CRC %08x, want %08x", got, tableCRC)
+	}
+	rd := &Reader{r: r, size: size}
+	pos := 0
+	for i := uint32(0); i < count; i++ {
+		if pos+tableEntryLen > len(tbl) {
+			return nil, fmt.Errorf("artifact: section table truncated at entry %d of %d", i, count)
+		}
+		e := tbl[pos:]
+		nameLen := int(binary.LittleEndian.Uint16(e[4:]))
+		if pos+tableEntryLen+nameLen > len(tbl) {
+			return nil, fmt.Errorf("artifact: section table truncated inside entry %d's name", i)
+		}
+		s := &Section{
+			Kind:  Kind(binary.LittleEndian.Uint16(e[0:])),
+			Codec: CodecID(binary.LittleEndian.Uint16(e[2:])),
+			Name:  string(tbl[pos+tableEntryLen : pos+tableEntryLen+nameLen]),
+			Count: binary.LittleEndian.Uint64(e[8:]),
+			off:   binary.LittleEndian.Uint64(e[16:]),
+			size:  binary.LittleEndian.Uint64(e[24:]),
+			crc:   binary.LittleEndian.Uint32(e[32:]),
+		}
+		if s.off < headerLen || s.off > tableOff || s.size > tableOff-s.off {
+			return nil, fmt.Errorf("artifact: section %d (%s) payload [%d,+%d) escapes the data region",
+				i, sectionLabel(s), s.off, s.size)
+		}
+		if s.Count > maxSectionVals {
+			return nil, fmt.Errorf("artifact: section %s claims %d values, cap is %d",
+				sectionLabel(s), s.Count, maxSectionVals)
+		}
+		rd.secs = append(rd.secs, s)
+		pos += tableEntryLen + nameLen
+	}
+	if pos != len(tbl) {
+		return nil, fmt.Errorf("artifact: section table has %d trailing bytes", len(tbl)-pos)
+	}
+	return rd, nil
+}
+
+// Sections lists the table in file order.
+func (r *Reader) Sections() []*Section { return r.secs }
+
+// Lookup finds the section with the given kind and name, or nil.
+func (r *Reader) Lookup(kind Kind, name string) *Section {
+	for _, s := range r.secs {
+		if s.Kind == kind && s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// payload reads and CRC-checks one section's bytes.
+func (r *Reader) payload(s *Section) ([]byte, error) {
+	data := make([]byte, s.size)
+	if _, err := r.r.ReadAt(data, int64(s.off)); err != nil {
+		return nil, fmt.Errorf("artifact: reading section %s: %w", sectionLabel(s), err)
+	}
+	if got := crc32.Checksum(data, castagnoli); got != s.crc {
+		return nil, fmt.Errorf("artifact: section %s CRC %08x, want %08x (corrupt payload)",
+			sectionLabel(s), got, s.crc)
+	}
+	bytesRead.Add(int64(len(data)))
+	return data, nil
+}
+
+// Ints decodes an integer section through its codec.
+func (r *Reader) Ints(s *Section) ([]uint32, error) {
+	if s.Codec == CodecRawBytes {
+		return nil, fmt.Errorf("artifact: section %s is a byte section, not an integer stream", sectionLabel(s))
+	}
+	cd, ok := codecs[s.Codec]
+	if !ok {
+		return nil, fmt.Errorf("artifact: section %s uses unknown codec id %d", sectionLabel(s), s.Codec)
+	}
+	data, err := r.payload(s)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := cd.decode(data, int(s.Count))
+	if err != nil {
+		return nil, fmt.Errorf("artifact: section %s (%s): %w", sectionLabel(s), cd.name, err)
+	}
+	return vals, nil
+}
+
+// Bytes reads an opaque byte section.
+func (r *Reader) Bytes(s *Section) ([]byte, error) {
+	if s.Codec != CodecRawBytes {
+		return nil, fmt.Errorf("artifact: section %s is an integer section, not bytes", sectionLabel(s))
+	}
+	if s.Count != s.size {
+		return nil, fmt.Errorf("artifact: byte section %s count %d does not match its %d-byte payload",
+			sectionLabel(s), s.Count, s.size)
+	}
+	return r.payload(s)
+}
+
+func sectionLabel(s *Section) string {
+	if s.Name == "" {
+		return fmt.Sprintf("kind=%d", s.Kind)
+	}
+	return fmt.Sprintf("kind=%d name=%q", s.Kind, s.Name)
+}

@@ -1,0 +1,160 @@
+package artifact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildContainer writes a small three-section container and returns its
+// bytes.
+func buildContainer(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddBytes(Kind(1), "", []byte(`{"hello":"world"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddInts(Kind(2), "fc1.weight", CodecBitPack, []uint32{0, 1, 2, 253, 254}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddInts(Kind(3), "fc1.weight", CodecNibble, []uint32{1, 15, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	data := buildContainer(t)
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sections()) != 3 {
+		t.Fatalf("%d sections, want 3", len(r.Sections()))
+	}
+	info, err := r.Bytes(r.Lookup(Kind(1), ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(info) != `{"hello":"world"}` {
+		t.Fatalf("info section came back %q", info)
+	}
+	vals, err := r.Ints(r.Lookup(Kind(2), "fc1.weight"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 1, 2, 253, 254}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("value %d is %d, want %d", i, vals[i], want[i])
+		}
+	}
+	if r.Lookup(Kind(9), "nope") != nil {
+		t.Fatal("Lookup invented a section")
+	}
+}
+
+func TestContainerSectionAlignment(t *testing.T) {
+	data := buildContainer(t)
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Sections() {
+		if s.off%sectionAlign != 0 {
+			t.Fatalf("section %s starts at %d, not %d-byte aligned", sectionLabel(s), s.off, sectionAlign)
+		}
+	}
+}
+
+func TestContainerRejectsTypeConfusion(t *testing.T) {
+	data := buildContainer(t)
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Ints(r.Lookup(Kind(1), "")); err == nil {
+		t.Fatal("Ints accepted a byte section")
+	}
+	if _, err := r.Bytes(r.Lookup(Kind(2), "fc1.weight")); err == nil {
+		t.Fatal("Bytes accepted an integer section")
+	}
+}
+
+func TestContainerCorruption(t *testing.T) {
+	good := buildContainer(t)
+	open := func(data []byte) (*Reader, error) {
+		return NewReader(bytes.NewReader(data), int64(len(data)))
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		data[0] ^= 0xFF
+		if _, err := open(data); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("want magic error, got %v", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		data[4] = 99
+		if _, err := open(data); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("want version error, got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut += 7 {
+			if _, err := open(good[:len(good)-cut]); err == nil {
+				t.Fatalf("accepted a file truncated by %d bytes", cut)
+			}
+		}
+	})
+	t.Run("payload flip", func(t *testing.T) {
+		// Flip one payload byte: opening still works (payloads are lazy)
+		// but reading the damaged section must fail its CRC.
+		r0, err := open(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec := r0.Lookup(Kind(2), "fc1.weight")
+		data := append([]byte(nil), good...)
+		data[sec.off] ^= 0xFF
+		r, err := open(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Ints(r.Lookup(Kind(2), "fc1.weight")); err == nil || !strings.Contains(err.Error(), "CRC") {
+			t.Fatalf("want CRC error, got %v", err)
+		}
+	})
+	t.Run("table flip", func(t *testing.T) {
+		// Any flip inside the table region must fail the table CRC.
+		data := append([]byte(nil), good...)
+		data[len(data)-footerLen-3] ^= 0xFF
+		if _, err := open(data); err == nil {
+			t.Fatal("accepted a corrupt section table")
+		}
+	})
+	t.Run("tiny", func(t *testing.T) {
+		if _, err := open(good[:4]); err == nil {
+			t.Fatal("accepted a file smaller than header+footer")
+		}
+	})
+}
+
+func TestWriterRejectsLongName(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddBytes(Kind(1), strings.Repeat("x", maxNameLen+1), nil); err == nil {
+		t.Fatal("accepted an oversized section name")
+	}
+}

@@ -1,0 +1,114 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// FuzzArtifactRoundTrip drives every l0 codec with fuzz-derived value
+// streams and demands encode→decode bit-identity. The first byte picks
+// the codec; the rest becomes the value stream, masked into the codec's
+// domain.
+func FuzzArtifactRoundTrip(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0xFF, 0x01, 0x00, 0x7F})
+	f.Add([]byte{2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{3, 0x0F, 0x01, 0x00})
+	f.Add(append([]byte{1}, bytes.Repeat([]byte{0}, 64)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		ids := []CodecID{CodecRaw32, CodecBitPack, CodecGroupVarint, CodecNibble}
+		id := ids[int(data[0])%len(ids)]
+		cd := codecs[id]
+		body := data[1:]
+		vals := make([]uint32, 0, (len(body)+3)/4)
+		for i := 0; i < len(body); i += 4 {
+			var chunk [4]byte
+			copy(chunk[:], body[i:])
+			v := binary.LittleEndian.Uint32(chunk[:])
+			if id == CodecNibble {
+				v &= 0xF
+			}
+			vals = append(vals, v)
+		}
+		payload, err := cd.encode(vals)
+		if err != nil {
+			t.Fatalf("%s refused in-domain values: %v", cd.name, err)
+		}
+		got, err := cd.decode(payload, len(vals))
+		if err != nil {
+			t.Fatalf("%s cannot decode its own output: %v", cd.name, err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%s value %d: %d != %d", cd.name, i, got[i], vals[i])
+			}
+		}
+		// And through the container, so framing is covered too.
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AddInts(Kind(1), "t", id, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = r.Ints(r.Lookup(Kind(1), "t"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("container round trip value %d: %d != %d", i, got[i], vals[i])
+			}
+		}
+	})
+}
+
+// FuzzLoad throws corrupt, truncated and mutated model bytes (both
+// container and gob framing) at the sniffing loader: any outcome is
+// fine except a panic or an unbounded allocation.
+func FuzzLoad(f *testing.F) {
+	m := models.NewMLP(8, 1)
+	var trq bytes.Buffer
+	if err := WriteModel(&trq, m, 8, WriteOptions{GroupSize: 8, GroupBudget: 12}); err != nil {
+		f.Fatal(err)
+	}
+	var gob bytes.Buffer
+	if err := models.Save(m, 8, &gob); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(trq.Bytes())
+	f.Add(gob.Bytes())
+	f.Add(trq.Bytes()[:len(trq.Bytes())/2])
+	f.Add(gob.Bytes()[:len(gob.Bytes())/2])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	for _, cut := range []int{1, footerLen, footerLen + 1} {
+		if cut < trq.Len() {
+			f.Add(trq.Bytes()[:trq.Len()-cut])
+		}
+	}
+	flip := append([]byte(nil), trq.Bytes()...)
+	flip[len(flip)/2] ^= 0xFF
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, info, err := DecodeModel(data)
+		if err == nil && m == nil {
+			t.Fatal("nil model without an error")
+		}
+		_ = info
+	})
+}

@@ -1,0 +1,538 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/quant"
+	"repro/internal/term"
+)
+
+// Section kinds of the model schema.
+const (
+	// KindModelInfo is the JSON manifest: architecture, geometry, and
+	// the ordered tensor list with per-tensor quantization scales.
+	KindModelInfo Kind = 1
+	// KindParamQ8 holds a weight tensor as 8-bit max-abs quantized
+	// codes, zigzag-mapped and bit-packed.
+	KindParamQ8 Kind = 2
+	// KindParamF32 holds a tensor as raw little-endian float32 (biases
+	// and small tensors, where quantization would cost accuracy for no
+	// meaningful size win).
+	KindParamF32 Kind = 3
+	// KindBNMean / KindBNVar hold batch-norm running statistics as raw
+	// float32.
+	KindBNMean Kind = 4
+	KindBNVar  Kind = 5
+	// KindTermStream holds the term-revealed HESE term stream of a
+	// quantized tensor, nibble-packed: per code a count nibble followed
+	// by count term nibbles of (exp<<1 | neg), revealing applied over
+	// flat groups of the manifest's group size.
+	KindTermStream Kind = 6
+)
+
+// WriteOptions shape a model container.
+type WriteOptions struct {
+	// WeightBits is the quantized weight width; only 8 (the default) is
+	// supported by the format's Q8 sections.
+	WeightBits int
+	// GroupSize/GroupBudget, when both positive, add a term-revealed
+	// HESE term stream section per quantized tensor.
+	GroupSize, GroupBudget int
+	// QuantMinLen is the smallest tensor eligible for quantization
+	// (default 32); .bias tensors always stay float32.
+	QuantMinLen int
+	// Version is an opaque model-version label recorded in the manifest
+	// (what trserve's hot-swap reports).
+	Version string
+}
+
+func (o *WriteOptions) fill() error {
+	if o.WeightBits == 0 {
+		o.WeightBits = 8
+	}
+	if o.WeightBits != 8 {
+		return fmt.Errorf("artifact: only 8-bit weight quantization is supported, got %d", o.WeightBits)
+	}
+	if o.QuantMinLen <= 0 {
+		o.QuantMinLen = 32
+	}
+	if (o.GroupSize > 0) != (o.GroupBudget > 0) {
+		return fmt.Errorf("artifact: group size and group budget must be set together (got g=%d k=%d)",
+			o.GroupSize, o.GroupBudget)
+	}
+	return nil
+}
+
+// ModelInfo is the manifest section: everything needed to rebuild the
+// graph plus the per-tensor storage plan. Scales are float64 in JSON,
+// which round-trips a float32 exactly.
+type ModelInfo struct {
+	Arch        string         `json:"arch"`
+	Geom        models.CNNGeom `json:"geom"`
+	Hidden      int            `json:"hidden,omitempty"`
+	Version     string         `json:"version,omitempty"`
+	WeightBits  int            `json:"weight_bits"`
+	GroupSize   int            `json:"group_size,omitempty"`
+	GroupBudget int            `json:"group_budget,omitempty"`
+	Params      []ParamInfo    `json:"params"`
+}
+
+// ParamInfo is one tensor's manifest row.
+type ParamInfo struct {
+	Name      string  `json:"name"`
+	Len       int     `json:"len"`
+	Quantized bool    `json:"quantized,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+}
+
+// quantizable reports whether a tensor is stored as Q8 codes: weight
+// matrices of useful size; biases and norm affines stay exact.
+func quantizable(name string, n int, minLen int) bool {
+	return strings.HasSuffix(name, ".weight") && n >= minLen
+}
+
+// WriteModel writes m as a .trq container. The hidden argument records
+// the MLP width, as in models.Save.
+func WriteModel(w io.Writer, m *models.ImageModel, hidden int, opts WriteOptions) error {
+	if err := opts.fill(); err != nil {
+		return err
+	}
+	info := ModelInfo{
+		Arch:   m.Name,
+		Geom:   models.CNNGeom{InC: m.InC, InH: m.InH, InW: m.InW, Classes: m.Classes},
+		Hidden: hidden, Version: opts.Version, WeightBits: opts.WeightBits,
+		GroupSize: opts.GroupSize, GroupBudget: opts.GroupBudget,
+	}
+	params := m.Net.Params()
+	seen := make(map[string]bool, len(params))
+	type qTensor struct {
+		name  string
+		codes []int32
+	}
+	var quantized []qTensor
+	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("artifact: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		pi := ParamInfo{Name: p.Name, Len: len(p.W.Data)}
+		if quantizable(p.Name, len(p.W.Data), opts.QuantMinLen) {
+			qp := quant.MaxAbsParams(p.W.Data, opts.WeightBits)
+			pi.Quantized = true
+			pi.Scale = float64(qp.Scale)
+			quantized = append(quantized, qTensor{name: p.Name, codes: qp.QuantizeSlice(p.W.Data)})
+		}
+		info.Params = append(info.Params, pi)
+	}
+	infoJSON, err := json.Marshal(&info)
+	if err != nil {
+		return err
+	}
+	cw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	if err := cw.AddBytes(KindModelInfo, "", infoJSON); err != nil {
+		return err
+	}
+	qi := 0
+	for _, p := range params {
+		if qi < len(quantized) && quantized[qi].name == p.Name {
+			codes := quantized[qi].codes
+			qi++
+			zz := make([]uint32, len(codes))
+			for i, c := range codes {
+				zz[i] = Zigzag(c)
+			}
+			if err := cw.AddInts(KindParamQ8, p.Name, CodecBitPack, zz); err != nil {
+				return err
+			}
+			if opts.GroupSize > 0 {
+				nibbles, err := encodeTermStream(codes, opts.GroupSize, opts.GroupBudget)
+				if err != nil {
+					return err
+				}
+				if err := cw.AddInts(KindTermStream, p.Name, CodecNibble, nibbles); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := cw.AddBytes(KindParamF32, p.Name, f32Bytes(p.W.Data)); err != nil {
+			return err
+		}
+	}
+	var walkErr error
+	nn.Walk(m.Net, func(l nn.Layer) {
+		bn, ok := l.(*nn.BatchNorm2D)
+		if !ok || walkErr != nil {
+			return
+		}
+		if err := cw.AddBytes(KindBNMean, bn.Name(), f32Bytes(bn.RunningMean)); err != nil {
+			walkErr = err
+			return
+		}
+		walkErr = cw.AddBytes(KindBNVar, bn.Name(), f32Bytes(bn.RunningVar))
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	return cw.Finish()
+}
+
+// encodeTermStream reveals the tensor's codes over flat groups of g
+// with budget k and renders the kept HESE terms as nibbles: per code a
+// count nibble, then (exp<<1 | neg) per term. 8-bit codes keep every
+// exponent below 8, so a term always fits one nibble.
+func encodeTermStream(codes []int32, g, k int) ([]uint32, error) {
+	exps, _ := core.RevealValues(codes, term.HESE, g, k)
+	nibbles := make([]uint32, 0, len(codes)*2)
+	for i, e := range exps {
+		if len(e) > 15 {
+			return nil, fmt.Errorf("artifact: code %d keeps %d terms, nibble stream caps at 15", i, len(e))
+		}
+		nibbles = append(nibbles, uint32(len(e)))
+		for _, t := range e {
+			if t.Exp > 7 {
+				return nil, fmt.Errorf("artifact: code %d has term exponent %d, 8-bit codes cap at 7", i, t.Exp)
+			}
+			n := uint32(t.Exp) << 1
+			if t.Neg {
+				n |= 1
+			}
+			nibbles = append(nibbles, n)
+		}
+	}
+	return nibbles, nil
+}
+
+// decodeTermStream inverts encodeTermStream into one expansion per code.
+func decodeTermStream(nibbles []uint32, codes int) ([]term.Expansion, error) {
+	out := make([]term.Expansion, 0, codes)
+	pos := 0
+	for len(out) < codes {
+		if pos >= len(nibbles) {
+			return nil, fmt.Errorf("artifact: term stream truncated at code %d of %d", len(out), codes)
+		}
+		n := int(nibbles[pos])
+		pos++
+		if pos+n > len(nibbles) {
+			return nil, fmt.Errorf("artifact: term stream truncated inside code %d's %d terms", len(out), n)
+		}
+		e := make(term.Expansion, n)
+		for i := 0; i < n; i++ {
+			nb := nibbles[pos+i]
+			e[i] = term.Term{Exp: uint8(nb >> 1), Neg: nb&1 == 1}
+		}
+		if !e.Valid() {
+			return nil, fmt.Errorf("artifact: term stream code %d has non-decreasing exponents", len(out))
+		}
+		out = append(out, e)
+		pos += n
+	}
+	if pos != len(nibbles) {
+		return nil, fmt.Errorf("artifact: term stream has %d trailing nibbles", len(nibbles)-pos)
+	}
+	return out, nil
+}
+
+// TermStream decodes the term-stream section of the named tensor into
+// one expansion per weight code.
+func TermStream(r *Reader, name string) ([]term.Expansion, error) {
+	info, err := readInfo(r)
+	if err != nil {
+		return nil, err
+	}
+	var pi *ParamInfo
+	for i := range info.Params {
+		if info.Params[i].Name == name {
+			pi = &info.Params[i]
+		}
+	}
+	if pi == nil || !pi.Quantized {
+		return nil, fmt.Errorf("artifact: no quantized tensor %q in the manifest", name)
+	}
+	sec := r.Lookup(KindTermStream, name)
+	if sec == nil {
+		return nil, fmt.Errorf("artifact: tensor %q has no term-stream section", name)
+	}
+	nibbles, err := r.Ints(sec)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTermStream(nibbles, pi.Len)
+}
+
+// readInfo fetches and parses the manifest section.
+func readInfo(r *Reader) (*ModelInfo, error) {
+	sec := r.Lookup(KindModelInfo, "")
+	if sec == nil {
+		return nil, fmt.Errorf("artifact: container has no model manifest section")
+	}
+	data, err := r.Bytes(sec)
+	if err != nil {
+		return nil, err
+	}
+	var info ModelInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return nil, fmt.Errorf("artifact: parsing model manifest: %w", err)
+	}
+	if info.WeightBits != 8 {
+		return nil, fmt.Errorf("artifact: manifest declares %d-bit weights, this reader supports 8", info.WeightBits)
+	}
+	return &info, nil
+}
+
+// ReadModel reconstructs the model from an open container: the graph is
+// rebuilt from the manifest, quantized tensors are dequantized through
+// their manifest scale (max-abs quantization guarantees the result
+// re-quantizes to identical codes at intinfer plan build), float
+// tensors and batch-norm state restore exactly. Every section must be
+// accounted for and every manifest row must land in a model tensor — a
+// stale or truncated artifact fails loudly, never partially.
+func ReadModel(r *Reader) (*models.ImageModel, *ModelInfo, error) {
+	info, err := readInfo(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := models.NewArch(info.Arch, info.Geom, info.Hidden)
+	if err != nil {
+		return nil, nil, err
+	}
+	manifest := make(map[string]*ParamInfo, len(info.Params))
+	for i := range info.Params {
+		pi := &info.Params[i]
+		if _, dup := manifest[pi.Name]; dup {
+			return nil, nil, fmt.Errorf("artifact: manifest lists %q twice", pi.Name)
+		}
+		manifest[pi.Name] = pi
+	}
+	consumed := make(map[*Section]bool, len(r.Sections()))
+	consumed[r.Lookup(KindModelInfo, "")] = true
+	usedManifest := make(map[string]bool, len(manifest))
+	for _, p := range m.Net.Params() {
+		pi, ok := manifest[p.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("artifact: manifest is missing parameter %q", p.Name)
+		}
+		usedManifest[p.Name] = true
+		if pi.Len != len(p.W.Data) {
+			return nil, nil, fmt.Errorf("artifact: parameter %q has %d values, the model wants %d",
+				p.Name, pi.Len, len(p.W.Data))
+		}
+		if pi.Quantized {
+			if err := restoreQ8(r, p, pi, consumed); err != nil {
+				return nil, nil, err
+			}
+			if info.GroupSize > 0 {
+				ts := r.Lookup(KindTermStream, p.Name)
+				if ts == nil {
+					return nil, nil, fmt.Errorf("artifact: tensor %q is missing its term-stream section", p.Name)
+				}
+				// The stream is deployment data, not needed to rebuild the
+				// model — account for it, decode on demand via TermStream.
+				consumed[ts] = true
+			}
+			continue
+		}
+		sec := r.Lookup(KindParamF32, p.Name)
+		if sec == nil {
+			return nil, nil, fmt.Errorf("artifact: tensor %q has no float section", p.Name)
+		}
+		consumed[sec] = true
+		vals, err := sectionF32(r, sec, pi.Len)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(p.W.Data, vals)
+	}
+	for name := range manifest {
+		if !usedManifest[name] {
+			return nil, nil, fmt.Errorf("artifact: manifest tensor %q does not exist in a %s model", name, info.Arch)
+		}
+	}
+	var walkErr error
+	nn.Walk(m.Net, func(l nn.Layer) {
+		bn, ok := l.(*nn.BatchNorm2D)
+		if !ok || walkErr != nil {
+			return
+		}
+		for _, st := range []struct {
+			kind Kind
+			dst  []float32
+		}{{KindBNMean, bn.RunningMean}, {KindBNVar, bn.RunningVar}} {
+			sec := r.Lookup(st.kind, bn.Name())
+			if sec == nil {
+				walkErr = fmt.Errorf("artifact: batch-norm %q is missing its running statistics", bn.Name())
+				return
+			}
+			consumed[sec] = true
+			vals, err := sectionF32(r, sec, len(st.dst))
+			if err != nil {
+				walkErr = err
+				return
+			}
+			copy(st.dst, vals)
+		}
+	})
+	if walkErr != nil {
+		return nil, nil, walkErr
+	}
+	for _, sec := range r.Sections() {
+		if !consumed[sec] {
+			return nil, nil, fmt.Errorf("artifact: unexpected section (%s) — stale or foreign artifact", sectionLabel(sec))
+		}
+	}
+	return m, info, nil
+}
+
+// restoreQ8 decodes a quantized tensor section into p through the
+// manifest scale.
+func restoreQ8(r *Reader, p *nn.Param, pi *ParamInfo, consumed map[*Section]bool) error {
+	sec := r.Lookup(KindParamQ8, p.Name)
+	if sec == nil {
+		return fmt.Errorf("artifact: tensor %q has no quantized section", p.Name)
+	}
+	consumed[sec] = true
+	if sec.Count != uint64(pi.Len) {
+		return fmt.Errorf("artifact: tensor %q section holds %d codes, the manifest says %d",
+			p.Name, sec.Count, pi.Len)
+	}
+	scale := float32(pi.Scale)
+	if !(scale > 0) || math.IsInf(float64(scale), 0) {
+		return fmt.Errorf("artifact: tensor %q has invalid scale %v", p.Name, pi.Scale)
+	}
+	zz, err := r.Ints(sec)
+	if err != nil {
+		return err
+	}
+	const qmax = 127
+	for i, u := range zz {
+		c := Unzigzag(u)
+		if c < -qmax || c > qmax {
+			return fmt.Errorf("artifact: tensor %q code %d is %d, outside the 8-bit range", p.Name, i, c)
+		}
+		p.W.Data[i] = float32(c) * scale
+	}
+	return nil
+}
+
+// sectionF32 reads a float32 byte section of exactly n values.
+func sectionF32(r *Reader, sec *Section, n int) ([]float32, error) {
+	data, err := r.Bytes(sec)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != 4*n {
+		return nil, fmt.Errorf("artifact: section %s holds %d bytes, %d float32 values need %d",
+			sectionLabel(sec), len(data), n, 4*n)
+	}
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return vals, nil
+}
+
+func f32Bytes(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// WriteModelFile writes the container to path. The Close error is
+// propagated: on a write path a failed close can be the only signal
+// that buffered data never reached the disk.
+func WriteModelFile(path string, m *models.ImageModel, hidden int, opts WriteOptions) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if e := f.Close(); e != nil && err == nil {
+			err = e
+		}
+	}()
+	if err := WriteModel(f, m, hidden, opts); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadModel reconstructs a model from container bytes behind an
+// io.ReaderAt (file, mmap, bytes.Reader).
+func LoadModel(r io.ReaderAt, size int64) (*models.ImageModel, *ModelInfo, error) {
+	cr, err := NewReader(r, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ReadModel(cr)
+}
+
+// DecodeModel sniffs a byte slice: .trq containers decode through the
+// section reader, anything else falls back to the gob snapshot format.
+func DecodeModel(data []byte) (*models.ImageModel, *ModelInfo, error) {
+	if len(data) >= len(magic) && string(data[:len(magic)]) == magic {
+		return LoadModel(bytes.NewReader(data), int64(len(data)))
+	}
+	m, err := models.Load(bytes.NewReader(data))
+	return m, nil, err
+}
+
+// LoadModelFile loads a model from path, sniffing the format: the .trq
+// magic selects the container reader, anything else falls back to the
+// bounded gob loader. Info is nil for gob snapshots. Load latency and
+// outcome land on the artifact metrics when SetObs is wired.
+func LoadModelFile(path string) (*models.ImageModel, *ModelInfo, error) {
+	start := time.Now()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var head [len(magic)]byte
+	n, err := f.ReadAt(head[:], 0)
+	if n < len(magic) || string(head[:]) != magic {
+		// Not a container (or too short to be one): hand the gob loader
+		// the path. The read-only close cannot lose data.
+		//trlint:checked read-only close: nothing buffered, failure cannot lose data
+		f.Close()
+		m, gerr := models.LoadFile(path)
+		observeLoad(loadOKGob, loadErrGob, loadSecGob, start, gerr)
+		return m, nil, gerr
+	}
+	//trlint:checked read-only close: nothing buffered, failure cannot lose data
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	m, info, err := LoadModel(f, st.Size())
+	observeLoad(loadOKTRQ, loadErrTRQ, loadSecTRQ, start, err)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, info, nil
+}
+
+func observeLoad(ok, fail *obs.Counter, sec *obs.Histogram, start time.Time, err error) {
+	if err != nil {
+		fail.Inc()
+		return
+	}
+	ok.Inc()
+	sec.Observe(time.Since(start).Seconds())
+}

@@ -1,0 +1,350 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/term"
+)
+
+func tinyMLP(t *testing.T) (*models.ImageModel, int) {
+	t.Helper()
+	return models.NewMLP(16, 1), 16
+}
+
+func tinyCNN(t *testing.T) *models.ImageModel {
+	t.Helper()
+	m := models.NewResNetStyle(models.CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}, 2)
+	// One training-mode forward populates batch-norm running statistics
+	// with nontrivial values, so the round trip actually exercises them.
+	r := rand.New(rand.NewSource(3))
+	images := make([][]float32, 4)
+	for i := range images {
+		img := make([]float32, 3*8*8)
+		for j := range img {
+			img[j] = r.Float32()
+		}
+		images[i] = img
+	}
+	m.Forward(images, true)
+	return m
+}
+
+func writeOpts() WriteOptions {
+	return WriteOptions{GroupSize: 8, GroupBudget: 12, Version: "v-test"}
+}
+
+// requantize maps a float tensor back onto 8-bit codes the way intinfer
+// plan build does.
+func requantize(w []float32) []int32 {
+	return quant.MaxAbsParams(w, 8).QuantizeSlice(w)
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	mlp, hidden := tinyMLP(t)
+	for _, tc := range []struct {
+		name   string
+		m      *models.ImageModel
+		hidden int
+	}{
+		{"mlp", mlp, hidden},
+		{"cnn", tinyCNN(t), 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteModel(&buf, tc.m, tc.hidden, writeOpts()); err != nil {
+				t.Fatal(err)
+			}
+			got, info, err := DecodeModel(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info == nil || info.Version != "v-test" {
+				t.Fatalf("manifest came back %+v", info)
+			}
+			if got.Name != tc.m.Name || got.InC != tc.m.InC || got.InH != tc.m.InH ||
+				got.InW != tc.m.InW || got.Classes != tc.m.Classes {
+				t.Fatalf("geometry mismatch: got %+v", got)
+			}
+			wantParams := tc.m.Net.Params()
+			gotParams := got.Net.Params()
+			if len(wantParams) != len(gotParams) {
+				t.Fatalf("%d params, want %d", len(gotParams), len(wantParams))
+			}
+			for i, p := range wantParams {
+				q := gotParams[i]
+				if p.Name != q.Name {
+					t.Fatalf("param %d is %q, want %q", i, q.Name, p.Name)
+				}
+				if quantizable(p.Name, len(p.W.Data), 32) {
+					// Quantized tensors restore dequantized, but must
+					// re-quantize to bit-identical codes at plan build.
+					want, gotCodes := requantize(p.W.Data), requantize(q.W.Data)
+					for j := range want {
+						if want[j] != gotCodes[j] {
+							t.Fatalf("param %q code %d is %d, want %d", p.Name, j, gotCodes[j], want[j])
+						}
+					}
+					continue
+				}
+				for j := range p.W.Data {
+					if p.W.Data[j] != q.W.Data[j] {
+						t.Fatalf("param %q value %d is %v, want %v", p.Name, j, q.W.Data[j], p.W.Data[j])
+					}
+				}
+			}
+			// Batch-norm running statistics restore exactly.
+			wantBN := collectBN(tc.m)
+			gotBN := collectBN(got)
+			if len(wantBN) != len(gotBN) {
+				t.Fatalf("%d batch-norms, want %d", len(gotBN), len(wantBN))
+			}
+			for i, w := range wantBN {
+				g := gotBN[i]
+				for j := range w.RunningMean {
+					if w.RunningMean[j] != g.RunningMean[j] || w.RunningVar[j] != g.RunningVar[j] {
+						t.Fatalf("batch-norm %q stats differ at %d", w.Name(), j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func collectBN(m *models.ImageModel) []*nn.BatchNorm2D {
+	var out []*nn.BatchNorm2D
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			out = append(out, bn)
+		}
+	})
+	return out
+}
+
+func TestTermStreamRoundTrip(t *testing.T) {
+	m, hidden := tinyMLP(t)
+	opts := writeOpts()
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m, hidden, opts); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *nn.Param
+	for _, q := range m.Net.Params() {
+		if q.Name == "fc1.weight" {
+			p = q
+		}
+	}
+	codes := requantize(p.W.Data)
+	want, _ := core.RevealValues(codes, term.HESE, opts.GroupSize, opts.GroupBudget)
+	got, err := TermStream(r, "fc1.weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d expansions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("code %d keeps %d terms, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("code %d term %d is %+v, want %+v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestModelFileRoundTripAndSniff(t *testing.T) {
+	dir := t.TempDir()
+	m, hidden := tinyMLP(t)
+
+	trq := filepath.Join(dir, "m.trq")
+	if err := WriteModelFile(trq, m, hidden, writeOpts()); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := LoadModelFile(trq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil || got.Name != "mlp" {
+		t.Fatalf("trq load gave model %q, info %+v", got.Name, info)
+	}
+
+	gob := filepath.Join(dir, "m.gob")
+	if err := models.SaveFile(m, hidden, gob); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err = LoadModelFile(gob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info != nil || got.Name != "mlp" {
+		t.Fatalf("gob fallback gave model %q, info %+v", got.Name, info)
+	}
+
+	// The compressed container must be dramatically smaller than the gob
+	// (the bench gate demands >= 2x; fail early here if that regresses).
+	ts, _ := os.Stat(trq)
+	gs, _ := os.Stat(gob)
+	if ts.Size()*2 > gs.Size() {
+		t.Fatalf("trq is %d bytes vs gob %d, want >= 2x smaller", ts.Size(), gs.Size())
+	}
+}
+
+// rewriteModel round-trips a model container through the low-level
+// writer, letting a test tamper with the manifest, drop sections, or
+// append extras.
+func rewriteModel(t *testing.T, data []byte, mutate func(info *ModelInfo), drop func(s *Section) bool, extra func(w *Writer)) []byte {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Sections() {
+		if drop != nil && drop(s) {
+			continue
+		}
+		if s.Kind == KindModelInfo && mutate != nil {
+			raw, err := r.Bytes(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var info ModelInfo
+			if err := json.Unmarshal(raw, &info); err != nil {
+				t.Fatal(err)
+			}
+			mutate(&info)
+			raw, err = json.Marshal(&info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.AddBytes(s.Kind, s.Name, raw); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if s.Codec == CodecRawBytes {
+			raw, err := r.Bytes(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.AddBytes(s.Kind, s.Name, raw); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		vals, err := r.Ints(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AddInts(s.Kind, s.Name, s.Codec, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if extra != nil {
+		extra(w)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadModelStrictness(t *testing.T) {
+	m, hidden := tinyMLP(t)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m, hidden, writeOpts()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{
+			"extra section",
+			rewriteModel(t, good, nil, nil, func(w *Writer) {
+				if err := w.AddBytes(Kind(99), "junk", []byte{1, 2, 3}); err != nil {
+					t.Fatal(err)
+				}
+			}),
+			"unexpected section",
+		},
+		{
+			"ghost manifest tensor",
+			rewriteModel(t, good, func(info *ModelInfo) {
+				info.Params = append(info.Params, ParamInfo{Name: "ghost.weight", Len: 4})
+			}, nil, nil),
+			"does not exist",
+		},
+		{
+			"missing term stream",
+			rewriteModel(t, good, nil, func(s *Section) bool { return s.Kind == KindTermStream }, nil),
+			"term-stream",
+		},
+		{
+			"zero scale",
+			rewriteModel(t, good, func(info *ModelInfo) {
+				for i := range info.Params {
+					if info.Params[i].Quantized {
+						info.Params[i].Scale = 0
+						return
+					}
+				}
+			}, nil, nil),
+			"invalid scale",
+		},
+		{
+			"unknown arch",
+			rewriteModel(t, good, func(info *ModelInfo) { info.Arch = "alien" }, nil, nil),
+			"unknown architecture",
+		},
+		{
+			"missing param section",
+			rewriteModel(t, good, nil, func(s *Section) bool {
+				return s.Kind == KindParamF32 && s.Name == "fc1.bias"
+			}, nil),
+			"fc1.bias",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeModel(tc.data)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestWriteOptionsValidation(t *testing.T) {
+	m, hidden := tinyMLP(t)
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m, hidden, WriteOptions{WeightBits: 4}); err == nil {
+		t.Fatal("accepted non-8-bit weights")
+	}
+	if err := WriteModel(&buf, m, hidden, WriteOptions{GroupSize: 8}); err == nil {
+		t.Fatal("accepted group size without budget")
+	}
+}

@@ -1,0 +1,35 @@
+package artifact
+
+import "repro/internal/obs"
+
+// Package-level instruments, nil (no-op) until SetObs wires a registry —
+// the same nil-safe idiom as term.SetObs and kernels.SetObs.
+var (
+	loadOKTRQ, loadOKGob    *obs.Counter
+	loadErrTRQ, loadErrGob  *obs.Counter
+	bytesWritten, bytesRead *obs.Counter
+	loadSecTRQ, loadSecGob  *obs.Histogram
+)
+
+// SetObs attaches the artifact I/O metrics to a registry: model loads
+// by format and outcome, cold-start load latency by format, and the
+// section payload bytes moved in each direction. Pass nil to detach.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		loadOKTRQ, loadOKGob, loadErrTRQ, loadErrGob = nil, nil, nil, nil
+		bytesWritten, bytesRead = nil, nil
+		loadSecTRQ, loadSecGob = nil, nil
+		return
+	}
+	r.Help("trq_artifact_loads_total", "model loads by container format (trq, gob) and outcome")
+	loadOKTRQ = r.Counter("trq_artifact_loads_total", "format", "trq", "outcome", "ok")
+	loadOKGob = r.Counter("trq_artifact_loads_total", "format", "gob", "outcome", "ok")
+	loadErrTRQ = r.Counter("trq_artifact_loads_total", "format", "trq", "outcome", "error")
+	loadErrGob = r.Counter("trq_artifact_loads_total", "format", "gob", "outcome", "error")
+	r.Help("trq_artifact_bytes_total", "section payload bytes written to / read from model containers")
+	bytesWritten = r.Counter("trq_artifact_bytes_total", "dir", "written")
+	bytesRead = r.Counter("trq_artifact_bytes_total", "dir", "read")
+	r.Help("trq_artifact_load_seconds", "wall time of one model load (file to reconstructed model) by format")
+	loadSecTRQ = r.Histogram("trq_artifact_load_seconds", 0, 2, 80, "format", "trq")
+	loadSecGob = r.Histogram("trq_artifact_load_seconds", 0, 2, 80, "format", "gob")
+}

@@ -5,8 +5,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/nn"
+)
+
+// MaxSnapshotBytes bounds how much a snapshot decode will read: a model
+// snapshot is a few megabytes, so anything past this is a garbage or
+// hostile file, and the decoder should say so instead of inflating it.
+const MaxSnapshotBytes = 64 << 20
+
+// Geometry bounds enforced by NewArch, sized far above any model this
+// repo builds but far below anything that could exhaust memory while
+// constructing layer buffers from untrusted geometry.
+const (
+	maxGeomVolume = 1 << 22 // InC*InH*InW
+	maxClasses    = 4096
+	maxHidden     = 1 << 20
 )
 
 // snapshot is the on-disk form of a trained image model: the architecture
@@ -56,26 +72,54 @@ func Save(m *ImageModel, hidden int, w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// Load reconstructs a model saved with Save.
-func Load(r io.Reader) (*ImageModel, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("models: decoding snapshot: %w", err)
+// NewArch builds an untrained model of the named architecture after
+// bounds-checking the geometry, so graph construction from an untrusted
+// snapshot or artifact can never allocate layer buffers for an absurd
+// shape. The hidden argument is the MLP width (ignored for CNNs).
+func NewArch(arch string, geom CNNGeom, hidden int) (*ImageModel, error) {
+	if hidden < 0 || hidden > maxHidden {
+		return nil, fmt.Errorf("models: hidden width %d outside [0,%d]", hidden, maxHidden)
 	}
-	var m *ImageModel
-	switch {
-	case snap.Arch == "mlp":
-		if snap.Hidden < 1 {
+	if arch == "mlp" {
+		if hidden < 1 {
 			return nil, fmt.Errorf("models: MLP snapshot without hidden width")
 		}
-		m = NewMLP(snap.Hidden, 0)
-	default:
-		build, ok := archBuilders[snap.Arch]
-		if !ok {
-			return nil, fmt.Errorf("models: unknown architecture %q", snap.Arch)
+		m := NewMLP(hidden, 0)
+		zero := CNNGeom{}
+		if geom != zero && geom != (CNNGeom{InC: m.InC, InH: m.InH, InW: m.InW, Classes: m.Classes}) {
+			return nil, fmt.Errorf("models: MLP snapshot declares geometry %+v, the architecture is fixed", geom)
 		}
-		m = build(snap.Geom, 0)
+		return m, nil
 	}
+	build, ok := archBuilders[arch]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown architecture %q", arch)
+	}
+	if geom.InC < 1 || geom.InH < 1 || geom.InW < 1 ||
+		geom.InC*geom.InH*geom.InW > maxGeomVolume {
+		return nil, fmt.Errorf("models: geometry %dx%dx%d outside bounds (volume cap %d)",
+			geom.InC, geom.InH, geom.InW, maxGeomVolume)
+	}
+	if geom.Classes < 1 || geom.Classes > maxClasses {
+		return nil, fmt.Errorf("models: class count %d outside [1,%d]", geom.Classes, maxClasses)
+	}
+	return build(geom, 0), nil
+}
+
+// Load reconstructs a model saved with Save. The read is bounded at
+// MaxSnapshotBytes, every parameter and batch-norm entry in the snapshot
+// must land in the rebuilt model (stale or truncated-name keys fail
+// loudly), and batch-norm state must match the layer's width exactly.
+func Load(r io.Reader) (*ImageModel, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(&boundedReader{r: r, left: MaxSnapshotBytes}).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("models: decoding snapshot: %w", err)
+	}
+	m, err := NewArch(snap.Arch, snap.Geom, snap.Hidden)
+	if err != nil {
+		return nil, err
+	}
+	used := make(map[string]bool, len(snap.Params))
 	for _, p := range m.Net.Params() {
 		data, ok := snap.Params[p.Name]
 		if !ok {
@@ -86,7 +130,14 @@ func Load(r io.Reader) (*ImageModel, error) {
 				p.Name, len(data), len(p.W.Data))
 		}
 		copy(p.W.Data, data)
+		used[p.Name] = true
 	}
+	if extra := unusedKeys(snap.Params, used); len(extra) > 0 {
+		return nil, fmt.Errorf("models: snapshot has parameters %s that do not exist in a %s model",
+			strings.Join(extra, ", "), snap.Arch)
+	}
+	usedMean := make(map[string]bool, len(snap.BNMean))
+	usedVar := make(map[string]bool, len(snap.BNVar))
 	var restoreErr error
 	nn.Walk(m.Net, func(l nn.Layer) {
 		bn, ok := l.(*nn.BatchNorm2D)
@@ -95,17 +146,70 @@ func Load(r io.Reader) (*ImageModel, error) {
 		}
 		mean, okM := snap.BNMean[bn.Name()]
 		vari, okV := snap.BNVar[bn.Name()]
-		if !okM || !okV || len(mean) != len(bn.RunningMean) {
+		if !okM || !okV {
 			restoreErr = fmt.Errorf("models: snapshot missing batch-norm state for %q", bn.Name())
+			return
+		}
+		if len(mean) != len(bn.RunningMean) {
+			restoreErr = fmt.Errorf("models: batch-norm %q running mean has %d values, want %d",
+				bn.Name(), len(mean), len(bn.RunningMean))
+			return
+		}
+		if len(vari) != len(bn.RunningVar) {
+			restoreErr = fmt.Errorf("models: batch-norm %q running variance has %d values, want %d",
+				bn.Name(), len(vari), len(bn.RunningVar))
 			return
 		}
 		copy(bn.RunningMean, mean)
 		copy(bn.RunningVar, vari)
+		usedMean[bn.Name()] = true
+		usedVar[bn.Name()] = true
 	})
 	if restoreErr != nil {
 		return nil, restoreErr
 	}
+	if extra := unusedKeys(snap.BNMean, usedMean); len(extra) > 0 {
+		return nil, fmt.Errorf("models: snapshot has batch-norm means %s that do not exist in a %s model",
+			strings.Join(extra, ", "), snap.Arch)
+	}
+	if extra := unusedKeys(snap.BNVar, usedVar); len(extra) > 0 {
+		return nil, fmt.Errorf("models: snapshot has batch-norm variances %s that do not exist in a %s model",
+			strings.Join(extra, ", "), snap.Arch)
+	}
 	return m, nil
+}
+
+// unusedKeys lists (sorted, quoted) the map keys the restore never
+// consumed.
+func unusedKeys(m map[string][]float32, used map[string]bool) []string {
+	var extra []string
+	for name := range m {
+		if !used[name] {
+			extra = append(extra, fmt.Sprintf("%q", name))
+		}
+	}
+	sort.Strings(extra)
+	return extra
+}
+
+// boundedReader fails the stream once more than its budget has been
+// read, so a garbage or hostile file errors out instead of feeding the
+// gob decoder without limit.
+type boundedReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (b *boundedReader) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, fmt.Errorf("snapshot exceeds the %d-byte decode bound", int64(MaxSnapshotBytes))
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.r.Read(p)
+	b.left -= int64(n)
+	return n, err
 }
 
 // SaveFile writes the model to path. The Close error is propagated: on a
@@ -127,7 +231,8 @@ func SaveFile(m *ImageModel, hidden int, path string) (err error) {
 	return f.Sync()
 }
 
-// LoadFile reads a model from path.
+// LoadFile reads a model from path, refusing files past the snapshot
+// decode bound before reading a byte of them.
 func LoadFile(path string) (*ImageModel, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -135,5 +240,9 @@ func LoadFile(path string) (*ImageModel, error) {
 	}
 	//trlint:checked read-only close: nothing buffered, failure cannot lose data
 	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Size() > MaxSnapshotBytes {
+		return nil, fmt.Errorf("models: %s is %d bytes, past the %d-byte snapshot bound",
+			path, st.Size(), int64(MaxSnapshotBytes))
+	}
 	return Load(f)
 }

@@ -2,7 +2,11 @@ package models
 
 import (
 	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/datasets"
@@ -88,5 +92,129 @@ func TestLoadRejectsMLPWithoutHidden(t *testing.T) {
 	}
 	if _, err := Load(&buf); err == nil {
 		t.Error("MLP snapshot without hidden width accepted")
+	}
+}
+
+// snapshotOf saves m and decodes the raw snapshot so tests can tamper
+// with it.
+func snapshotOf(t *testing.T, m *ImageModel, hidden int) snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(m, hidden, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func loadSnapshot(t *testing.T, snap snapshot) (*ImageModel, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return Load(&buf)
+}
+
+// Regression: a snapshot whose running-variance slice is shorter than
+// the layer used to slip through validation (only the mean length was
+// checked) and partially copy variance state.
+func TestLoadRejectsShortBNVariance(t *testing.T) {
+	m := NewResNetStyle(CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}, 71)
+	snap := snapshotOf(t, m, 0)
+	for name, vari := range snap.BNVar {
+		if len(vari) > 1 {
+			snap.BNVar[name] = vari[:len(vari)-1]
+			break
+		}
+	}
+	if _, err := loadSnapshot(t, snap); err == nil || !strings.Contains(err.Error(), "running variance") {
+		t.Fatalf("short variance slice accepted (err=%v)", err)
+	}
+}
+
+func TestLoadRejectsUnknownParams(t *testing.T) {
+	m := NewMLP(16, 72)
+	snap := snapshotOf(t, m, 16)
+	snap.Params["fc9.weight"] = []float32{1, 2, 3}
+	if _, err := loadSnapshot(t, snap); err == nil || !strings.Contains(err.Error(), "fc9.weight") {
+		t.Fatalf("unknown parameter key accepted (err=%v)", err)
+	}
+}
+
+func TestLoadRejectsUnknownBNKeys(t *testing.T) {
+	m := NewResNetStyle(CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}, 73)
+	snap := snapshotOf(t, m, 0)
+	snap.BNMean["ghost.bn"] = []float32{0}
+	if _, err := loadSnapshot(t, snap); err == nil || !strings.Contains(err.Error(), "ghost.bn") {
+		t.Fatalf("unknown batch-norm key accepted (err=%v)", err)
+	}
+	delete(snap.BNMean, "ghost.bn")
+	snap.BNVar["ghost.bn"] = []float32{0}
+	if _, err := loadSnapshot(t, snap); err == nil || !strings.Contains(err.Error(), "ghost.bn") {
+		t.Fatalf("unknown batch-norm variance key accepted (err=%v)", err)
+	}
+}
+
+func TestLoadFileRejectsOversizedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "huge.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sparse file is enough: the stat bound must refuse it unread.
+	if err := f.Truncate(MaxSnapshotBytes + 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "snapshot bound") {
+		t.Fatalf("oversized file accepted (err=%v)", err)
+	}
+}
+
+func TestBoundedReaderStopsAtBudget(t *testing.T) {
+	br := &boundedReader{r: rand.New(rand.NewSource(1)), left: 16}
+	buf := make([]byte, 10)
+	if _, err := br.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := br.Read(buf); n != 6 {
+		t.Fatalf("read %d bytes at the boundary, want 6", n)
+	}
+	if _, err := br.Read(buf); err == nil || !strings.Contains(err.Error(), "decode bound") {
+		t.Fatalf("read past the budget succeeded (err=%v)", err)
+	}
+}
+
+func TestNewArchBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		arch   string
+		geom   CNNGeom
+		hidden int
+	}{
+		{"unknown arch", "alien", CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}, 0},
+		{"zero geometry", "resnet-style", CNNGeom{}, 0},
+		{"huge volume", "resnet-style", CNNGeom{InC: 4096, InH: 4096, InW: 4096, Classes: 4}, 0},
+		{"huge classes", "resnet-style", CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 1 << 20}, 0},
+		{"mlp without hidden", "mlp", CNNGeom{}, 0},
+		{"mlp huge hidden", "mlp", CNNGeom{}, maxHidden + 1},
+		{"mlp wrong geometry", "mlp", CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}, 16},
+	}
+	for _, tc := range cases {
+		if _, err := NewArch(tc.arch, tc.geom, tc.hidden); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if m, err := NewArch("mlp", CNNGeom{InC: 1, InH: 12, InW: 12, Classes: 10}, 16); err != nil || m.Name != "mlp" {
+		t.Errorf("valid MLP rejected: %v", err)
+	}
+	if m, err := NewArch("vgg-style", CNNGeom{InC: 3, InH: 8, InW: 8, Classes: 4}, 0); err != nil || m.Name != "vgg-style" {
+		t.Errorf("valid CNN rejected: %v", err)
 	}
 }

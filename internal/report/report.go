@@ -128,6 +128,10 @@ type ServeResults struct {
 	Degraded     int64            `json:"degraded,omitempty"`
 	DegradedRate float64          `json:"degraded_rate,omitempty"`
 	BudgetServed map[string]int64 `json:"budget_served,omitempty"`
+	// Swaps is how many hot-swaps the server absorbed during the phase
+	// (hot-swap phases only): the zero-downtime claim is Swaps ≥ 2 with
+	// Errors == 0 in the same row.
+	Swaps int64 `json:"swaps,omitempty"`
 }
 
 // ServeReport is results/BENCH_serve.json — the serving layer's row in
@@ -145,6 +149,10 @@ type ServeReport struct {
 	// load. Results/StrictBaseline duplicate the widest point so the
 	// headline fields keep their one-phase meaning.
 	Scaling []ScalingPoint `json:"scaling,omitempty"`
+	// HotSwap is the zero-downtime phase: the widest pool driven at the
+	// same offered load while the model artifact is rewritten and
+	// hot-swapped in a loop (Swaps counts the reloads that landed).
+	HotSwap *ServeResults `json:"hot_swap,omitempty"`
 }
 
 // ScalingPoint is one pool size of a worker-scaling sweep: the measured
@@ -166,6 +174,34 @@ type BudgetPoint struct {
 	Accuracy        float64 `json:"accuracy"`
 	NsPerImage      int64   `json:"ns_per_image"`
 	ImagesPerSecond float64 `json:"images_per_second"`
+}
+
+// LoadPoint is one demo model's cold-start row: the same trained model
+// serialized as a gob snapshot and as a .trq compressed artifact, with
+// the on-disk footprints, the measured deserialize times, and the
+// plan-build time that follows a load on the way to serving.
+type LoadPoint struct {
+	Model       string `json:"model"`
+	ParamValues int    `json:"param_values"`
+	GobBytes    int64  `json:"gob_bytes"`
+	TrqBytes    int64  `json:"trq_bytes"`
+	// Ratio is GobBytes/TrqBytes — the compressed artifact's on-disk
+	// win, gated at >= 2x by trbench -bench-load.
+	Ratio       float64 `json:"gob_over_trq"`
+	GobLoadNs   int64   `json:"gob_load_ns"`
+	TrqLoadNs   int64   `json:"trq_load_ns"`
+	PlanBuildNs int64   `json:"plan_build_ns"`
+}
+
+// LoadReport is results/BENCH_load.json — the model-artifact cold-start
+// benchmark: what the .trq compressed container costs and saves against
+// the gob snapshot baseline for each demo model.
+type LoadReport struct {
+	Platform
+	GroupSize   int         `json:"group_size"`
+	GroupBudget int         `json:"group_budget"`
+	WeightBits  int         `json:"weight_bits"`
+	Points      []LoadPoint `json:"points"`
 }
 
 // BudgetReport is results/BENCH_budget.json — the per-budget

@@ -60,6 +60,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	oh := obs.Handler(s.cfg.Obs)
 	mux.Handle("/metrics", oh)
@@ -76,8 +77,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{"ok"})
+		Status       string `json:"status"`
+		ModelVersion string `json:"model_version,omitempty"`
+	}{"ok", s.ModelVersion()})
+}
+
+// handleReload drives the hot-swap path: rebuild the model from the
+// boot-configured source and swap it in between micro-batches. The
+// request carries no body — the reload source is fixed at boot, so a
+// client can trigger a reload but never choose what gets loaded.
+func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	version, err := s.Reload(req.Context())
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, struct {
+			Status       string `json:"status"`
+			ModelVersion string `json:"model_version,omitempty"`
+		}{"reloaded", version})
+	case errors.Is(err, ErrNoReload):
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrReloadBusy):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, req *http.Request) {

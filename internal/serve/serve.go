@@ -68,6 +68,13 @@ var (
 	ErrNoBudgets = errors.New("serve: server has no budget ladder")
 )
 
+// Sentinel errors of the hot-swap path; the HTTP layer maps them to 501
+// (no reloader configured) and 409 (a reload is already running).
+var (
+	ErrNoReload   = errors.New("serve: no reload source configured")
+	ErrReloadBusy = errors.New("serve: a reload is already in progress")
+)
+
 // Config wires a Server. Exactly one of Plan or Family is required;
 // everything else defaults.
 type Config struct {
@@ -114,6 +121,19 @@ type Config struct {
 	MaxDeadline     time.Duration
 	// RetryAfter is the hint stamped on 429/503 responses.
 	RetryAfter time.Duration
+
+	// ModelVersion labels the boot model (what /healthz reports until the
+	// first hot-swap).
+	ModelVersion string
+	// Reload, when set, is the hot-swap source: POST /v1/reload (and the
+	// CLI's SIGHUP path) calls it off the serving path to build a
+	// replacement plan or family — typically by re-reading a model
+	// artifact from disk — then swaps it in between micro-batches. It
+	// must return the same shape the server booted with: a Family for a
+	// family server (with an identical budget ladder) or a single Plan,
+	// matching input dims. Never load client-supplied paths here; the
+	// source location is fixed at boot.
+	Reload func(ctx context.Context) (*intinfer.Plan, *intinfer.Family, string, error)
 
 	// Obs receives the trq_serve_* metrics; nil gets a private registry.
 	Obs *obs.Registry
@@ -165,6 +185,13 @@ type metrics struct {
 	workerBusy      []*obs.Gauge
 	workerBatches   []*obs.Counter
 	inflightBatches *obs.Gauge
+
+	// Hot-swap instruments: reload outcomes, the monotonically
+	// increasing model epoch (how many models have been live), and how
+	// long each swap waited for the outgoing model's in-flight batches.
+	reloadOK, reloadErr *obs.Counter
+	modelEpoch          *obs.Gauge
+	swapDrain           *obs.Histogram
 }
 
 // servedFor returns the per-rung served counter; nil (a no-op sink) on
@@ -199,6 +226,13 @@ func newMetrics(r *obs.Registry, cfg Config) metrics {
 	r.Help("trq_serve_worker_batches_total", "micro-batches dispatched by the labelled batch worker")
 	r.Help("trq_serve_inflight_batches", "micro-batches currently executing across the worker pool")
 	m.inflightBatches = r.Gauge("trq_serve_inflight_batches")
+	r.Help("trq_serve_reloads_total", "model hot-swap attempts by outcome")
+	r.Help("trq_serve_model_epoch", "how many models have been live (1 = the boot model)")
+	r.Help("trq_serve_swap_drain_seconds", "wait for the outgoing model's in-flight batches per hot-swap")
+	m.reloadOK = r.Counter("trq_serve_reloads_total", "outcome", "ok")
+	m.reloadErr = r.Counter("trq_serve_reloads_total", "outcome", "error")
+	m.modelEpoch = r.Gauge("trq_serve_model_epoch")
+	m.swapDrain = r.Histogram("trq_serve_swap_drain_seconds", 0, 1, 100)
 	m.workerBusy = make([]*obs.Gauge, cfg.Workers)
 	m.workerBatches = make([]*obs.Counter, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -218,6 +252,31 @@ func newMetrics(r *obs.Registry, cfg Config) metrics {
 		}
 	}
 	return m
+}
+
+// activeModel is one live generation of the served model: the compiled
+// plan (or family), its version label, and a count of batches currently
+// executing inside it. Dispatch pins the generation for the whole
+// batch, so a swap mid-collect can never mix two models in one
+// dispatch, and the swapper drains a retired generation by waiting for
+// its count to reach zero — no WaitGroup, because batches keep starting
+// on the new generation while the old one winds down.
+type activeModel struct {
+	plan     *intinfer.Plan
+	fam      *intinfer.Family
+	version  string
+	inflight atomic.Int64
+}
+
+// planFor returns the plan a batch at the given budget runs through.
+// Budgets are snapped onto the ladder at admission, and Swap enforces a
+// ladder-identical family, so the rung always exists.
+func (a *activeModel) planFor(budget int) *intinfer.Plan {
+	if a.fam == nil {
+		return a.plan
+	}
+	p, _ := a.fam.Plan(budget)
+	return p
 }
 
 // Server is a micro-batching classification server. Construct with New,
@@ -256,6 +315,12 @@ type Server struct {
 	draining bool
 	//trlint:guarded-by(mu)
 	queue chan *request
+
+	// model is the live generation every dispatch pins; Swap replaces it
+	// atomically between micro-batches. reloadMu serializes reloads
+	// (TryLock: a second concurrent reload is refused, not queued).
+	model    atomic.Pointer[activeModel]
+	reloadMu sync.Mutex
 
 	schedOnce    sync.Once
 	schedStarted atomic.Bool
@@ -322,14 +387,17 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		c, h, w = cfg.Plan.InputDims()
 	}
-	return &Server{
+	s := &Server{
 		cfg:           cfg,
 		inLen:         c * h * w,
 		defaultBudget: defaultBudget,
 		queue:         make(chan *request, cfg.QueueCap),
 		schedDone:     make(chan struct{}),
 		met:           newMetrics(cfg.Obs, cfg),
-	}, nil
+	}
+	s.model.Store(&activeModel{plan: cfg.Plan, fam: cfg.Family, version: cfg.ModelVersion})
+	s.met.modelEpoch.Set(1)
+	return s, nil
 }
 
 // Budgets returns the server's budget ladder, ascending; nil on a
@@ -341,14 +409,85 @@ func (s *Server) Budgets() []int {
 	return s.cfg.Family.Budgets()
 }
 
-// planFor returns the plan a batch at the given budget runs through.
-// Budgets are snapped onto the ladder at admission, so the rung exists.
-func (s *Server) planFor(budget int) *intinfer.Plan {
-	if s.cfg.Family == nil {
-		return s.cfg.Plan
+// ModelVersion reports the version label of the model generation
+// currently serving.
+func (s *Server) ModelVersion() string {
+	return s.model.Load().version
+}
+
+// Swap atomically replaces the served model between micro-batches, then
+// waits (bounded by ctx) for batches still executing inside the retired
+// generation to finish. The replacement must keep the server's shape:
+// same plan-vs-family mode, same input dims, and — because admitted
+// requests carry rungs snapped onto the boot ladder — an identical
+// budget ladder. Requests are never dropped: batches dispatched before
+// the swap complete on the old generation while new batches already run
+// the new one.
+func (s *Server) Swap(ctx context.Context, plan *intinfer.Plan, fam *intinfer.Family, version string) error {
+	if (fam != nil) != (s.cfg.Family != nil) {
+		return errors.New("serve: hot-swap cannot change between single-plan and family serving")
 	}
-	p, _ := s.cfg.Family.Plan(budget)
-	return p
+	var c, h, w int
+	if fam != nil {
+		old := s.cfg.Family.Budgets()
+		next := fam.Budgets()
+		if len(old) != len(next) {
+			return fmt.Errorf("serve: hot-swap budget ladder has %d rungs, the server was built with %d",
+				len(next), len(old))
+		}
+		for i := range old {
+			if old[i] != next[i] {
+				return fmt.Errorf("serve: hot-swap budget ladder %v does not match the server's %v", next, old)
+			}
+		}
+		c, h, w = fam.InputDims()
+	} else {
+		if plan == nil {
+			return errors.New("serve: hot-swap needs a plan")
+		}
+		c, h, w = plan.InputDims()
+	}
+	if c*h*w != s.inLen {
+		return fmt.Errorf("serve: hot-swap model wants %d input values, the server serves %d", c*h*w, s.inLen)
+	}
+	retired := s.model.Swap(&activeModel{plan: plan, fam: fam, version: version})
+	s.met.modelEpoch.Add(1)
+	start := time.Now()
+	for retired.inflight.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			// The swap itself already happened; only the drain wait is
+			// abandoned. Report it — the caller may still hold resources
+			// (e.g. an arena) behind the retired plan.
+			return fmt.Errorf("serve: waiting for the retired model's batches: %w", ctx.Err())
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	s.met.swapDrain.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// Reload runs the configured reload source off the serving path and
+// swaps the result in. Only one reload runs at a time; a concurrent
+// call gets ErrReloadBusy immediately.
+func (s *Server) Reload(ctx context.Context) (string, error) {
+	if s.cfg.Reload == nil {
+		return "", ErrNoReload
+	}
+	if !s.reloadMu.TryLock() {
+		return "", ErrReloadBusy
+	}
+	defer s.reloadMu.Unlock()
+	plan, fam, version, err := s.cfg.Reload(ctx)
+	if err == nil {
+		err = s.Swap(ctx, plan, fam, version)
+	}
+	if err != nil {
+		s.met.reloadErr.Inc()
+		return "", err
+	}
+	s.met.reloadOK.Inc()
+	return version, nil
 }
 
 // startScheduler launches the worker pool exactly once. schedDone
@@ -642,9 +781,15 @@ func (s *Server) dispatch(id int, batch []*request) {
 	s.inflight.Add(int64(len(live)))
 	s.met.workerBusy[id].Set(1)
 	s.met.inflightBatches.Add(1)
+	// Pin the live model generation for the whole batch: a hot-swap that
+	// lands mid-dispatch retires this generation but the batch finishes
+	// on it, refcounted so the swapper knows when it has drained.
+	am := s.model.Load()
+	am.inflight.Add(1)
 	ctx, cancel := context.WithDeadline(context.Background(), latest)
-	preds, err := s.planFor(live[0].budget).InferBatchContext(ctx, images, s.cfg.BatchWorkers)
+	preds, err := am.planFor(live[0].budget).InferBatchContext(ctx, images, s.cfg.BatchWorkers)
 	cancel()
+	am.inflight.Add(-1)
 	s.met.inflightBatches.Add(-1)
 	s.met.workerBusy[id].Set(0)
 	s.inflight.Add(-int64(len(live)))
@@ -724,6 +869,9 @@ type Stats struct {
 	// nil on a single-plan server.
 	Degraded     int64
 	BudgetServed map[int]int64
+	// Reloads / ReloadErrors count hot-swap attempts by outcome.
+	Reloads      int64
+	ReloadErrors int64
 }
 
 // Stats reads the current counter values.
@@ -741,6 +889,9 @@ func (s *Server) Stats() Stats {
 
 		InflightImages:  s.inflight.Load(),
 		InflightBatches: s.met.inflightBatches.Value(),
+
+		Reloads:      s.met.reloadOK.Value(),
+		ReloadErrors: s.met.reloadErr.Value(),
 	}
 	st.WorkerBatches = make([]int64, len(s.met.workerBatches))
 	for w, c := range s.met.workerBatches {
